@@ -1,0 +1,91 @@
+//! Criterion-wrapped mini versions of the paper experiments, so
+//! `cargo bench` exercises every table/figure pipeline end-to-end.
+//!
+//! Full-size regeneration lives in the harness binaries (`table1`,
+//! `fig11`, `fig12`, `graphs`, `pca_cost`, `ablate`); these benches use
+//! a reduced dataset to keep wall-clock sensible while covering the
+//! same code paths.
+
+use bench::costs::ScaleModel;
+use bench::pipeline::{run_cnn, run_csvm, run_knn, run_rf, PipelineConfig, Prepared};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dislib::pca::{Components, Pca};
+use dsarray::DsArray;
+use ecg::{Dataset, DatasetSpec, Scale};
+use std::hint::black_box;
+use taskrt::sim::{simulate, ClusterSpec, Policy, SimOptions};
+use taskrt::Runtime;
+
+fn mini_cfg() -> PipelineConfig {
+    PipelineConfig {
+        n_components: 48,
+        block_rows: 16,
+        block_cols: 128,
+        k_folds: 3,
+        ..Default::default()
+    }
+}
+
+fn mini_prepare() -> Prepared {
+    let cfg = mini_cfg();
+    let mut spec = DatasetSpec::at_scale(Scale::Small).with_seed(cfg.seed);
+    spec.n_normal = 36;
+    spec.n_af = 6;
+    spec.ecg.max_duration_s = 11.0;
+    let ds = Dataset::build(&spec);
+    let x = ds.x.slice_cols(0, ds.x.cols().min(320));
+    let rt = Runtime::new();
+    let dist = DsArray::from_matrix(&rt, &x, cfg.block_rows, cfg.block_cols);
+    let pca = Pca::fit(&rt, &dist, Components::Count(cfg.n_components));
+    let projected = pca.transform(&rt, &dist);
+    let xp = projected.collect(&rt);
+    Prepared {
+        xp,
+        y: ds.y,
+        pca_trace: rt.finish(),
+        raw_features: x.cols(),
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let prep = mini_prepare();
+    let cfg = mini_cfg();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("table1_csvm_fold_cv", |b| {
+        b.iter(|| black_box(run_csvm(&prep, &cfg).accuracy()))
+    });
+    group.bench_function("table1_knn_fold_cv", |b| {
+        b.iter(|| black_box(run_knn(&prep, &cfg).accuracy()))
+    });
+    group.bench_function("table1_rf_fold_cv", |b| {
+        b.iter(|| black_box(run_rf(&prep, &cfg, 0).accuracy()))
+    });
+    group.bench_function("table1_cnn_fold_cv", |b| {
+        b.iter(|| black_box(run_cnn(&prep, &cfg, 1).accuracy()))
+    });
+
+    // Fig. 11-style sweep: record once, replay at several node counts.
+    let trace = run_csvm(&prep, &cfg).trace;
+    let model = ScaleModel::paper_scale(8.0, 20.0);
+    group.bench_function("fig11_des_sweep_6_nodes", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for nodes in 1..=6 {
+                let opts = SimOptions {
+                    policy: Policy::LocalityAware,
+                    model_transfers: true,
+                    duration_of: Some(model.duration_fn()),
+                    ..SimOptions::default()
+                };
+                total += simulate(&trace, &ClusterSpec::marenostrum4(nodes), &opts).makespan_s;
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks of the numeric and runtime kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dislib::svm::{fit_svc, SvcParams};
+use linalg::fft::{fft_inplace, Complex};
+use linalg::stft::{spectrogram, SpectrogramConfig};
+use linalg::{eigh, Kernel, Matrix};
+use std::hint::black_box;
+use taskrt::sim::{simulate, ClusterSpec, SimOptions};
+use taskrt::Runtime;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let buf: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = buf.clone();
+                fft_inplace(&mut x);
+                black_box(x[0].re)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectrogram(c: &mut Criterion) {
+    let sig: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.05).sin()).collect();
+    let cfg = SpectrogramConfig {
+        nperseg: 128,
+        noverlap: 32,
+        fs: 300.0,
+    };
+    c.bench_function("spectrogram_3000", |b| {
+        b.iter(|| black_box(spectrogram(black_box(&sig), &cfg)))
+    });
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigh");
+    for &n in &[16usize, 64, 128] {
+        let a = Matrix::from_fn(n, n, |r, col| {
+            let v = ((r * col) as f64 * 0.01).sin();
+            if r == col {
+                v + 2.0
+            } else {
+                v
+            }
+        });
+        let sym = Matrix::from_fn(n, n, |r, col| 0.5 * (a.get(r, col) + a.get(col, r)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eigh(black_box(&sym))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 128] {
+        let a = Matrix::from_fn(n, n, |r, col| (r + col) as f64 * 0.25);
+        let b_ = Matrix::from_fn(n, n, |r, col| (r as f64 - col as f64) * 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(a.matmul(black_box(&b_))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_smo(c: &mut Criterion) {
+    // Deterministic small blob set.
+    let n = 80;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let cls = (i % 2) as f64 * 2.0 - 1.0;
+            vec![
+                cls * 2.0 + (i as f64 * 0.7).sin() * 0.5,
+                (i as f64 * 0.3).cos() * 0.5,
+            ]
+        })
+        .collect();
+    let x = Matrix::from_rows(&rows);
+    let y: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+    let params = SvcParams {
+        kernel: Kernel::Rbf { gamma: 0.5 },
+        ..Default::default()
+    };
+    c.bench_function("smo_fit_80x2", |b| {
+        b.iter(|| black_box(fit_svc(&x, &y, &params)))
+    });
+}
+
+fn bench_runtime_submission(c: &mut Criterion) {
+    c.bench_function("taskrt_submit_exec_1000_inline", |b| {
+        b.iter(|| {
+            let rt = Runtime::new();
+            let x = rt.put(1.0f64);
+            let mut h = x;
+            for _ in 0..1000 {
+                h = rt.task("inc").run1(h, |v| v + 1.0);
+            }
+            black_box(*rt.peek(h))
+        })
+    });
+}
+
+fn bench_threaded_vs_inline(c: &mut Criterion) {
+    // A genuinely parallel workload: independent gram computations.
+    let work = |rt: &Runtime| {
+        let blocks: Vec<_> = (0..16)
+            .map(|i| {
+                rt.put(Matrix::from_fn(48, 48, move |r, q| {
+                    ((r + q + i) % 7) as f64
+                }))
+            })
+            .collect();
+        let grams: Vec<_> = blocks
+            .iter()
+            .map(|&b| rt.task("gram").run1(b, |m: &Matrix| m.t_matmul(m)))
+            .collect();
+        let total = rt.task("sum").run_many(&grams, |gs: &[&Matrix]| {
+            gs.iter().map(|g| g.fro_norm()).sum::<f64>()
+        });
+        *rt.peek(total)
+    };
+    let mut group = c.benchmark_group("runtime_modes");
+    group.bench_function("inline", |b| b.iter(|| black_box(work(&Runtime::new()))));
+    group.bench_function("threaded_4", |b| {
+        b.iter(|| black_box(work(&Runtime::threaded(4))))
+    });
+    group.finish();
+}
+
+fn bench_des_replay(c: &mut Criterion) {
+    // Record a moderately wide DAG once, then benchmark simulation.
+    let rt = Runtime::new();
+    let src = rt.put(0u64);
+    let mids: Vec<_> = (0..200)
+        .map(|_| rt.task("work").run1(src, |v| v + 1))
+        .collect();
+    let _sink = rt
+        .task("join")
+        .run_many(&mids, |xs| xs.iter().copied().sum::<u64>());
+    let trace = rt.finish();
+    let cluster = ClusterSpec::marenostrum4(4);
+    c.bench_function("des_replay_202_tasks", |b| {
+        b.iter(|| black_box(simulate(&trace, &cluster, &SimOptions::default())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_spectrogram,
+    bench_eigh,
+    bench_gemm,
+    bench_smo,
+    bench_runtime_submission,
+    bench_threaded_vs_inline,
+    bench_des_replay
+);
+criterion_main!(benches);

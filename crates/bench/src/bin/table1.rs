@@ -1,0 +1,96 @@
+//! Reproduces **Table I**: average 5-fold confusion matrices and
+//! accuracy for CSVM (a), KNN (b), RF (c) and CNN (d).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p bench --bin table1 --release [-- --algo csvm|knn|rf|cnn|all] [--seed N]
+//! ```
+
+use bench::pipeline::{prepare, run_cnn, run_csvm, run_knn, run_rf, PipelineConfig};
+use bench::report::{print_confusion, write_artifact, Args};
+
+/// Paper-reported Table I cells `[[tp, fn], [fp, tn]]` fractions.
+const PAPER_CSVM: [[f64; 2]; 2] = [[0.379, 0.125], [0.125, 0.369]];
+const PAPER_KNN: [[f64; 2]; 2] = [[0.498, 0.001], [0.490, 0.009]];
+const PAPER_RF: [[f64; 2]; 2] = [[0.456, 0.048], [0.071, 0.424]];
+const PAPER_CNN: [[f64; 2]; 2] = [[0.454, 0.066], [0.009, 0.469]];
+
+fn main() {
+    let args = Args::capture();
+    let algo = args.get("algo").unwrap_or("all").to_string();
+    let mut cfg = PipelineConfig::default();
+    cfg.seed = args.get_or("seed", cfg.seed);
+
+    eprintln!(
+        "building dataset + STFT features + distributed PCA ({:?} scale)...",
+        cfg.scale
+    );
+    let prep = prepare(&cfg);
+    eprintln!(
+        "dataset: {} samples x {} raw features -> {} PCA components",
+        prep.xp.rows(),
+        prep.raw_features,
+        prep.xp.cols()
+    );
+
+    let mut json = Vec::new();
+    if algo == "all" || algo == "csvm" {
+        let r = run_csvm(&prep, &cfg);
+        print_confusion(
+            "Table Ia — CascadeSVM",
+            &r.pooled(),
+            Some(PAPER_CSVM),
+            Some(0.749),
+        );
+        json.push(row(&r));
+    }
+    if algo == "all" || algo == "knn" {
+        let r = run_knn(&prep, &cfg);
+        print_confusion(
+            "Table Ib — KNN (StandardScaler + k=5)",
+            &r.pooled(),
+            Some(PAPER_KNN),
+            Some(0.52),
+        );
+        json.push(row(&r));
+    }
+    if algo == "all" || algo == "rf" {
+        let r = run_rf(&prep, &cfg, 0);
+        print_confusion(
+            "Table Ic — RandomForest (40 estimators)",
+            &r.pooled(),
+            Some(PAPER_RF),
+            Some(0.868),
+        );
+        json.push(row(&r));
+    }
+    if algo == "all" || algo == "cnn" {
+        let r = run_cnn(&prep, &cfg, 1);
+        print_confusion(
+            "Table Id — CNN (2xConv1D(32) + Dense(32))",
+            &r.pooled(),
+            Some(PAPER_CNN),
+            Some(0.90),
+        );
+        json.push(row(&r));
+    }
+
+    let payload = format!("[{}]", json.join(","));
+    write_artifact("out/table1.json", &payload).expect("artifact");
+}
+
+fn row(r: &bench::pipeline::AlgoResult) -> String {
+    let cm = r.pooled();
+    format!(
+        "{{\"algo\":\"{}\",\"accuracy\":{:.4},\"precision\":{:.4},\"recall\":{:.4},\"f1\":{:.4},\"tp\":{},\"fp\":{},\"fn\":{},\"tn\":{}}}",
+        r.name,
+        cm.accuracy(),
+        cm.precision(),
+        cm.recall(),
+        cm.f1(),
+        cm.tp,
+        cm.fp,
+        cm.fn_,
+        cm.tn
+    )
+}

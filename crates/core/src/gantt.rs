@@ -1,0 +1,151 @@
+//! Gantt rendering of simulated schedules.
+//!
+//! The PyCOMPSs ecosystem inspects executions with Paraver timelines
+//! (the paper's artifact uploads such traces); this module provides the
+//! equivalent for [`crate::sim::SimReport`] schedules: an ASCII timeline
+//! per node and a JSON export for external tooling.
+
+use crate::sim::{ScheduleEntry, SimReport};
+use std::fmt::Write as _;
+
+/// Renders an ASCII Gantt chart of the schedule, one row per node,
+/// `width` characters across the makespan. Each cell shows the first
+/// letter of the task kind that occupies the node at that instant (`.`
+/// = idle, `*` = multiple concurrent kinds).
+pub fn ascii_gantt(report: &SimReport, nodes: usize, width: usize) -> String {
+    let mut out = String::new();
+    let span = report.makespan_s.max(f64::MIN_POSITIVE);
+    writeln!(
+        out,
+        "time 0 .. {:.3} s ({} chars)",
+        report.makespan_s, width
+    )
+    .unwrap();
+    for node in 0..nodes {
+        let mut row = vec!['.'; width];
+        for e in report.schedule.iter().filter(|e| e.node == node) {
+            let from = ((e.start_s / span) * width as f64).floor() as usize;
+            let to = (((e.end_s / span) * width as f64).ceil() as usize).clamp(from + 1, width);
+            let ch = e.name.chars().next().unwrap_or('?');
+            for c in row.iter_mut().take(to).skip(from.min(width - 1)) {
+                *c = if *c == '.' || *c == ch { ch } else { '*' };
+            }
+        }
+        writeln!(
+            out,
+            "node {node:>2} |{}|",
+            row.into_iter().collect::<String>()
+        )
+        .unwrap();
+    }
+    // Legend of kinds.
+    let mut kinds: Vec<&str> = report.schedule.iter().map(|e| e.name.as_str()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    writeln!(out, "kinds: {}", kinds.join(", ")).unwrap();
+    out
+}
+
+/// Serializes the schedule to JSON (one object per placed task).
+pub fn schedule_json(schedule: &[ScheduleEntry]) -> String {
+    serde_json::to_string_pretty(schedule).expect("schedule serialization cannot fail")
+}
+
+/// Per-node busy seconds — a quick load-balance summary.
+pub fn node_busy(report: &SimReport, nodes: usize) -> Vec<f64> {
+    let mut busy = vec![0.0; nodes];
+    for e in &report.schedule {
+        busy[e.node] += e.end_s - e.start_s;
+    }
+    busy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::sim::{simulate, ClusterSpec, SimOptions};
+
+    fn demo_report() -> (SimReport, usize) {
+        let rt = Runtime::new();
+        let src = rt.put(1.0f64);
+        let mids: Vec<_> = (0..6)
+            .map(|_| {
+                rt.task("work").run1(src, |v| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    *v
+                })
+            })
+            .collect();
+        let _ = rt
+            .task("join")
+            .run_many(&mids, |xs| xs.iter().copied().sum::<f64>());
+        let trace = rt.finish();
+        let cluster = ClusterSpec {
+            nodes: 2,
+            cores_per_node: 2,
+            gpus_per_node: 0,
+            bandwidth_bps: 1e9,
+            latency_s: 0.0,
+        };
+        (simulate(&trace, &cluster, &SimOptions::default()), 2)
+    }
+
+    #[test]
+    fn schedule_covers_all_user_tasks() {
+        let (rep, _) = demo_report();
+        assert_eq!(rep.schedule.len(), 7);
+        // Sorted by start time.
+        for w in rep.schedule.windows(2) {
+            assert!(w[0].start_s <= w[1].start_s);
+        }
+        // Start/end consistent.
+        for e in &rep.schedule {
+            assert!(e.end_s >= e.start_s);
+            assert!(e.node < 2);
+        }
+    }
+
+    #[test]
+    fn ascii_gantt_renders_rows_and_legend() {
+        let (rep, nodes) = demo_report();
+        let g = ascii_gantt(&rep, nodes, 40);
+        assert!(g.contains("node  0 |"));
+        assert!(g.contains("node  1 |"));
+        assert!(g.contains("kinds: join, work"));
+        assert!(g.lines().count() >= 4);
+    }
+
+    #[test]
+    fn node_busy_sums_schedule() {
+        let (rep, nodes) = demo_report();
+        let busy = node_busy(&rep, nodes);
+        let total: f64 = busy.iter().sum();
+        let expected: f64 = rep.schedule.iter().map(|e| e.end_s - e.start_s).sum();
+        assert!((total - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_json_is_valid() {
+        let (rep, _) = demo_report();
+        let j = schedule_json(&rep.schedule);
+        let parsed: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), rep.schedule.len());
+    }
+
+    #[test]
+    fn empty_schedule_gantt() {
+        let rep = SimReport {
+            makespan_s: 0.0,
+            transferred_bytes: 0.0,
+            transfer_time_s: 0.0,
+            busy_core_s: 0.0,
+            utilization: 0.0,
+            tasks: 0,
+            busy_by_kind: Default::default(),
+            schedule: vec![],
+        };
+        let g = ascii_gantt(&rep, 1, 10);
+        assert!(g.contains("node  0"));
+    }
+}

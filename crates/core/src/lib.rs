@@ -1,0 +1,50 @@
+//! # taskrt — a task-based workflow runtime with a cluster simulator
+//!
+//! `taskrt` is the Rust reproduction of the task-based programming model
+//! the paper builds on (PyCOMPSs): a driver program submits tasks whose
+//! data dependencies are detected automatically from their input/output
+//! arguments; the runtime executes the resulting DAG in parallel, records
+//! a full execution trace, and can **replay** that trace on a simulated
+//! cluster of arbitrary size to study scalability.
+//!
+//! ```
+//! use taskrt::{Runtime, sim::{simulate, ClusterSpec, SimOptions}};
+//!
+//! let rt = Runtime::new();
+//! let x = rt.put(vec![1.0f64, 2.0, 3.0]);
+//! let doubled = rt.task("double").run1(x, |v| {
+//!     v.iter().map(|a| a * 2.0).collect::<Vec<f64>>()
+//! });
+//! let sum = rt.task("sum").run1(doubled, |v| v.iter().sum::<f64>());
+//! assert_eq!(*rt.wait(sum), 12.0);
+//!
+//! // Replay the recorded DAG on a 4-node MareNostrum-like cluster.
+//! let trace = rt.trace();
+//! let report = simulate(&trace, &ClusterSpec::marenostrum4(4), &SimOptions::default());
+//! assert!(report.makespan_s >= 0.0);
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`runtime`] | [`Runtime`], [`TaskBuilder`], execution modes, nesting |
+//! | [`handle`] | [`Handle`], [`DataId`], [`TaskId`] |
+//! | [`payload`] | the [`Payload`] trait (what can flow between tasks) |
+//! | [`trace`] | [`Trace`] / [`TaskRecord`] — the replayable artifact |
+//! | [`sim`] | discrete-event cluster simulator and [`sim::ClusterSpec`] |
+//! | [`dot`] | Graphviz export of execution graphs |
+//! | [`gantt`] | ASCII/JSON timelines of simulated schedules |
+
+pub mod dot;
+pub mod gantt;
+pub mod handle;
+pub mod payload;
+pub mod runtime;
+pub mod sim;
+pub mod trace;
+
+pub use handle::{DataId, Handle, TaskId};
+pub use payload::Payload;
+pub use runtime::{ExecMode, Runtime, RuntimeConfig, TaskBuilder, TaskCtx};
+pub use trace::{TaskRecord, Trace};

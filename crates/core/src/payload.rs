@@ -1,0 +1,127 @@
+//! The [`Payload`] trait: what can flow between tasks.
+//!
+//! Every task input and output must implement `Payload`. Besides the
+//! `Send + Sync + 'static` bound required to move values between worker
+//! threads, the trait reports an **approximate serialized size** used by
+//! the discrete-event simulator's transfer model (DESIGN.md §5.4): the
+//! paper attributes part of the RandomForest scalability anomaly to
+//! inter-node data movement, so sizes must be realistic for the matrices
+//! and models we ship around.
+
+use linalg::Matrix;
+
+/// A value that can be stored in the runtime's data store and moved
+/// between tasks.
+pub trait Payload: Send + Sync + 'static {
+    /// Approximate number of bytes a serialized copy of `self` would
+    /// occupy on the wire. Used only by the simulator's transfer model;
+    /// it does not need to be exact, just proportional.
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+macro_rules! impl_payload_value {
+    ($($t:ty),* $(,)?) => {
+        $(impl Payload for $t {})*
+    };
+}
+
+impl_payload_value!(
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    bool,
+    ()
+);
+
+impl Payload for String {
+    fn approx_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: Send + Sync + 'static> Payload for Vec<T> {
+    fn approx_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>() + std::mem::size_of::<Self>()
+    }
+}
+
+impl<T: Send + Sync + 'static> Payload for Box<[T]> {
+    fn approx_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>() + std::mem::size_of::<Self>()
+    }
+}
+
+impl Payload for Matrix {
+    fn approx_bytes(&self) -> usize {
+        self.approx_bytes()
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes() + self.1.approx_bytes()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes() + self.1.approx_bytes() + self.2.approx_bytes()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn approx_bytes(&self) -> usize {
+        self.as_ref()
+            .map_or(std::mem::size_of::<Self>(), Payload::approx_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(1.0f64.approx_bytes(), 8);
+        assert_eq!(1u32.approx_bytes(), 4);
+    }
+
+    #[test]
+    fn vec_size_scales_with_len() {
+        let v = vec![0.0f64; 100];
+        assert!(v.approx_bytes() >= 800);
+        let empty: Vec<f64> = vec![];
+        assert!(empty.approx_bytes() < 100);
+    }
+
+    #[test]
+    fn matrix_size() {
+        let m = Matrix::zeros(10, 10);
+        assert_eq!(Payload::approx_bytes(&m), 800);
+    }
+
+    #[test]
+    fn tuple_size_is_sum() {
+        let t = (vec![0u8; 10], vec![0.0f64; 10]);
+        assert!(t.approx_bytes() >= 90);
+    }
+
+    #[test]
+    fn option_size() {
+        let some = Some(vec![0.0f64; 8]);
+        assert!(some.approx_bytes() >= 64);
+        let none: Option<Vec<f64>> = None;
+        assert!(none.approx_bytes() <= std::mem::size_of::<Option<Vec<f64>>>());
+    }
+}

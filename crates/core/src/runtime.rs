@@ -1,0 +1,1068 @@
+//! The task runtime: submission, automatic dependency detection,
+//! execution, and synchronization.
+//!
+//! This is the PyCOMPSs-equivalent programming model (paper §II-A):
+//!
+//! * A driver program calls [`Runtime::task`] to submit work, passing
+//!   [`Handle`]s of previously produced data. The runtime wires data
+//!   dependencies automatically from the *last writer* of each input —
+//!   exactly how the COMPSs runtime "detects the dependencies between
+//!   tasks based on their input and output arguments".
+//! * [`Runtime::wait`] is `compss_wait_on`: it blocks the driver until a
+//!   value is available and — crucially for the paper's Fig. 9 vs Fig. 10
+//!   comparison — records a **sync marker** that every later-submitted
+//!   task implicitly depends on, because a blocked driver cannot have
+//!   submitted them earlier.
+//! * Tasks may be **nested** ([`TaskBuilder::run_nested1`]): the task body
+//!   receives its own child [`Runtime`], whose trace is recorded inside
+//!   the parent task's [`TaskRecord`]. This is the PyCOMPSs "nesting"
+//!   feature the paper uses to parallelize CNN folds.
+//!
+//! Two execution modes share the same submission path and produce the
+//! same [`Trace`]:
+//!
+//! * [`ExecMode::Inline`] runs each task synchronously at submission
+//!   (deterministic; durations still measured).
+//! * [`ExecMode::Threads`] runs tasks on a worker pool with true
+//!   parallelism.
+
+use crate::handle::{DataId, Handle, TaskId};
+use crate::payload::Payload;
+use crate::trace::{TaskRecord, Trace, BARRIER_TASK, SPLIT_TASK, SYNC_TASK};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Type-erased shared value.
+pub type AnyArc = Arc<dyn Any + Send + Sync>;
+
+/// Type-erased task body: receives the resolved inputs, returns the
+/// outputs with their approximate byte sizes.
+type TaskFn = Box<dyn FnOnce(&TaskCtx, &[AnyArc]) -> Vec<(AnyArc, usize)> + Send>;
+
+/// How tasks are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Execute each task synchronously at submission time. Deterministic
+    /// and allocation-light; durations are still measured, so traces are
+    /// fully usable by the simulator.
+    Inline,
+    /// Execute tasks on a pool of this many worker threads.
+    Threads(usize),
+}
+
+/// Runtime construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Execution mode for tasks submitted to this runtime.
+    pub mode: ExecMode,
+    /// Execution mode for child runtimes created by nested tasks.
+    pub nested_mode: ExecMode,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            mode: ExecMode::Inline,
+            nested_mode: ExecMode::Inline,
+        }
+    }
+}
+
+/// Context handed to every task body; grants access to nesting.
+pub struct TaskCtx {
+    nested_mode: ExecMode,
+    child: Mutex<Option<Arc<Inner>>>,
+}
+
+impl TaskCtx {
+    /// Creates the child runtime for a nested task. The child's trace is
+    /// attached to the parent task's record when the body returns.
+    ///
+    /// Calling this more than once replaces the recorded child trace;
+    /// nest one runtime per task.
+    pub fn nested_runtime(&self) -> Runtime {
+        let rt = Runtime::with_config(RuntimeConfig {
+            mode: self.nested_mode,
+            nested_mode: self.nested_mode,
+        });
+        *self.child.lock() = Some(rt.inner.clone());
+        rt
+    }
+}
+
+enum Slot {
+    Pending,
+    Ready(AnyArc, usize),
+}
+
+struct PendingJob {
+    f: TaskFn,
+    inputs: Vec<DataId>,
+    outputs: Vec<DataId>,
+}
+
+struct State {
+    next_data: u64,
+    next_task: u64,
+    values: HashMap<DataId, Slot>,
+    producer: HashMap<DataId, TaskId>,
+    done: HashSet<TaskId>,
+    failed: HashMap<TaskId, String>,
+    remaining: HashMap<TaskId, usize>,
+    dependents: HashMap<TaskId, Vec<TaskId>>,
+    pending: HashMap<TaskId, PendingJob>,
+    records: Vec<TaskRecord>,
+    sync_marker: Option<TaskId>,
+    since_barrier: Vec<TaskId>,
+}
+
+struct Inner {
+    config: RuntimeConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+    sender: Mutex<Option<Sender<WorkerMsg>>>,
+}
+
+struct WorkerMsg {
+    task: TaskId,
+    job: PendingJob,
+    inner: Arc<Inner>,
+}
+
+/// The task-based workflow runtime (PyCOMPSs equivalent). Cheap to
+/// clone; clones share the same task graph and data store.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<Inner>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime {
+    /// An inline (sequential, deterministic) runtime.
+    pub fn new() -> Self {
+        Self::with_config(RuntimeConfig::default())
+    }
+
+    /// A threaded runtime with `workers` worker threads.
+    pub fn threaded(workers: usize) -> Self {
+        Self::with_config(RuntimeConfig {
+            mode: ExecMode::Threads(workers),
+            nested_mode: ExecMode::Inline,
+        })
+    }
+
+    /// Builds a runtime from an explicit configuration.
+    pub fn with_config(config: RuntimeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            config,
+            state: Mutex::new(State {
+                next_data: 0,
+                next_task: 0,
+                values: HashMap::new(),
+                producer: HashMap::new(),
+                done: HashSet::new(),
+                failed: HashMap::new(),
+                remaining: HashMap::new(),
+                dependents: HashMap::new(),
+                pending: HashMap::new(),
+                records: Vec::new(),
+                sync_marker: None,
+                since_barrier: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            sender: Mutex::new(None),
+        });
+        if let ExecMode::Threads(n) = config.mode {
+            let n = n.max(1);
+            let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+            for _ in 0..n {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        Inner::execute(msg);
+                    }
+                });
+            }
+            *inner.sender.lock() = Some(tx);
+        }
+        Runtime { inner }
+    }
+
+    /// Stores a value in the runtime, returning a handle. Equivalent to
+    /// passing in-memory data from the PyCOMPSs master: the simulator
+    /// places such data on the master node (node 0).
+    pub fn put<T: Payload>(&self, value: T) -> Handle<T> {
+        let bytes = value.approx_bytes();
+        let mut st = self.inner.state.lock();
+        let id = DataId(st.next_data);
+        st.next_data += 1;
+        st.values.insert(id, Slot::Ready(Arc::new(value), bytes));
+        Handle::new(id)
+    }
+
+    /// Starts building a task of the given kind name.
+    ///
+    /// The name identifies the task *type* (like the color classes in
+    /// the paper's execution graphs) and keys the simulator's optional
+    /// cost model.
+    pub fn task(&self, name: &str) -> TaskBuilder<'_> {
+        TaskBuilder {
+            rt: self,
+            name: name.to_string(),
+            cores: 1,
+            gpus: 0,
+        }
+    }
+
+    /// Blocks until the value behind `h` is computed, returning it.
+    ///
+    /// Records a sync marker: all tasks submitted afterwards implicitly
+    /// depend on the producer of `h` (the driver was blocked — the
+    /// PyCOMPSs `compss_wait_on` semantics the paper's Fig. 9 hinges on).
+    ///
+    /// # Panics
+    /// Panics if the producing task panicked.
+    pub fn wait<T: Payload>(&self, h: Handle<T>) -> Arc<T> {
+        // Record the sync marker first (driver-side order is submission
+        // order), then block.
+        {
+            let mut st = self.inner.state.lock();
+            if let Some(&producer) = st.producer.get(&h.id) {
+                let mut deps = vec![producer];
+                if let Some(prev) = st.sync_marker {
+                    if prev != producer {
+                        deps.push(prev);
+                    }
+                }
+                let marker = Self::push_marker(&mut st, SYNC_TASK, deps);
+                st.sync_marker = Some(marker);
+                st.since_barrier.push(marker);
+                st.done.insert(marker);
+            }
+        }
+        self.block_on(h.id)
+    }
+
+    /// Non-recording read used internally and by tests: blocks until the
+    /// value is ready but does **not** create a sync marker.
+    pub fn peek<T: Payload>(&self, h: Handle<T>) -> Arc<T> {
+        self.block_on(h.id)
+    }
+
+    fn block_on<T: Payload>(&self, id: DataId) -> Arc<T> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(&producer) = st.producer.get(&id) {
+                if let Some(msg) = st.failed.get(&producer) {
+                    panic!("dependency task failed: {msg}");
+                }
+            }
+            match st.values.get(&id) {
+                Some(Slot::Ready(v, _)) => {
+                    let v = v.clone();
+                    drop(st);
+                    return v.downcast::<T>().expect("handle type mismatch");
+                }
+                Some(Slot::Pending) => {
+                    self.inner.cv.wait(&mut st);
+                }
+                None => panic!("unknown data id {id:?}"),
+            }
+        }
+    }
+
+    /// Waits for every submitted task to complete and records a barrier
+    /// marker (PyCOMPSs `compss_barrier`).
+    pub fn barrier(&self) {
+        let pending: Vec<TaskId>;
+        {
+            let mut st = self.inner.state.lock();
+            let deps = std::mem::take(&mut st.since_barrier);
+            let marker = Self::push_marker(&mut st, BARRIER_TASK, deps.clone());
+            st.sync_marker = Some(marker);
+            st.since_barrier = vec![marker];
+            st.done.insert(marker);
+            pending = deps;
+        }
+        // Block until all are done.
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some((t, msg)) = pending
+                .iter()
+                .find_map(|t| st.failed.get(t).map(|m| (t, m.clone())))
+            {
+                panic!("task {t:?} failed before barrier: {msg}");
+            }
+            if pending.iter().all(|t| st.done.contains(t)) {
+                return;
+            }
+            self.inner.cv.wait(&mut st);
+        }
+    }
+
+    /// Splits a pair-valued handle into two handles, one per component.
+    /// Recorded as a zero-ish-cost `__split` helper task.
+    pub fn split_pair<A, B>(&self, h: Handle<(A, B)>) -> (Handle<A>, Handle<B>)
+    where
+        A: Payload + Clone,
+        B: Payload + Clone,
+    {
+        let ids = self.submit_raw(
+            SPLIT_TASK.to_string(),
+            0,
+            0,
+            vec![h.id],
+            2,
+            Box::new(move |_ctx, ins| {
+                let pair = ins[0]
+                    .downcast_ref::<(A, B)>()
+                    .expect("split type mismatch");
+                let a = pair.0.clone();
+                let b = pair.1.clone();
+                let (ba, bb) = (a.approx_bytes(), b.approx_bytes());
+                vec![(Arc::new(a) as AnyArc, ba), (Arc::new(b) as AnyArc, bb)]
+            }),
+        );
+        (Handle::new(ids[0]), Handle::new(ids[1]))
+    }
+
+    /// Snapshot of the trace recorded so far. Call after [`barrier`] (or
+    /// on an inline runtime) to get final durations.
+    ///
+    /// [`barrier`]: Runtime::barrier
+    pub fn trace(&self) -> Trace {
+        let st = self.inner.state.lock();
+        Trace {
+            records: st.records.clone(),
+        }
+    }
+
+    /// Convenience: barrier, then return the completed trace.
+    pub fn finish(&self) -> Trace {
+        self.barrier();
+        self.trace()
+    }
+
+    /// Number of tasks submitted so far (markers included).
+    pub fn task_count(&self) -> usize {
+        self.inner.state.lock().records.len()
+    }
+
+    fn push_marker(st: &mut State, name: &str, mut deps: Vec<TaskId>) -> TaskId {
+        deps.sort();
+        deps.dedup();
+        let id = TaskId(st.next_task);
+        st.next_task += 1;
+        let seq = st.records.len() as u64;
+        st.records.push(TaskRecord {
+            id,
+            name: name.to_string(),
+            deps,
+            duration_s: 0.0,
+            inputs: vec![],
+            outputs: vec![],
+            cores: 0,
+            gpus: 0,
+            seq,
+            child: None,
+        });
+        id
+    }
+
+    /// Low-level untyped submission. Most callers should use the typed
+    /// [`TaskBuilder`] helpers instead.
+    pub fn submit_raw(
+        &self,
+        name: String,
+        cores: u32,
+        gpus: u32,
+        inputs: Vec<DataId>,
+        n_outputs: usize,
+        f: TaskFn,
+    ) -> Vec<DataId> {
+        let (tid, outputs, job_now) = {
+            let mut st = self.inner.state.lock();
+            let tid = TaskId(st.next_task);
+            st.next_task += 1;
+
+            let mut outputs = Vec::with_capacity(n_outputs);
+            for _ in 0..n_outputs {
+                let id = DataId(st.next_data);
+                st.next_data += 1;
+                st.values.insert(id, Slot::Pending);
+                st.producer.insert(id, tid);
+                outputs.push(id);
+            }
+
+            // Data dependencies: last writer of each input.
+            let mut deps: Vec<TaskId> = inputs
+                .iter()
+                .filter_map(|d| st.producer.get(d).copied())
+                .collect();
+            if let Some(m) = st.sync_marker {
+                deps.push(m);
+            }
+            deps.sort();
+            deps.dedup();
+            deps.retain(|&d| d != tid);
+
+            let seq = st.records.len() as u64;
+            let input_bytes: Vec<(DataId, usize)> = inputs
+                .iter()
+                .map(|d| {
+                    let b = match st.values.get(d) {
+                        Some(Slot::Ready(_, b)) => *b,
+                        _ => 0, // filled in at completion
+                    };
+                    (*d, b)
+                })
+                .collect();
+            st.records.push(TaskRecord {
+                id: tid,
+                name,
+                deps: deps.clone(),
+                duration_s: 0.0,
+                inputs: input_bytes,
+                outputs: outputs.iter().map(|&d| (d, 0)).collect(),
+                cores,
+                gpus,
+                seq,
+                child: None,
+            });
+            st.since_barrier.push(tid);
+
+            let unfinished = deps.iter().filter(|d| !st.done.contains(d)).count();
+            let job = PendingJob {
+                f,
+                inputs,
+                outputs: outputs.clone(),
+            };
+            if unfinished == 0 {
+                (tid, outputs, Some(job))
+            } else {
+                st.remaining.insert(tid, unfinished);
+                for d in deps {
+                    if !st.done.contains(&d) {
+                        st.dependents.entry(d).or_default().push(tid);
+                    }
+                }
+                st.pending.insert(tid, job);
+                (tid, outputs, None)
+            }
+        };
+
+        if let Some(job) = job_now {
+            self.dispatch(tid, job);
+        }
+        outputs
+    }
+
+    fn dispatch(&self, task: TaskId, job: PendingJob) {
+        match self.inner.config.mode {
+            ExecMode::Inline => {
+                Inner::execute(WorkerMsg {
+                    task,
+                    job,
+                    inner: self.inner.clone(),
+                });
+            }
+            ExecMode::Threads(_) => {
+                let sender = self.inner.sender.lock().clone().expect("pool sender");
+                sender
+                    .send(WorkerMsg {
+                        task,
+                        job,
+                        inner: self.inner.clone(),
+                    })
+                    .expect("worker pool alive");
+            }
+        }
+    }
+}
+
+impl Inner {
+    /// Runs one task to completion: resolve inputs, time the body, store
+    /// outputs, and release dependents.
+    fn execute(msg: WorkerMsg) {
+        let WorkerMsg { task, job, inner } = msg;
+        let PendingJob { f, inputs, outputs } = job;
+
+        // Resolve input values (ready by scheduling invariant).
+        let resolved: Vec<AnyArc> = {
+            let st = inner.state.lock();
+            inputs
+                .iter()
+                .map(|d| match st.values.get(d) {
+                    Some(Slot::Ready(v, _)) => v.clone(),
+                    _ => unreachable!("input {d:?} not ready for task {task:?}"),
+                })
+                .collect()
+        };
+
+        let ctx = TaskCtx {
+            nested_mode: inner.config.nested_mode,
+            child: Mutex::new(None),
+        };
+        let start = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx, &resolved)));
+        let duration = start.elapsed().as_secs_f64();
+        let child_trace = ctx.child.lock().take().map(|ci| {
+            let st = ci.state.lock();
+            Box::new(Trace {
+                records: st.records.clone(),
+            })
+        });
+
+        let mut newly_ready: Vec<(TaskId, PendingJob)> = Vec::new();
+        {
+            let mut st = inner.state.lock();
+            match result {
+                Ok(outs) => {
+                    assert_eq!(
+                        outs.len(),
+                        outputs.len(),
+                        "task produced wrong number of outputs"
+                    );
+                    let idx = task.0 as usize;
+                    // Fill in sizes and duration on the record.
+                    let in_sizes: Vec<(DataId, usize)> = inputs
+                        .iter()
+                        .map(|d| {
+                            let b = match st.values.get(d) {
+                                Some(Slot::Ready(_, b)) => *b,
+                                _ => 0,
+                            };
+                            (*d, b)
+                        })
+                        .collect();
+                    {
+                        let rec = &mut st.records[idx];
+                        rec.duration_s = duration;
+                        rec.inputs = in_sizes;
+                        rec.outputs = outputs
+                            .iter()
+                            .zip(&outs)
+                            .map(|(&d, (_, b))| (d, *b))
+                            .collect();
+                        rec.child = child_trace;
+                    }
+                    for (&d, (v, b)) in outputs.iter().zip(outs) {
+                        st.values.insert(d, Slot::Ready(v, b));
+                    }
+                    st.done.insert(task);
+                }
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| e.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "task panicked".to_string());
+                    let name = st.records[task.0 as usize].name.clone();
+                    let full = format!("task '{name}' panicked: {msg}");
+                    // Propagate failure to all transitive dependents so
+                    // that waiters on any downstream output wake up and
+                    // report instead of deadlocking.
+                    let mut frontier = vec![task];
+                    while let Some(t) = frontier.pop() {
+                        st.failed.insert(t, full.clone());
+                        st.pending.remove(&t);
+                        st.remaining.remove(&t);
+                        if let Some(deps) = st.dependents.remove(&t) {
+                            frontier.extend(deps);
+                        }
+                    }
+                }
+            }
+
+            if st.done.contains(&task) {
+                if let Some(deps) = st.dependents.remove(&task) {
+                    for dep in deps {
+                        let rem = st.remaining.get_mut(&dep).expect("dependent counted");
+                        *rem -= 1;
+                        if *rem == 0 {
+                            st.remaining.remove(&dep);
+                            let job = st.pending.remove(&dep).expect("pending job present");
+                            newly_ready.push((dep, job));
+                        }
+                    }
+                }
+            }
+        }
+        inner.cv.notify_all();
+
+        let rt = Runtime { inner };
+        for (tid, job) in newly_ready {
+            rt.dispatch(tid, job);
+        }
+    }
+}
+
+/// Fluent builder for a task submission; created by [`Runtime::task`].
+pub struct TaskBuilder<'rt> {
+    rt: &'rt Runtime,
+    name: String,
+    cores: u32,
+    gpus: u32,
+}
+
+fn arg<T: Payload>(ins: &[AnyArc], i: usize) -> &T {
+    ins[i]
+        .downcast_ref::<T>()
+        .unwrap_or_else(|| panic!("task input {i} type mismatch"))
+}
+
+fn one<R: Payload>(r: R) -> Vec<(AnyArc, usize)> {
+    let b = r.approx_bytes();
+    vec![(Arc::new(r) as AnyArc, b)]
+}
+
+impl<'rt> TaskBuilder<'rt> {
+    /// Declares the number of cores the task occupies (paper: CSVM tasks
+    /// use 8 cores, KNN tasks 4). Only affects the simulator.
+    pub fn cores(mut self, n: u32) -> Self {
+        self.cores = n;
+        self
+    }
+
+    /// Declares the number of GPUs the task occupies (paper: CNN tasks
+    /// use 1 or 4 V100s). Only affects the simulator.
+    pub fn gpus(mut self, n: u32) -> Self {
+        self.gpus = n;
+        self
+    }
+
+    /// Submits a source task with no inputs.
+    pub fn run0<R, F>(self, f: F) -> Handle<R>
+    where
+        R: Payload,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let ids = self.rt.submit_raw(
+            self.name,
+            self.cores,
+            self.gpus,
+            vec![],
+            1,
+            Box::new(move |_ctx, _ins| one(f())),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Submits a one-input task.
+    pub fn run1<A, R, F>(self, a: Handle<A>, f: F) -> Handle<R>
+    where
+        A: Payload,
+        R: Payload,
+        F: FnOnce(&A) -> R + Send + 'static,
+    {
+        let ids = self.rt.submit_raw(
+            self.name,
+            self.cores,
+            self.gpus,
+            vec![a.id],
+            1,
+            Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0)))),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Submits a two-input task.
+    pub fn run2<A, B, R, F>(self, a: Handle<A>, b: Handle<B>, f: F) -> Handle<R>
+    where
+        A: Payload,
+        B: Payload,
+        R: Payload,
+        F: FnOnce(&A, &B) -> R + Send + 'static,
+    {
+        let ids = self.rt.submit_raw(
+            self.name,
+            self.cores,
+            self.gpus,
+            vec![a.id, b.id],
+            1,
+            Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0), arg::<B>(ins, 1)))),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Submits a three-input task.
+    pub fn run3<A, B, C, R, F>(self, a: Handle<A>, b: Handle<B>, c: Handle<C>, f: F) -> Handle<R>
+    where
+        A: Payload,
+        B: Payload,
+        C: Payload,
+        R: Payload,
+        F: FnOnce(&A, &B, &C) -> R + Send + 'static,
+    {
+        let ids = self.rt.submit_raw(
+            self.name,
+            self.cores,
+            self.gpus,
+            vec![a.id, b.id, c.id],
+            1,
+            Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0), arg::<B>(ins, 1), arg::<C>(ins, 2)))),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Submits a four-input task.
+    pub fn run4<A, B, C, D, R, F>(
+        self,
+        a: Handle<A>,
+        b: Handle<B>,
+        c: Handle<C>,
+        d: Handle<D>,
+        f: F,
+    ) -> Handle<R>
+    where
+        A: Payload,
+        B: Payload,
+        C: Payload,
+        D: Payload,
+        R: Payload,
+        F: FnOnce(&A, &B, &C, &D) -> R + Send + 'static,
+    {
+        let ids = self.rt.submit_raw(
+            self.name,
+            self.cores,
+            self.gpus,
+            vec![a.id, b.id, c.id, d.id],
+            1,
+            Box::new(move |_ctx, ins| {
+                one(f(
+                    arg::<A>(ins, 0),
+                    arg::<B>(ins, 1),
+                    arg::<C>(ins, 2),
+                    arg::<D>(ins, 3),
+                ))
+            }),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Submits a reduction-style task over a homogeneous list of inputs.
+    pub fn run_many<A, R, F>(self, items: &[Handle<A>], f: F) -> Handle<R>
+    where
+        A: Payload,
+        R: Payload,
+        F: FnOnce(&[&A]) -> R + Send + 'static,
+    {
+        let ids = self.rt.submit_raw(
+            self.name,
+            self.cores,
+            self.gpus,
+            items.iter().map(|h| h.id).collect(),
+            1,
+            Box::new(move |_ctx, ins| {
+                let refs: Vec<&A> = (0..ins.len()).map(|i| arg::<A>(ins, i)).collect();
+                one(f(&refs))
+            }),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Submits a task over one fixed input plus a homogeneous list
+    /// (e.g. "combine this model with these partial results").
+    pub fn run_with_many<B, A, R, F>(self, fixed: Handle<B>, items: &[Handle<A>], f: F) -> Handle<R>
+    where
+        A: Payload,
+        B: Payload,
+        R: Payload,
+        F: FnOnce(&B, &[&A]) -> R + Send + 'static,
+    {
+        let mut inputs = vec![fixed.id];
+        inputs.extend(items.iter().map(|h| h.id));
+        let ids = self.rt.submit_raw(
+            self.name,
+            self.cores,
+            self.gpus,
+            inputs,
+            1,
+            Box::new(move |_ctx, ins| {
+                let b = arg::<B>(ins, 0);
+                let refs: Vec<&A> = (1..ins.len()).map(|i| arg::<A>(ins, i)).collect();
+                one(f(b, &refs))
+            }),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Submits a **nested** task: the body receives a child [`Runtime`]
+    /// and may submit (and wait on) its own sub-tasks. The child trace
+    /// is attached to this task's record; the simulator schedules it on
+    /// the resources granted to this task (paper §III-D, Fig. 10).
+    pub fn run_nested1<A, R, F>(self, a: Handle<A>, f: F) -> Handle<R>
+    where
+        A: Payload,
+        R: Payload,
+        F: FnOnce(&Runtime, &A) -> R + Send + 'static,
+    {
+        let ids = self.rt.submit_raw(
+            self.name,
+            self.cores,
+            self.gpus,
+            vec![a.id],
+            1,
+            Box::new(move |ctx, ins| {
+                let child = ctx.nested_runtime();
+                one(f(&child, arg::<A>(ins, 0)))
+            }),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Nested task with two inputs.
+    pub fn run_nested2<A, B, R, F>(self, a: Handle<A>, b: Handle<B>, f: F) -> Handle<R>
+    where
+        A: Payload,
+        B: Payload,
+        R: Payload,
+        F: FnOnce(&Runtime, &A, &B) -> R + Send + 'static,
+    {
+        let ids = self.rt.submit_raw(
+            self.name,
+            self.cores,
+            self.gpus,
+            vec![a.id, b.id],
+            1,
+            Box::new(move |ctx, ins| {
+                let child = ctx.nested_runtime();
+                one(f(&child, arg::<A>(ins, 0), arg::<B>(ins, 1)))
+            }),
+        );
+        Handle::new(ids[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_wait_roundtrip() {
+        let rt = Runtime::new();
+        let h = rt.put(vec![1.0f64, 2.0, 3.0]);
+        let v = rt.wait(h);
+        assert_eq!(*v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn single_task_executes() {
+        let rt = Runtime::new();
+        let x = rt.put(21u64);
+        let y = rt.task("double").run1(x, |v| v * 2);
+        assert_eq!(*rt.wait(y), 42);
+    }
+
+    #[test]
+    fn dependency_chain_produces_edges() {
+        let rt = Runtime::new();
+        let a = rt.put(1.0f64);
+        let b = rt.task("inc").run1(a, |v| v + 1.0);
+        let c = rt.task("inc").run1(b, |v| v + 1.0);
+        assert_eq!(*rt.wait(c), 3.0);
+        let t = rt.trace();
+        // task 1 depends on task 0
+        assert_eq!(t.records[1].deps, vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let rt = Runtime::new();
+        let a = rt.put(1u32);
+        let b = rt.put(2u32);
+        let x = rt.task("id").run1(a, |v| *v);
+        let y = rt.task("id").run1(b, |v| *v);
+        let t = rt.trace();
+        assert!(t.records[0].deps.is_empty());
+        assert!(t.records[1].deps.is_empty());
+        assert_eq!(*rt.wait(x) + *rt.wait(y), 3);
+    }
+
+    #[test]
+    fn run_many_reduces() {
+        let rt = Runtime::new();
+        let parts: Vec<Handle<f64>> = (0..10)
+            .map(|i| rt.task("gen").run0(move || i as f64))
+            .collect();
+        let sum = rt
+            .task("sum")
+            .run_many(&parts, |xs| xs.iter().copied().sum::<f64>());
+        assert_eq!(*rt.wait(sum), 45.0);
+        // sum depends on all 10 generators
+        let t = rt.trace();
+        assert_eq!(t.records[10].deps.len(), 10);
+    }
+
+    #[test]
+    fn wait_records_sync_marker_and_later_tasks_depend_on_it() {
+        let rt = Runtime::new();
+        let a = rt.put(1u64);
+        let x = rt.task("a").run1(a, |v| v + 1);
+        let _ = rt.wait(x); // marker
+        let b = rt.put(5u64);
+        let y = rt.task("b").run1(b, |v| v + 1);
+        let t = rt.trace();
+        assert_eq!(t.records[1].name, SYNC_TASK);
+        // y (record index 2) depends on the sync marker
+        assert!(t.records[2].deps.contains(&t.records[1].id));
+        assert_eq!(*rt.wait(y), 6);
+    }
+
+    #[test]
+    fn wait_on_put_data_records_no_marker() {
+        let rt = Runtime::new();
+        let a = rt.put(1u64);
+        let _ = rt.wait(a);
+        assert_eq!(rt.trace().len(), 0);
+    }
+
+    #[test]
+    fn barrier_marker_depends_on_all_prior() {
+        let rt = Runtime::new();
+        let a = rt.put(0u64);
+        let _x = rt.task("t").run1(a, |v| *v);
+        let _y = rt.task("t").run1(a, |v| *v);
+        rt.barrier();
+        let t = rt.trace();
+        let barrier = t.records.last().unwrap();
+        assert_eq!(barrier.name, BARRIER_TASK);
+        assert_eq!(barrier.deps.len(), 2);
+    }
+
+    #[test]
+    fn split_pair_gives_both_components() {
+        let rt = Runtime::new();
+        let p = rt.task("mk").run0(|| (1.5f64, vec![1u32, 2]));
+        let (a, b) = rt.split_pair(p);
+        assert_eq!(*rt.wait(a), 1.5);
+        assert_eq!(*rt.wait(b), vec![1, 2]);
+    }
+
+    #[test]
+    fn threaded_mode_parallel_and_correct() {
+        let rt = Runtime::threaded(4);
+        let inputs: Vec<Handle<u64>> = (0..20).map(|i| rt.put(i)).collect();
+        let squares: Vec<Handle<u64>> = inputs
+            .iter()
+            .map(|&h| rt.task("sq").run1(h, |v| v * v))
+            .collect();
+        let total = rt
+            .task("sum")
+            .run_many(&squares, |xs| xs.iter().copied().sum::<u64>());
+        assert_eq!(*rt.wait(total), (0..20).map(|i| i * i).sum::<u64>());
+    }
+
+    #[test]
+    fn threaded_chain_respects_dependencies() {
+        let rt = Runtime::threaded(8);
+        let mut h = rt.put(0u64);
+        for _ in 0..100 {
+            h = rt.task("inc").run1(h, |v| v + 1);
+        }
+        assert_eq!(*rt.wait(h), 100);
+    }
+
+    #[test]
+    fn threaded_diamond() {
+        let rt = Runtime::threaded(2);
+        let a = rt.task("src").run0(|| 10u64);
+        let l = rt.task("l").run1(a, |v| v + 1);
+        let r = rt.task("r").run1(a, |v| v * 2);
+        let j = rt.task("join").run2(l, r, |x, y| x + y);
+        assert_eq!(*rt.wait(j), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn failed_task_propagates_to_wait() {
+        let rt = Runtime::new();
+        let a = rt.put(1u64);
+        let x = rt.task("boom").run1(a, |_| -> u64 { panic!("kaboom") });
+        let _ = rt.wait(x);
+    }
+
+    #[test]
+    fn nested_task_records_child_trace() {
+        let rt = Runtime::new();
+        let data = rt.put(vec![1.0f64, 2.0, 3.0]);
+        let out = rt.task("fold").run_nested1(data, |child, v| {
+            let parts: Vec<Handle<f64>> = v
+                .iter()
+                .map(|&x| child.task("train_epoch").run0(move || x * 10.0))
+                .collect();
+            let merged = child
+                .task("merge")
+                .run_many(&parts, |xs| xs.iter().copied().sum::<f64>());
+            *child.wait(merged)
+        });
+        assert_eq!(*rt.wait(out), 60.0);
+        let t = rt.trace();
+        let child = t.records[0].child.as_ref().expect("child trace recorded");
+        assert_eq!(child.user_task_count(), 4);
+    }
+
+    #[test]
+    fn trace_durations_are_measured() {
+        let rt = Runtime::new();
+        let a = rt.put(0u64);
+        let x = rt.task("sleepy").run1(a, |v| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            *v
+        });
+        let _ = rt.wait(x);
+        let t = rt.trace();
+        assert!(
+            t.records[0].duration_s >= 0.015,
+            "dur={}",
+            t.records[0].duration_s
+        );
+    }
+
+    #[test]
+    fn run_with_many_combines() {
+        let rt = Runtime::new();
+        let base = rt.put(100.0f64);
+        let parts: Vec<Handle<f64>> = (1..=3).map(|i| rt.put(i as f64)).collect();
+        let out = rt
+            .task("combine")
+            .run_with_many(base, &parts, |b, xs| b + xs.iter().copied().sum::<f64>());
+        assert_eq!(*rt.wait(out), 106.0);
+    }
+
+    #[test]
+    fn output_bytes_recorded() {
+        let rt = Runtime::new();
+        let a = rt.put(1u8);
+        let x = rt.task("alloc").run1(a, |_| vec![0.0f64; 1000]);
+        let _ = rt.wait(x);
+        let t = rt.trace();
+        assert!(t.records[0].outputs[0].1 >= 8000);
+    }
+
+    #[test]
+    fn finish_returns_complete_trace() {
+        let rt = Runtime::threaded(4);
+        let a = rt.put(1u64);
+        for _ in 0..10 {
+            let _ = rt.task("t").run1(a, |v| *v);
+        }
+        let t = rt.finish();
+        assert_eq!(t.user_task_count(), 10);
+        // All durations filled in.
+        assert!(t
+            .records
+            .iter()
+            .filter(|r| !r.is_marker())
+            .all(|r| r.duration_s >= 0.0));
+    }
+}

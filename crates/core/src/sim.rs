@@ -1,0 +1,693 @@
+//! Discrete-event cluster simulator.
+//!
+//! Replays a recorded [`Trace`] on a parametric [`ClusterSpec`] —
+//! the substitute for the paper's MareNostrum 4 and CTE-Power testbeds
+//! (DESIGN.md §1). The simulator honours:
+//!
+//! * **task durations** measured during the real run (or supplied by an
+//!   analytic cost model via [`SimOptions::duration_of`]),
+//! * **resource shapes** — each task occupies `cores` cores and `gpus`
+//!   GPUs on a single node (paper: 6×8-core CSVM tasks per 48-core node,
+//!   12×4-core KNN tasks, 1- or 4-GPU CNN tasks),
+//! * **data transfers** — an input produced on another node costs
+//!   `latency + bytes / bandwidth` before compute starts, and leaves a
+//!   replica behind (this mechanism produces the paper's RF 2-vs-3-node
+//!   anomaly),
+//! * **sync markers** — zero-cost graph nodes that serialize
+//!   driver-submitted work exactly as `compss_wait_on` does,
+//! * **nesting** — a nested task's duration is the simulated makespan of
+//!   its child trace on the resources granted to the parent.
+
+use crate::trace::{TaskRecord, Trace};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Description of a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: u32,
+    /// GPUs per node.
+    pub gpus_per_node: u32,
+    /// Inter-node link bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// Per-transfer latency in seconds.
+    pub latency_s: f64,
+}
+
+impl ClusterSpec {
+    /// MareNostrum 4 general-purpose partition preset: 2×24-core Xeon
+    /// Platinum 8160 per node, 10 GbE-class interconnect (the paper's
+    /// §IV-A testbed for the classic ML algorithms).
+    pub fn marenostrum4(nodes: usize) -> Self {
+        Self {
+            nodes,
+            cores_per_node: 48,
+            gpus_per_node: 0,
+            bandwidth_bps: 1.25e9, // 10 Gbit/s
+            latency_s: 50e-6,
+        }
+    }
+
+    /// CTE-Power preset: 2×Power9 (40 cores) + 4×V100 per node (the
+    /// paper's CNN testbed).
+    pub fn cte_power(nodes: usize) -> Self {
+        Self {
+            nodes,
+            cores_per_node: 40,
+            gpus_per_node: 4,
+            bandwidth_bps: 1.25e9,
+            latency_s: 50e-6,
+        }
+    }
+
+    /// Same cluster with a different node count (for scalability sweeps).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> u32 {
+        self.cores_per_node * self.nodes as u32
+    }
+
+    /// Total GPUs across the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.gpus_per_node * self.nodes as u32
+    }
+}
+
+/// Where a ready task is placed when several nodes can host it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// First node (lowest index) with free capacity.
+    Fifo,
+    /// Rotate across nodes.
+    RoundRobin,
+    /// Node already holding the most input bytes (minimizes transfers).
+    LocalityAware,
+}
+
+/// Cost-model hook: return `Some(seconds)` to override the measured
+/// duration of a record (keyed by name / sizes), or `None` to keep it.
+pub type DurationFn = Arc<dyn Fn(&TaskRecord) -> Option<f64> + Send + Sync>;
+
+/// Per-node relative speed factor: task durations on node `i` are
+/// divided by `f(i)`. `1.0` everywhere models a homogeneous cluster;
+/// values `< 1.0` model slower (e.g. edge) nodes in a computing
+/// continuum.
+pub type NodeSpeedFn = Arc<dyn Fn(usize) -> f64 + Send + Sync>;
+
+/// Simulation options.
+#[derive(Clone)]
+pub struct SimOptions {
+    /// Placement policy.
+    pub policy: Policy,
+    /// Whether to model inter-node data transfers.
+    pub model_transfers: bool,
+    /// Optional analytic duration override (see [`DurationFn`]).
+    pub duration_of: Option<DurationFn>,
+    /// Optional heterogeneous node speeds (see [`NodeSpeedFn`]).
+    pub node_speed: Option<NodeSpeedFn>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            policy: Policy::LocalityAware,
+            model_transfers: true,
+            duration_of: None,
+            node_speed: None,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options with a specific policy and defaults otherwise.
+    pub fn with_policy(policy: Policy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+}
+
+/// One placed task in a simulated schedule (for Gantt rendering and
+/// schedule inspection — the PyCOMPSs ecosystem's Paraver-trace
+/// equivalent).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ScheduleEntry {
+    /// Task id within the trace.
+    pub task: crate::handle::TaskId,
+    /// Task kind name.
+    pub name: String,
+    /// Node the task ran on.
+    pub node: usize,
+    /// Time the task started transferring inputs.
+    pub start_s: f64,
+    /// Seconds spent in input transfers before compute.
+    pub transfer_s: f64,
+    /// Time the task completed.
+    pub end_s: f64,
+    /// Cores occupied.
+    pub cores: u32,
+    /// GPUs occupied.
+    pub gpus: u32,
+}
+
+/// Outcome of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// End-to-end makespan in seconds.
+    pub makespan_s: f64,
+    /// Total bytes moved between nodes.
+    pub transferred_bytes: f64,
+    /// Total time spent in transfers (sum over tasks), seconds.
+    pub transfer_time_s: f64,
+    /// Sum over tasks of `duration * cores`, in core-seconds.
+    pub busy_core_s: f64,
+    /// `busy_core_s / (makespan * total_cores)`.
+    pub utilization: f64,
+    /// Number of scheduled records (markers included).
+    pub tasks: usize,
+    /// Busy seconds per task kind.
+    pub busy_by_kind: BTreeMap<String, f64>,
+    /// The full placement decisions, ordered by start time (markers
+    /// excluded).
+    pub schedule: Vec<ScheduleEntry>,
+}
+
+/// Simulates `trace` on `cluster` and returns the schedule metrics.
+///
+/// # Panics
+/// Panics if the trace contains a dependency cycle (impossible for
+/// traces recorded by [`crate::Runtime`]).
+pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimReport {
+    assert!(
+        cluster.nodes > 0 && cluster.cores_per_node > 0,
+        "cluster must have resources"
+    );
+    let n = trace.records.len();
+    let index = trace.index_by_id();
+    let producer = trace.producer_index();
+
+    // Effective durations (overrides, nesting) and resource demands.
+    let mut dur = vec![0.0f64; n];
+    let mut cores = vec![0u32; n];
+    let mut gpus = vec![0u32; n];
+    for (i, r) in trace.records.iter().enumerate() {
+        dur[i] = effective_duration(r, cluster, opts);
+        if !r.is_marker() {
+            cores[i] = r.cores.clamp(1, cluster.cores_per_node);
+            gpus[i] = r.gpus.min(cluster.gpus_per_node);
+        }
+    }
+
+    // Dependency bookkeeping.
+    let mut indeg = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, r) in trace.records.iter().enumerate() {
+        for d in &r.deps {
+            if let Some(&j) = index.get(d) {
+                indeg[i] += 1;
+                dependents[j].push(i);
+            }
+        }
+    }
+
+    // Data placement: data not produced by any record lives on node 0
+    // (the master); replicas accumulate as transfers happen.
+    let mut location: HashMap<crate::handle::DataId, HashSet<usize>> = HashMap::new();
+    let mut task_node = vec![0usize; n];
+
+    let mut free_cores: Vec<i64> = vec![cluster.cores_per_node as i64; cluster.nodes];
+    let mut free_gpus: Vec<i64> = vec![cluster.gpus_per_node as i64; cluster.nodes];
+
+    // Ready set ordered by submission sequence (FIFO task order).
+    let mut ready: BTreeSet<(u64, usize)> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| (trace.records[i].seq, i))
+        .collect();
+
+    #[derive(PartialEq)]
+    struct Ev {
+        time: f64,
+        idx: usize,
+    }
+    impl Eq for Ev {}
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.time
+                .total_cmp(&other.time)
+                .then(self.idx.cmp(&other.idx))
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut now = 0.0f64;
+    let mut done = 0usize;
+    let mut rr_next = 0usize;
+
+    let mut report = SimReport {
+        makespan_s: 0.0,
+        transferred_bytes: 0.0,
+        transfer_time_s: 0.0,
+        busy_core_s: 0.0,
+        utilization: 0.0,
+        tasks: n,
+        busy_by_kind: BTreeMap::new(),
+        schedule: Vec::new(),
+    };
+
+    while done < n {
+        // Place as many ready tasks as possible at the current time.
+        let mut placed_any = true;
+        while placed_any {
+            placed_any = false;
+            let candidates: Vec<(u64, usize)> = ready.iter().copied().collect();
+            for (key, i) in candidates {
+                let r = &trace.records[i];
+                let node = match choose_node(
+                    r,
+                    cores[i],
+                    gpus[i],
+                    &free_cores,
+                    &free_gpus,
+                    &location,
+                    &producer,
+                    &task_node,
+                    opts.policy,
+                    &mut rr_next,
+                ) {
+                    Some(nd) => nd,
+                    None => continue,
+                };
+                ready.remove(&(key, i));
+                placed_any = true;
+                task_node[i] = node;
+                free_cores[node] -= cores[i] as i64;
+                free_gpus[node] -= gpus[i] as i64;
+
+                // Transfers for remote inputs.
+                let mut xfer = 0.0;
+                if opts.model_transfers && !r.is_marker() {
+                    for (d, bytes) in &r.inputs {
+                        let locs = location.entry(*d).or_insert_with(|| {
+                            let mut s = HashSet::new();
+                            // Data produced by a trace record lives where
+                            // that record ran; otherwise on the master.
+                            if let Some(&p) = producer.get(d) {
+                                s.insert(task_node[p]);
+                            } else {
+                                s.insert(0);
+                            }
+                            s
+                        });
+                        if !locs.contains(&node) {
+                            xfer += cluster.latency_s + *bytes as f64 / cluster.bandwidth_bps;
+                            report.transferred_bytes += *bytes as f64;
+                            locs.insert(node);
+                        }
+                    }
+                }
+                report.transfer_time_s += xfer;
+                let speed = opts.node_speed.as_ref().map_or(1.0, |f| f(node));
+                assert!(speed > 0.0, "node speed must be positive");
+                let run_s = dur[i] / speed;
+                let finish = now + xfer + run_s;
+                heap.push(Reverse(Ev {
+                    time: finish,
+                    idx: i,
+                }));
+                report.busy_core_s += run_s * cores[i] as f64;
+                *report.busy_by_kind.entry(r.name.clone()).or_insert(0.0) += run_s;
+                if !r.is_marker() {
+                    report.schedule.push(ScheduleEntry {
+                        task: r.id,
+                        name: r.name.clone(),
+                        node,
+                        start_s: now,
+                        transfer_s: xfer,
+                        end_s: finish,
+                        cores: cores[i],
+                        gpus: gpus[i],
+                    });
+                }
+            }
+        }
+
+        if done == n {
+            break;
+        }
+        let Reverse(Ev { time, idx }) = heap
+            .pop()
+            .expect("simulation stalled: ready tasks cannot be placed and nothing is running");
+        now = now.max(time);
+        done += 1;
+        free_cores[task_node[idx]] += cores[idx] as i64;
+        free_gpus[task_node[idx]] += gpus[idx] as i64;
+        // Record output locations.
+        for (d, _) in &trace.records[idx].outputs {
+            location.entry(*d).or_default().insert(task_node[idx]);
+        }
+        for &dep in &dependents[idx] {
+            indeg[dep] -= 1;
+            if indeg[dep] == 0 {
+                ready.insert((trace.records[dep].seq, dep));
+            }
+        }
+    }
+
+    report.makespan_s = now;
+    report
+        .schedule
+        .sort_by(|a, b| a.start_s.total_cmp(&b.start_s).then(a.node.cmp(&b.node)));
+    let denom = now * cluster.total_cores() as f64;
+    report.utilization = if denom > 0.0 {
+        report.busy_core_s / denom
+    } else {
+        0.0
+    };
+    report
+}
+
+/// Duration of a record under the given options: explicit override wins;
+/// otherwise nested tasks cost their child's simulated makespan (on the
+/// granted resources) plus the parent's own overhead; otherwise the
+/// measured duration.
+fn effective_duration(r: &TaskRecord, cluster: &ClusterSpec, opts: &SimOptions) -> f64 {
+    if let Some(f) = &opts.duration_of {
+        if let Some(d) = f(r) {
+            return d;
+        }
+    }
+    if let Some(child) = &r.child {
+        let granted = ClusterSpec {
+            nodes: 1,
+            cores_per_node: r.cores.clamp(1, cluster.cores_per_node),
+            gpus_per_node: r.gpus.min(cluster.gpus_per_node),
+            bandwidth_bps: cluster.bandwidth_bps,
+            latency_s: cluster.latency_s,
+        };
+        let child_rep = simulate(child, &granted, opts);
+        // In inline recording the parent's measured duration includes
+        // the serial execution of the whole child trace; the residual is
+        // the parent's own overhead (partitioning, merging, ...).
+        let overhead = (r.duration_s - child.total_work_s()).max(0.0);
+        return child_rep.makespan_s + overhead;
+    }
+    r.duration_s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn choose_node(
+    r: &TaskRecord,
+    cores: u32,
+    gpus: u32,
+    free_cores: &[i64],
+    free_gpus: &[i64],
+    location: &HashMap<crate::handle::DataId, HashSet<usize>>,
+    producer: &HashMap<crate::handle::DataId, usize>,
+    task_node: &[usize],
+    policy: Policy,
+    rr_next: &mut usize,
+) -> Option<usize> {
+    let nodes = free_cores.len();
+    let fits = |nd: usize| free_cores[nd] >= cores as i64 && free_gpus[nd] >= gpus as i64;
+
+    match policy {
+        Policy::Fifo => (0..nodes).find(|&nd| fits(nd)),
+        Policy::RoundRobin => {
+            for k in 0..nodes {
+                let nd = (*rr_next + k) % nodes;
+                if fits(nd) {
+                    *rr_next = (nd + 1) % nodes;
+                    return Some(nd);
+                }
+            }
+            None
+        }
+        Policy::LocalityAware => {
+            let mut best: Option<(f64, usize)> = None;
+            for nd in 0..nodes {
+                if !fits(nd) {
+                    continue;
+                }
+                // Bytes that would need transferring to `nd`.
+                let mut missing = 0.0;
+                for (d, bytes) in &r.inputs {
+                    let here = match location.get(d) {
+                        Some(locs) => locs.contains(&nd),
+                        None => {
+                            let home = producer.get(d).map(|&p| task_node[p]).unwrap_or(0);
+                            home == nd
+                        }
+                    };
+                    if !here {
+                        missing += *bytes as f64;
+                    }
+                }
+                match best {
+                    Some((b, _)) if b <= missing => {}
+                    _ => best = Some((missing, nd)),
+                }
+            }
+            best.map(|(_, nd)| nd)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::{DataId, TaskId};
+
+    fn rec(id: u64, deps: &[u64], dur: f64, cores: u32) -> TaskRecord {
+        TaskRecord {
+            id: TaskId(id),
+            name: format!("k{}", id % 3),
+            deps: deps.iter().map(|&d| TaskId(d)).collect(),
+            duration_s: dur,
+            inputs: deps.iter().map(|&d| (DataId(d), 1000)).collect(),
+            outputs: vec![(DataId(id), 1000)],
+            cores,
+            gpus: 0,
+            seq: id,
+            child: None,
+        }
+    }
+
+    fn cluster(nodes: usize, cores: u32) -> ClusterSpec {
+        ClusterSpec {
+            nodes,
+            cores_per_node: cores,
+            gpus_per_node: 0,
+            bandwidth_bps: 1e9,
+            latency_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn chain_makespan_is_sum() {
+        let t = Trace {
+            records: vec![
+                rec(0, &[], 1.0, 1),
+                rec(1, &[0], 2.0, 1),
+                rec(2, &[1], 3.0, 1),
+            ],
+        };
+        let rep = simulate(&t, &cluster(1, 4), &SimOptions::default());
+        assert!((rep.makespan_s - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_tasks_scale_with_cores() {
+        let t = Trace {
+            records: (0..8).map(|i| rec(i, &[], 1.0, 1)).collect(),
+        };
+        let r1 = simulate(&t, &cluster(1, 1), &SimOptions::default());
+        let r4 = simulate(&t, &cluster(1, 4), &SimOptions::default());
+        let r8 = simulate(&t, &cluster(1, 8), &SimOptions::default());
+        assert!((r1.makespan_s - 8.0).abs() < 1e-9);
+        assert!((r4.makespan_s - 2.0).abs() < 1e-9);
+        assert!((r8.makespan_s - 1.0).abs() < 1e-9);
+        assert!((r8.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resource_shapes_limit_packing() {
+        // Four 8-core tasks on a 16-core node: two waves.
+        let t = Trace {
+            records: (0..4).map(|i| rec(i, &[], 1.0, 8)).collect(),
+        };
+        let rep = simulate(&t, &cluster(1, 16), &SimOptions::default());
+        assert!((rep.makespan_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_bounded_by_critical_path_and_work() {
+        let t = Trace {
+            records: vec![
+                rec(0, &[], 2.0, 1),
+                rec(1, &[0], 1.0, 1),
+                rec(2, &[0], 4.0, 1),
+                rec(3, &[1, 2], 1.0, 1),
+                rec(4, &[], 3.0, 1),
+            ],
+        };
+        for nodes in [1usize, 2, 4] {
+            let rep = simulate(&t, &cluster(nodes, 2), &SimOptions::default());
+            assert!(rep.makespan_s + 1e-9 >= t.critical_path_s());
+            assert!(rep.makespan_s + 1e-9 >= t.total_work_s() / (nodes as f64 * 2.0));
+            assert!(rep.makespan_s <= t.total_work_s() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn transfers_penalize_remote_placement() {
+        // Producer then consumer with a huge intermediate; on one node no
+        // transfer, on round-robin two nodes the consumer pays.
+        let mut producer = rec(0, &[], 1.0, 1);
+        producer.outputs = vec![(DataId(0), 1_000_000_000)]; // 1 GB
+        let mut consumer = rec(1, &[0], 1.0, 1);
+        consumer.inputs = vec![(DataId(0), 1_000_000_000)];
+        let t = Trace {
+            records: vec![producer, consumer],
+        };
+
+        let local = simulate(&t, &cluster(1, 2), &SimOptions::with_policy(Policy::Fifo));
+        assert!((local.makespan_s - 2.0).abs() < 1e-9);
+        assert_eq!(local.transferred_bytes, 0.0);
+
+        let remote = simulate(
+            &t,
+            &cluster(2, 1),
+            &SimOptions::with_policy(Policy::RoundRobin),
+        );
+        assert!(remote.makespan_s > 2.5, "got {}", remote.makespan_s);
+        assert!(remote.transferred_bytes > 0.0);
+
+        // Locality-aware avoids the transfer even with two nodes.
+        let smart = simulate(
+            &t,
+            &cluster(2, 1),
+            &SimOptions::with_policy(Policy::LocalityAware),
+        );
+        assert!((smart.makespan_s - 2.0).abs() < 1e-9);
+        assert_eq!(smart.transferred_bytes, 0.0);
+    }
+
+    #[test]
+    fn duration_override_applies() {
+        let t = Trace {
+            records: vec![rec(0, &[], 1.0, 1)],
+        };
+        let opts = SimOptions {
+            duration_of: Some(Arc::new(
+                |r: &TaskRecord| if r.name == "k0" { Some(10.0) } else { None },
+            )),
+            ..SimOptions::default()
+        };
+        let rep = simulate(&t, &cluster(1, 1), &opts);
+        assert!((rep.makespan_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_child_uses_granted_resources() {
+        // Parent with 4 cores; child = 4 independent 1s tasks -> child
+        // makespan 1s; parent overhead 0.
+        let child = Trace {
+            records: (0..4).map(|i| rec(i, &[], 1.0, 1)).collect(),
+        };
+        let mut parent = rec(0, &[], 4.0, 4);
+        parent.child = Some(Box::new(child));
+        let t = Trace {
+            records: vec![parent],
+        };
+        let rep = simulate(&t, &cluster(1, 8), &SimOptions::default());
+        assert!(
+            (rep.makespan_s - 1.0).abs() < 1e-9,
+            "got {}",
+            rep.makespan_s
+        );
+    }
+
+    #[test]
+    fn gpu_capacity_respected() {
+        // Two 1-GPU tasks on a 1-GPU node serialize.
+        let mk = |id: u64| TaskRecord {
+            gpus: 1,
+            ..rec(id, &[], 1.0, 1)
+        };
+        let t = Trace {
+            records: vec![mk(0), mk(1)],
+        };
+        let mut c = cluster(1, 8);
+        c.gpus_per_node = 1;
+        let rep = simulate(&t, &c, &SimOptions::default());
+        assert!((rep.makespan_s - 2.0).abs() < 1e-9);
+
+        c.gpus_per_node = 2;
+        let rep = simulate(&t, &c, &SimOptions::default());
+        assert!((rep.makespan_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markers_cost_nothing() {
+        let mut marker = rec(1, &[0], 0.0, 0);
+        marker.name = crate::trace::SYNC_TASK.into();
+        marker.inputs = vec![];
+        marker.outputs = vec![];
+        let t = Trace {
+            records: vec![rec(0, &[], 1.5, 1), marker, rec(2, &[1], 1.5, 1)],
+        };
+        let rep = simulate(&t, &cluster(1, 1), &SimOptions::default());
+        assert!((rep.makespan_s - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_node_speeds_slow_placed_tasks() {
+        // Two independent tasks, two single-core nodes, node 1 at half
+        // speed: the greedy scheduler uses both, and the makespan is set
+        // by the slow node.
+        let t = Trace {
+            records: vec![rec(0, &[], 1.0, 1), rec(1, &[], 1.0, 1)],
+        };
+        let opts = SimOptions {
+            node_speed: Some(Arc::new(|n| if n == 0 { 1.0 } else { 0.5 })),
+            ..SimOptions::default()
+        };
+        let rep = simulate(&t, &cluster(2, 1), &opts);
+        assert!(
+            (rep.makespan_s - 2.0).abs() < 1e-9,
+            "got {}",
+            rep.makespan_s
+        );
+
+        // Homogeneous double-speed halves everything.
+        let opts = SimOptions {
+            node_speed: Some(Arc::new(|_| 2.0)),
+            ..SimOptions::default()
+        };
+        let rep = simulate(&t, &cluster(2, 1), &opts);
+        assert!((rep.makespan_s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_by_kind_accumulates() {
+        let t = Trace {
+            records: vec![rec(0, &[], 1.0, 1), rec(3, &[], 2.0, 1)],
+        };
+        let rep = simulate(&t, &cluster(1, 2), &SimOptions::default());
+        assert!((rep.busy_by_kind["k0"] - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,296 @@
+//! Execution traces.
+//!
+//! Every run of a [`crate::Runtime`] records a [`Trace`]: the task DAG
+//! (including synchronization markers), per-task measured durations,
+//! resource demands, and data sizes. Traces are the input to both the
+//! DOT exporter ([`crate::dot`], reproducing the paper's execution-graph
+//! figures) and the discrete-event cluster simulator ([`crate::sim`],
+//! reproducing the scalability figures).
+
+use crate::handle::{DataId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Name given to synchronization marker pseudo-tasks.
+pub const SYNC_TASK: &str = "__sync";
+/// Name given to barrier marker pseudo-tasks.
+pub const BARRIER_TASK: &str = "__barrier";
+/// Name given to tuple-split helper tasks.
+pub const SPLIT_TASK: &str = "__split";
+
+/// One task (or marker) in a recorded trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Task identifier, unique within its trace.
+    pub id: TaskId,
+    /// Task kind name (used for DOT coloring and cost-model overrides).
+    pub name: String,
+    /// Tasks this task depends on (data deps + sync-induced deps).
+    pub deps: Vec<TaskId>,
+    /// Measured wall-clock duration of the task body, in seconds.
+    /// Markers have duration `0.0`.
+    pub duration_s: f64,
+    /// Input data references with their approximate sizes in bytes.
+    pub inputs: Vec<(DataId, usize)>,
+    /// Output data references with their approximate sizes in bytes.
+    pub outputs: Vec<(DataId, usize)>,
+    /// Number of cores the task occupies while running.
+    pub cores: u32,
+    /// Number of GPUs the task occupies while running.
+    pub gpus: u32,
+    /// Submission sequence number (a valid topological order).
+    pub seq: u64,
+    /// Sub-trace recorded by a nested task, if any.
+    pub child: Option<Box<Trace>>,
+}
+
+impl TaskRecord {
+    /// Whether this record is a runtime-internal marker rather than a
+    /// user task.
+    pub fn is_marker(&self) -> bool {
+        self.name == SYNC_TASK || self.name == BARRIER_TASK || self.name == SPLIT_TASK
+    }
+}
+
+/// A recorded task graph with timings — the replayable artifact of a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Records ordered by submission sequence.
+    pub records: Vec<TaskRecord>,
+}
+
+impl Trace {
+    /// Number of records (including markers).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of user tasks, i.e. excluding sync / barrier / split
+    /// markers, and including tasks inside nested sub-traces.
+    pub fn user_task_count(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| {
+                let own = usize::from(!r.is_marker());
+                own + r.child.as_ref().map_or(0, |c| c.user_task_count())
+            })
+            .sum()
+    }
+
+    /// Sum of user-task durations in seconds (the serial work of this
+    /// trace level; nested children are *not* folded in because their
+    /// parent's duration already encloses them in inline mode).
+    pub fn total_work_s(&self) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| !r.is_marker())
+            .map(|r| r.duration_s)
+            .sum()
+    }
+
+    /// Length of the critical (longest) path through the DAG in seconds.
+    /// A lower bound on any schedule's makespan.
+    pub fn critical_path_s(&self) -> f64 {
+        let index = self.index_by_id();
+        let mut finish = vec![0.0f64; self.records.len()];
+        let mut best: f64 = 0.0;
+        // records are in submission order == topological order
+        for (i, r) in self.records.iter().enumerate() {
+            let ready = r
+                .deps
+                .iter()
+                .filter_map(|d| index.get(d).map(|&j| finish[j]))
+                .fold(0.0f64, f64::max);
+            finish[i] = ready + r.duration_s;
+            best = best.max(finish[i]);
+        }
+        best
+    }
+
+    /// Map from task id to record index.
+    pub fn index_by_id(&self) -> std::collections::HashMap<TaskId, usize> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id, i))
+            .collect()
+    }
+
+    /// Map from produced data id to its producer's record index.
+    pub fn producer_index(&self) -> std::collections::HashMap<DataId, usize> {
+        let mut m = std::collections::HashMap::new();
+        for (i, r) in self.records.iter().enumerate() {
+            for (d, _) in &r.outputs {
+                m.insert(*d, i);
+            }
+        }
+        m
+    }
+
+    /// Histogram of task counts per kind name (markers included).
+    pub fn task_histogram(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut m = std::collections::BTreeMap::new();
+        for r in &self.records {
+            *m.entry(r.name.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Maximum number of tasks with no dependency relation between them
+    /// at the same DAG depth — an upper estimate of exploitable
+    /// parallelism, computed as the widest level of the level-ordered
+    /// DAG (markers excluded).
+    pub fn max_width(&self) -> usize {
+        let index = self.index_by_id();
+        let mut level = vec![0usize; self.records.len()];
+        let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for (i, r) in self.records.iter().enumerate() {
+            let l = r
+                .deps
+                .iter()
+                .filter_map(|d| index.get(d).map(|&j| level[j] + 1))
+                .max()
+                .unwrap_or(0);
+            level[i] = l;
+            if !r.is_marker() {
+                *counts.entry(l).or_insert(0) += 1;
+            }
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Serializes the trace to pretty JSON (for EXPERIMENTS.md artifacts).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a trace previously produced by [`Self::to_json`] — the
+    /// round-trip that lets recorded workloads be archived and
+    /// re-simulated later (the role Paraver trace files play for
+    /// PyCOMPSs).
+    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the trace to a file as JSON.
+    pub fn save(&self, path: &str) -> std::io::Result<()> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a trace from a JSON file written by [`Self::save`].
+    pub fn load(path: &str) -> std::io::Result<Trace> {
+        let s = std::fs::read_to_string(path)?;
+        Trace::from_json(&s).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, deps: &[u64], dur: f64) -> TaskRecord {
+        TaskRecord {
+            id: TaskId(id),
+            name: format!("t{id}"),
+            deps: deps.iter().map(|&d| TaskId(d)).collect(),
+            duration_s: dur,
+            inputs: vec![],
+            outputs: vec![(DataId(id), 8)],
+            cores: 1,
+            gpus: 0,
+            seq: id,
+            child: None,
+        }
+    }
+
+    #[test]
+    fn critical_path_chain() {
+        let t = Trace {
+            records: vec![rec(0, &[], 1.0), rec(1, &[0], 2.0), rec(2, &[1], 3.0)],
+        };
+        assert!((t.critical_path_s() - 6.0).abs() < 1e-12);
+        assert!((t.total_work_s() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_diamond() {
+        let t = Trace {
+            records: vec![
+                rec(0, &[], 1.0),
+                rec(1, &[0], 5.0),
+                rec(2, &[0], 2.0),
+                rec(3, &[1, 2], 1.0),
+            ],
+        };
+        assert!((t.critical_path_s() - 7.0).abs() < 1e-12);
+        assert_eq!(t.max_width(), 2);
+    }
+
+    #[test]
+    fn user_task_count_skips_markers() {
+        let mut marker = rec(1, &[0], 0.0);
+        marker.name = SYNC_TASK.to_string();
+        let t = Trace {
+            records: vec![rec(0, &[], 1.0), marker],
+        };
+        assert_eq!(t.user_task_count(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let mut a = rec(0, &[], 1.0);
+        a.name = "fit".into();
+        let mut b = rec(1, &[], 1.0);
+        b.name = "fit".into();
+        let t = Trace {
+            records: vec![a, b],
+        };
+        assert_eq!(t.task_histogram()["fit"], 2);
+    }
+
+    #[test]
+    fn json_roundtrip_smoke() {
+        let t = Trace {
+            records: vec![rec(0, &[], 1.0)],
+        };
+        let s = t.to_json();
+        assert!(s.contains("\"duration_s\""));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let mut parent = rec(0, &[], 2.0);
+        parent.child = Some(Box::new(Trace {
+            records: vec![rec(0, &[], 1.0)],
+        }));
+        let t = Trace {
+            records: vec![parent, rec(1, &[0], 3.0)],
+        };
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.records[1].deps, vec![TaskId(0)]);
+        assert!(back.records[0].child.is_some());
+        assert!((back.critical_path_s() - t.critical_path_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let t = Trace {
+            records: vec![rec(0, &[], 1.5), rec(1, &[0], 0.5)],
+        };
+        let path = "/tmp/taskml_trace_test.json";
+        t.save(path).unwrap();
+        let back = Trace::load(path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.records[0].duration_s, 1.5);
+        std::fs::remove_file(path).ok();
+    }
+}

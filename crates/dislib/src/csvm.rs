@@ -1,0 +1,344 @@
+//! Cascade Support Vector Machine (paper §III-C1, Fig. 3).
+//!
+//! The CSVM estimator "parallelises training by using a cascade
+//! structure. The algorithm splits the input data into N subsets, trains
+//! each subset independently, merges the computed support vectors of
+//! each subset two by two, and trains again each merged group". One
+//! iteration ends when a single support-vector group remains; further
+//! iterations feed the surviving support vectors back into every
+//! original subset.
+//!
+//! Task structure (names appear in the execution graph of Fig. 4):
+//!
+//! * `csvm_fit` — one per row block of the input ds-array (the
+//!   parallelism bound the paper calls out),
+//! * `csvm_merge` — pairwise reduction tasks,
+//! * `csvm_final` — trains the deployable [`SvcModel`] on the last
+//!   surviving support-vector set,
+//! * `csvm_predict` / `csvm_score` — per-row-block inference.
+
+use crate::svm::{fit_svc, SvcModel, SvcParams};
+use dsarray::{tree_reduce, DsArray, DsLabels};
+use linalg::Matrix;
+use taskrt::{Handle, Runtime};
+
+/// A labeled sample set flowing through the cascade: `(rows, labels)`.
+pub type Labeled = (Matrix, Vec<u8>);
+
+/// CascadeSVM hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeSvmParams {
+    /// Parameters of the per-subset SVC solver.
+    pub svc: SvcParams,
+    /// Maximum number of cascade iterations (paper: "a fixed number of
+    /// iterations or until a convergence criterion is met").
+    pub cascade_iterations: usize,
+    /// Optional convergence criterion: stop iterating early when the
+    /// surviving support-vector count changes by less than this
+    /// fraction between iterations. `None` always runs
+    /// `cascade_iterations` rounds. Checking convergence synchronizes
+    /// the driver between iterations, exactly as dislib does.
+    pub convergence_tol: Option<f64>,
+    /// Cores each cascade task occupies in the simulator (paper
+    /// configuration: 8 cores per task, 6 tasks per 48-core node).
+    pub task_cores: u32,
+}
+
+impl Default for CascadeSvmParams {
+    fn default() -> Self {
+        Self {
+            svc: SvcParams::default(),
+            cascade_iterations: 1,
+            convergence_tol: None,
+            task_cores: 8,
+        }
+    }
+}
+
+/// A fitted CascadeSVM.
+pub struct CascadeSvm {
+    /// Handle of the final trained model.
+    pub model: Handle<SvcModel>,
+    params: CascadeSvmParams,
+}
+
+/// Trains an SVC on a sample set and keeps only its support vectors; a
+/// single-class subset passes through unchanged (can happen in ragged
+/// tail blocks).
+fn distill(set: &Labeled, params: &SvcParams) -> Labeled {
+    let (x, y) = set;
+    let has_both = y.contains(&1) && y.contains(&0);
+    if !has_both || x.rows() < 2 {
+        return set.clone();
+    }
+    let model = fit_svc(x, y, params);
+    (model.support_vectors.clone(), model.support_labels.clone())
+}
+
+/// Concatenates two labeled sets.
+fn merge(a: &Labeled, b: &Labeled) -> Labeled {
+    let x = a.0.vstack(&b.0);
+    let mut y = a.1.clone();
+    y.extend_from_slice(&b.1);
+    (x, y)
+}
+
+impl CascadeSvm {
+    /// Fits the cascade on a blocked dataset. Submits one `csvm_fit`
+    /// task per row block, `n_blocks - 1` `csvm_merge` tasks per
+    /// iteration, and one `csvm_final` task.
+    pub fn fit(rt: &Runtime, x: &DsArray, y: &DsLabels, params: CascadeSvmParams) -> Self {
+        assert_eq!(
+            x.n_row_blocks(),
+            y.n_parts(),
+            "data and labels must be partitioned identically"
+        );
+        let svc = params.svc;
+        let bands = x.row_bands(rt);
+
+        // Layer 0: distill each subset to its support vectors.
+        let mut sv_sets: Vec<Handle<Labeled>> = bands
+            .iter()
+            .enumerate()
+            .map(|(i, &band)| {
+                rt.task("csvm_fit").cores(params.task_cores).run2(
+                    band,
+                    y.part(i),
+                    move |m: &Matrix, labels: &Vec<u8>| distill(&(m.clone(), labels.clone()), &svc),
+                )
+            })
+            .collect();
+
+        // Cascade reduction; optionally iterate feeding the winners back.
+        let mut survivors = Self::reduce_layer(rt, &sv_sets, params);
+        let mut prev_sv_count = params.convergence_tol.map(|_| rt.wait(survivors).1.len());
+        for _ in 1..params.cascade_iterations.max(1) {
+            sv_sets = bands
+                .iter()
+                .enumerate()
+                .map(|(i, &band)| {
+                    rt.task("csvm_refit").cores(params.task_cores).run3(
+                        band,
+                        y.part(i),
+                        survivors,
+                        move |m: &Matrix, labels: &Vec<u8>, winners: &Labeled| {
+                            let merged = merge(&(m.clone(), labels.clone()), winners);
+                            distill(&merged, &svc)
+                        },
+                    )
+                })
+                .collect();
+            survivors = Self::reduce_layer(rt, &sv_sets, params);
+            // Convergence check (synchronizes the driver, like dislib's
+            // `check_convergence`): stop when the SV count stabilizes.
+            if let (Some(tol), Some(prev)) = (params.convergence_tol, prev_sv_count) {
+                let count = rt.wait(survivors).1.len();
+                let rel = (count as f64 - prev as f64).abs() / prev.max(1) as f64;
+                prev_sv_count = Some(count);
+                if rel < tol {
+                    break;
+                }
+            }
+        }
+
+        let model =
+            rt.task("csvm_final")
+                .cores(params.task_cores)
+                .run1(survivors, move |set: &Labeled| {
+                    let (x, y) = set;
+                    assert!(
+                        y.contains(&1) && y.contains(&0),
+                        "cascade collapsed to a single class"
+                    );
+                    fit_svc(x, y, &svc)
+                });
+        CascadeSvm { model, params }
+    }
+
+    fn reduce_layer(
+        rt: &Runtime,
+        sets: &[Handle<Labeled>],
+        params: CascadeSvmParams,
+    ) -> Handle<Labeled> {
+        let svc = params.svc;
+        // NOTE: tree_reduce does not let us set per-task cores; replicate
+        // its pairwise pattern through a named task with resources.
+        let mut level: Vec<Handle<Labeled>> = sets.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(rt.task("csvm_merge").cores(params.task_cores).run2(
+                        pair[0],
+                        pair[1],
+                        move |a: &Labeled, b: &Labeled| distill(&merge(a, b), &svc),
+                    ));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Predicts labels for every row block of `x`; one `csvm_predict`
+    /// task per block.
+    pub fn predict(&self, rt: &Runtime, x: &DsArray) -> Vec<Handle<Vec<u8>>> {
+        x.row_bands(rt)
+            .into_iter()
+            .map(|band| {
+                rt.task("csvm_predict").cores(self.params.task_cores).run2(
+                    self.model,
+                    band,
+                    |model: &SvcModel, m: &Matrix| model.predict(m),
+                )
+            })
+            .collect()
+    }
+
+    /// Mean accuracy on a labeled blocked test set (the dislib `score`
+    /// operator): per-block `csvm_score` tasks followed by a reduction.
+    pub fn score(&self, rt: &Runtime, x: &DsArray, y: &DsLabels) -> Handle<(u64, u64)> {
+        assert_eq!(x.n_row_blocks(), y.n_parts());
+        let partials: Vec<Handle<(u64, u64)>> = x
+            .row_bands(rt)
+            .into_iter()
+            .enumerate()
+            .map(|(i, band)| {
+                rt.task("csvm_score").cores(self.params.task_cores).run3(
+                    self.model,
+                    band,
+                    y.part(i),
+                    |model: &SvcModel, m: &Matrix, labels: &Vec<u8>| {
+                        let pred = model.predict(m);
+                        let correct =
+                            pred.iter().zip(labels).filter(|(p, t)| p == t).count() as u64;
+                        (correct, labels.len() as u64)
+                    },
+                )
+            })
+            .collect();
+        tree_reduce(rt, "csvm_score_reduce", &partials, |a, b| {
+            (a.0 + b.0, a.1 + b.1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blobs;
+
+    fn fit_demo(n: usize, blocks: usize) -> (Runtime, CascadeSvm, DsArray, DsLabels) {
+        let rt = Runtime::new();
+        let (x, y) = blobs(n, 2.0, 7);
+        let rb = x.rows().div_ceil(blocks);
+        let ds = DsArray::from_matrix(&rt, &x, rb, x.cols());
+        let dl = DsLabels::from_slice(&rt, &y, rb);
+        let model = CascadeSvm::fit(&rt, &ds, &dl, CascadeSvmParams::default());
+        (rt, model, ds, dl)
+    }
+
+    #[test]
+    fn cascade_learns_blobs() {
+        let (rt, model, ds, dl) = fit_demo(60, 4);
+        let (correct, total) = *rt.wait(model.score(&rt, &ds, &dl));
+        assert!(total == 120);
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "acc={}",
+            correct as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn task_structure_matches_cascade() {
+        let (rt, _model, _ds, _dl) = fit_demo(40, 4);
+        let hist = rt.trace().task_histogram();
+        assert_eq!(hist["csvm_fit"], 4);
+        assert_eq!(hist["csvm_merge"], 3); // 4 -> 2 -> 1
+        assert_eq!(hist["csvm_final"], 1);
+    }
+
+    #[test]
+    fn multiple_iterations_add_refit_layer() {
+        let rt = Runtime::new();
+        let (x, y) = blobs(40, 2.0, 8);
+        let ds = DsArray::from_matrix(&rt, &x, 20, x.cols());
+        let dl = DsLabels::from_slice(&rt, &y, 20);
+        let params = CascadeSvmParams {
+            cascade_iterations: 2,
+            ..Default::default()
+        };
+        let model = CascadeSvm::fit(&rt, &ds, &dl, params);
+        let hist = rt.trace().task_histogram();
+        assert_eq!(hist["csvm_refit"], 4);
+        let (c, t) = *rt.wait(model.score(&rt, &ds, &dl));
+        assert!(c as f64 / t as f64 > 0.9);
+    }
+
+    #[test]
+    fn convergence_criterion_stops_early() {
+        let rt = Runtime::new();
+        let (x, y) = blobs(40, 2.5, 12);
+        let ds = DsArray::from_matrix(&rt, &x, 20, x.cols());
+        let dl = DsLabels::from_slice(&rt, &y, 20);
+        // Well-separated blobs: the SV set stabilizes immediately, so a
+        // loose tolerance must cut the 5 requested iterations short.
+        let params = CascadeSvmParams {
+            cascade_iterations: 5,
+            convergence_tol: Some(0.5),
+            ..Default::default()
+        };
+        let model = CascadeSvm::fit(&rt, &ds, &dl, params);
+        let _ = rt.wait(model.model);
+        let with_conv = rt.trace().task_histogram()["csvm_refit"];
+
+        let rt2 = Runtime::new();
+        let ds2 = DsArray::from_matrix(&rt2, &x, 20, x.cols());
+        let dl2 = DsLabels::from_slice(&rt2, &y, 20);
+        let params = CascadeSvmParams {
+            cascade_iterations: 5,
+            convergence_tol: None,
+            ..Default::default()
+        };
+        let _ = CascadeSvm::fit(&rt2, &ds2, &dl2, params);
+        let without = rt2.trace().task_histogram()["csvm_refit"];
+        assert!(
+            with_conv < without,
+            "expected early stop: {with_conv} vs {without} refit tasks"
+        );
+    }
+
+    #[test]
+    fn predictions_align_with_blocks() {
+        let (rt, model, ds, _dl) = fit_demo(30, 3);
+        let preds = model.predict(&rt, &ds);
+        assert_eq!(preds.len(), ds.n_row_blocks());
+        let total: usize = preds.iter().map(|&p| rt.wait(p).len()).sum();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn single_class_block_passes_through() {
+        // Craft labels so one block is all-positive; the cascade must
+        // still converge because merges re-balance.
+        let rt = Runtime::new();
+        let (x, mut y) = blobs(20, 2.5, 9);
+        // Sort labels so the first block is single-class.
+        y.sort_unstable_by_key(|&l| l);
+        let ds = DsArray::from_matrix(&rt, &x, 10, x.cols());
+        let dl = DsLabels::from_slice(&rt, &y, 10);
+        let model = CascadeSvm::fit(&rt, &ds, &dl, CascadeSvmParams::default());
+        let _ = rt.wait(model.model); // must not panic
+    }
+
+    #[test]
+    fn cores_recorded_for_simulator() {
+        let (rt, _m, _ds, _dl) = fit_demo(20, 2);
+        let trace = rt.trace();
+        let fit_rec = trace.records.iter().find(|r| r.name == "csvm_fit").unwrap();
+        assert_eq!(fit_rec.cores, 8);
+    }
+}

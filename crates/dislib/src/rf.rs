@@ -1,0 +1,682 @@
+//! Random Forest classification (paper §III-C3, Figs. 7–8).
+//!
+//! dislib's RF "is the only algorithm in dislib in which the number of
+//! blocks and their size does not have a direct impact on the
+//! computational time and number of tasks created during its training;
+//! its parallelism is based on the number of estimators and the
+//! parameter `distr_depth`". This module reproduces that structure:
+//!
+//! * `distr_depth == 0`: one `rf_build_tree` task per estimator.
+//! * `distr_depth > 0`: per estimator, one `rf_top` task builds the tree
+//!   down to `distr_depth` and emits `2^distr_depth` sample partitions;
+//!   one `rf_subtree` task per partition grows the remainder; one
+//!   `rf_join` task grafts the subtrees back. This is what lets a single
+//!   tree span multiple workers — and also what produces the load
+//!   imbalance the paper blames for RF's poor scalability ("the division
+//!   of the data on the different decision trees can cause some tasks
+//!   handle considerably more data than other").
+
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use taskrt::{Handle, Payload, Runtime};
+
+/// Sentinel: node is a leaf.
+const LEAF: u32 = u32::MAX;
+/// Sentinel: node is an unexpanded frontier slot (only inside the
+/// partial trees produced by `rf_top`).
+const FRONTIER: u32 = u32::MAX - 1;
+
+/// One node of a CART decision tree (arena representation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    /// Split feature index; for `FRONTIER` nodes this is the partition
+    /// slot index instead.
+    pub feature: u32,
+    /// Split threshold (`x[feature] <= threshold` goes left).
+    pub threshold: f64,
+    /// Arena index of the left child, or `LEAF` / `FRONTIER`.
+    pub left: u32,
+    /// Arena index of the right child (valid only for split nodes).
+    pub right: u32,
+    /// Class probability distribution at this node `[P(Normal), P(AF)]`.
+    pub probs: [f64; 2],
+}
+
+/// A decision tree stored as a node arena; index 0 is the root.
+#[derive(Debug, Clone, Default)]
+pub struct Tree {
+    /// Arena of nodes.
+    pub nodes: Vec<Node>,
+}
+
+impl Payload for Tree {
+    fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>() + std::mem::size_of::<Self>()
+    }
+}
+
+impl Tree {
+    /// Probability distribution predicted for one sample row.
+    pub fn predict_probs(&self, row: &[f64]) -> [f64; 2] {
+        let mut i = 0usize;
+        loop {
+            let n = &self.nodes[i];
+            if n.left == LEAF {
+                return n.probs;
+            }
+            debug_assert_ne!(n.left, FRONTIER, "predicting on a partial tree");
+            i = if row[n.feature as usize] <= n.threshold {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
+        }
+    }
+
+    /// Hard label for one sample.
+    pub fn predict_one(&self, row: &[f64]) -> u8 {
+        let p = self.predict_probs(row);
+        u8::from(p[1] > p[0])
+    }
+
+    /// Tree depth (longest root-to-leaf path; 0 for a lone leaf).
+    pub fn depth(&self) -> usize {
+        fn walk(t: &Tree, i: usize) -> usize {
+            let n = &t.nodes[i];
+            if n.left == LEAF || n.left == FRONTIER {
+                0
+            } else {
+                1 + walk(t, n.left as usize).max(walk(t, n.right as usize))
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(self, 0)
+        }
+    }
+
+    fn frontier_slots(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.left == FRONTIER)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Output of an `rf_top` task: a partial tree whose frontier leaves each
+/// own a sample partition.
+#[derive(Debug, Clone)]
+pub struct TopSplit {
+    /// Partial tree with `FRONTIER` leaves.
+    pub tree: Tree,
+    /// `partitions[slot]` = bootstrap sample indices reaching that slot.
+    pub partitions: Vec<Vec<u32>>,
+}
+
+impl Payload for TopSplit {
+    fn approx_bytes(&self) -> usize {
+        self.tree.approx_bytes()
+            + self
+                .partitions
+                .iter()
+                .map(|p| p.len() * 4 + 24)
+                .sum::<usize>()
+    }
+}
+
+/// Random-forest hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RfParams {
+    /// Number of trees (paper: 40).
+    pub n_estimators: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Depth down to which tree construction is split into separate
+    /// tasks (dislib's `distr_depth`).
+    pub distr_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// `sqrt` feature subsampling is always on (standard RF); this seed
+    /// drives bootstrap + feature sampling.
+    pub seed: u64,
+    /// Cores per task in the simulator.
+    pub task_cores: u32,
+}
+
+impl Default for RfParams {
+    fn default() -> Self {
+        Self {
+            n_estimators: 40,
+            max_depth: 12,
+            distr_depth: 0,
+            min_samples_split: 4,
+            seed: 0,
+            task_cores: 1,
+        }
+    }
+}
+
+/// Gini impurity of a label multiset given counts.
+fn gini(counts: &[usize; 2]) -> f64 {
+    let n = (counts[0] + counts[1]) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let p0 = counts[0] as f64 / n;
+    let p1 = counts[1] as f64 / n;
+    1.0 - p0 * p0 - p1 * p1
+}
+
+fn class_counts(y: &[u8], idx: &[u32]) -> [usize; 2] {
+    let mut c = [0usize; 2];
+    for &i in idx {
+        c[y[i as usize] as usize] += 1;
+    }
+    c
+}
+
+fn leaf_probs(counts: &[usize; 2]) -> [f64; 2] {
+    let n = (counts[0] + counts[1]).max(1) as f64;
+    [counts[0] as f64 / n, counts[1] as f64 / n]
+}
+
+/// Best (feature, threshold) among a random subset of `sqrt(n_features)`
+/// features, by weighted Gini; `None` if no split reduces impurity.
+fn best_split(
+    x: &Matrix,
+    y: &[u8],
+    idx: &[u32],
+    rng: &mut StdRng,
+) -> Option<(u32, f64, Vec<u32>, Vec<u32>)> {
+    let n_feat = x.cols();
+    let n_try = (n_feat as f64).sqrt().ceil() as usize;
+    let parent_counts = class_counts(y, idx);
+    let parent_gini = gini(&parent_counts);
+    if parent_gini == 0.0 {
+        return None;
+    }
+
+    let mut best: Option<(f64, u32, f64)> = None; // (score, feature, threshold)
+    for _ in 0..n_try {
+        let f = rng.random_range(0..n_feat);
+        // Sort sample values along this feature.
+        let mut vals: Vec<(f64, u8)> = idx
+            .iter()
+            .map(|&i| (x.get(i as usize, f), y[i as usize]))
+            .collect();
+        vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Sweep thresholds between distinct consecutive values.
+        let total = class_counts(y, idx);
+        let mut left = [0usize; 2];
+        for w in 0..vals.len() - 1 {
+            left[vals[w].1 as usize] += 1;
+            if vals[w].0 == vals[w + 1].0 {
+                continue;
+            }
+            let right = [total[0] - left[0], total[1] - left[1]];
+            let nl = (left[0] + left[1]) as f64;
+            let nr = (right[0] + right[1]) as f64;
+            let score = (nl * gini(&left) + nr * gini(&right)) / (nl + nr);
+            let thr = 0.5 * (vals[w].0 + vals[w + 1].0);
+            if best.is_none_or(|(s, _, _)| score < s) {
+                best = Some((score, f as u32, thr));
+            }
+        }
+    }
+
+    let (score, feature, threshold) = best?;
+    if score >= parent_gini - 1e-12 {
+        return None;
+    }
+    let (mut li, mut ri) = (Vec::new(), Vec::new());
+    for &i in idx {
+        if x.get(i as usize, feature as usize) <= threshold {
+            li.push(i);
+        } else {
+            ri.push(i);
+        }
+    }
+    if li.is_empty() || ri.is_empty() {
+        return None;
+    }
+    Some((feature, threshold, li, ri))
+}
+
+/// Recursively grows a subtree into `arena`, returning its root index.
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    arena: &mut Vec<Node>,
+    x: &Matrix,
+    y: &[u8],
+    idx: &[u32],
+    depth: usize,
+    params: &RfParams,
+    rng: &mut StdRng,
+    stop_depth: Option<usize>,
+) -> u32 {
+    let counts = class_counts(y, idx);
+    let probs = leaf_probs(&counts);
+    let me = arena.len() as u32;
+    arena.push(Node {
+        feature: 0,
+        threshold: 0.0,
+        left: LEAF,
+        right: 0,
+        probs,
+    });
+
+    if let Some(sd) = stop_depth {
+        if depth == sd {
+            // Frontier slot: partition index assigned by the caller.
+            arena[me as usize].left = FRONTIER;
+            return me;
+        }
+    }
+    if depth >= params.max_depth || idx.len() < params.min_samples_split {
+        return me;
+    }
+    let Some((feature, threshold, li, ri)) = best_split(x, y, idx, rng) else {
+        return me;
+    };
+    let l = grow(arena, x, y, &li, depth + 1, params, rng, stop_depth);
+    let r = grow(arena, x, y, &ri, depth + 1, params, rng, stop_depth);
+    let n = &mut arena[me as usize];
+    n.feature = feature;
+    n.threshold = threshold;
+    n.left = l;
+    n.right = r;
+    me
+}
+
+/// Draws a bootstrap sample of `n` indices.
+fn bootstrap(n: usize, rng: &mut StdRng) -> Vec<u32> {
+    (0..n).map(|_| rng.random_range(0..n) as u32).collect()
+}
+
+/// Builds one full tree locally (the `distr_depth == 0` path).
+pub fn build_tree(x: &Matrix, y: &[u8], params: &RfParams, est_seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(est_seed));
+    let idx = bootstrap(x.rows(), &mut rng);
+    let mut arena = Vec::new();
+    grow(&mut arena, x, y, &idx, 0, params, &mut rng, None);
+    Tree { nodes: arena }
+}
+
+/// Builds the top of a tree down to `distr_depth` and collects the
+/// sample partition for each frontier slot.
+pub fn build_top(x: &Matrix, y: &[u8], params: &RfParams, est_seed: u64) -> TopSplit {
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(est_seed));
+    let idx = bootstrap(x.rows(), &mut rng);
+    let mut arena = Vec::new();
+    grow(
+        &mut arena,
+        x,
+        y,
+        &idx,
+        0,
+        params,
+        &mut rng,
+        Some(params.distr_depth),
+    );
+    let mut tree = Tree { nodes: arena };
+
+    // Route every bootstrap sample to its frontier slot.
+    let slots = tree.frontier_slots();
+    let slot_of = |row: &[f64]| -> usize {
+        let mut i = 0usize;
+        loop {
+            let n = &tree.nodes[i];
+            if n.left == LEAF || n.left == FRONTIER {
+                return i;
+            }
+            i = if row[n.feature as usize] <= n.threshold {
+                n.left as usize
+            } else {
+                n.right as usize
+            };
+        }
+    };
+    let mut partitions: Vec<Vec<u32>> = vec![Vec::new(); slots.len()];
+    for &i in &idx {
+        let node = slot_of(x.row(i as usize));
+        if let Some(slot) = slots.iter().position(|&s| s == node) {
+            partitions[slot].push(i);
+        }
+        // Samples ending in real leaves above the frontier need no
+        // further growing.
+    }
+    // Tag each frontier node with its slot index.
+    for (slot, &node) in slots.iter().enumerate() {
+        tree.nodes[node].feature = slot as u32;
+    }
+    TopSplit { tree, partitions }
+}
+
+/// Grows the subtree for frontier `slot` of a [`TopSplit`].
+pub fn build_subtree(
+    x: &Matrix,
+    y: &[u8],
+    top: &TopSplit,
+    slot: usize,
+    params: &RfParams,
+    est_seed: u64,
+) -> Tree {
+    let mut rng = StdRng::seed_from_u64(
+        params
+            .seed
+            .wrapping_add(est_seed)
+            .wrapping_add(977 * slot as u64),
+    );
+    let idx = &top.partitions[slot];
+    let mut arena = Vec::new();
+    if idx.is_empty() {
+        // Keep the parent's distribution.
+        let slots = top.tree.frontier_slots();
+        let probs = top.tree.nodes[slots[slot]].probs;
+        arena.push(Node {
+            feature: 0,
+            threshold: 0.0,
+            left: LEAF,
+            right: 0,
+            probs,
+        });
+    } else {
+        grow(
+            &mut arena,
+            x,
+            y,
+            idx,
+            params.distr_depth,
+            params,
+            &mut rng,
+            None,
+        );
+    }
+    Tree { nodes: arena }
+}
+
+/// Grafts the subtrees into the partial tree, producing a complete tree.
+pub fn join_tree(top: &TopSplit, subtrees: &[&Tree]) -> Tree {
+    let mut tree = top.tree.clone();
+    let slots = tree.frontier_slots();
+    assert_eq!(slots.len(), subtrees.len(), "subtree count mismatch");
+    for (&node, sub) in slots.iter().zip(subtrees) {
+        let offset = tree.nodes.len() as u32;
+        // Append subtree arena, fixing internal child indices.
+        for n in &sub.nodes {
+            let mut n = *n;
+            if n.left != LEAF && n.left != FRONTIER {
+                n.left += offset;
+                n.right += offset;
+            }
+            tree.nodes.push(n);
+        }
+        // Replace the frontier node with the subtree root (copy root
+        // into place so parent links stay valid).
+        let mut root = tree.nodes[offset as usize];
+        if root.left != LEAF && root.left == offset {
+            // Root pointing at itself cannot happen; defensive.
+            root.left = LEAF;
+        }
+        tree.nodes[node] = root;
+    }
+    tree
+}
+
+/// A fitted distributed random forest.
+pub struct RandomForest {
+    /// Trained trees.
+    pub trees: Vec<Handle<Tree>>,
+    params: RfParams,
+}
+
+impl RandomForest {
+    /// Fits the forest on an (undistributed, as in dislib) dataset
+    /// handle. Task structure depends on `distr_depth` (see module
+    /// docs).
+    pub fn fit(rt: &Runtime, x: Handle<Matrix>, y: Handle<Vec<u8>>, params: RfParams) -> Self {
+        let trees = (0..params.n_estimators)
+            .map(|est| {
+                let est_seed = est as u64;
+                if params.distr_depth == 0 {
+                    rt.task("rf_build_tree").cores(params.task_cores).run2(
+                        x,
+                        y,
+                        move |x: &Matrix, y: &Vec<u8>| build_tree(x, y, &params, est_seed),
+                    )
+                } else {
+                    let top = rt.task("rf_top").cores(params.task_cores).run2(
+                        x,
+                        y,
+                        move |x: &Matrix, y: &Vec<u8>| build_top(x, y, &params, est_seed),
+                    );
+                    let n_slots = 1usize << params.distr_depth;
+                    let subtrees: Vec<Handle<Tree>> = (0..n_slots)
+                        .map(|slot| {
+                            rt.task("rf_subtree").cores(params.task_cores).run3(
+                                x,
+                                y,
+                                top,
+                                move |x: &Matrix, y: &Vec<u8>, top: &TopSplit| {
+                                    if slot < top.partitions.len() {
+                                        build_subtree(x, y, top, slot, &params, est_seed)
+                                    } else {
+                                        // The top stopped early (pure
+                                        // node); nothing to grow.
+                                        Tree {
+                                            nodes: vec![Node {
+                                                feature: 0,
+                                                threshold: 0.0,
+                                                left: LEAF,
+                                                right: 0,
+                                                probs: [0.5, 0.5],
+                                            }],
+                                        }
+                                    }
+                                },
+                            )
+                        })
+                        .collect();
+                    rt.task("rf_join").cores(params.task_cores).run_with_many(
+                        top,
+                        &subtrees,
+                        |top: &TopSplit, subs: &[&Tree]| {
+                            join_tree(top, &subs[..top.partitions.len()])
+                        },
+                    )
+                }
+            })
+            .collect();
+        RandomForest { trees, params }
+    }
+
+    /// Averaged class probabilities over all trees for a query block:
+    /// one `rf_predict` task per tree plus a reduction (the paper's
+    /// Fig. 7: "the predictions of the composing estimators are
+    /// averaged").
+    pub fn predict_probs(&self, rt: &Runtime, x: Handle<Matrix>) -> Handle<Matrix> {
+        let partials: Vec<Handle<Matrix>> = self
+            .trees
+            .iter()
+            .map(|&t| {
+                rt.task("rf_predict").cores(self.params.task_cores).run2(
+                    t,
+                    x,
+                    |tree: &Tree, q: &Matrix| {
+                        Matrix::from_fn(q.rows(), 2, |r, c| tree.predict_probs(q.row(r))[c])
+                    },
+                )
+            })
+            .collect();
+        let summed = dsarray::tree_reduce(rt, "rf_reduce", &partials, |a, b| {
+            let mut s = a.clone();
+            s.add_assign(b);
+            s
+        });
+        let n = self.trees.len() as f64;
+        rt.task("rf_average").run1(summed, move |m: &Matrix| {
+            let mut out = m.clone();
+            out.scale(1.0 / n);
+            out
+        })
+    }
+
+    /// Hard labels for a query block.
+    pub fn predict(&self, rt: &Runtime, x: Handle<Matrix>) -> Handle<Vec<u8>> {
+        let probs = self.predict_probs(rt, x);
+        rt.task("rf_vote").run1(probs, |p: &Matrix| {
+            (0..p.rows())
+                .map(|r| u8::from(p.get(r, 1) > p.get(r, 0)))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::testutil::{blobs, blobs_nd};
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn single_tree_fits_blobs() {
+        let (x, y) = blobs(50, 2.0, 31);
+        let params = RfParams {
+            n_estimators: 1,
+            ..Default::default()
+        };
+        let tree = build_tree(&x, &y, &params, 0);
+        let pred: Vec<u8> = (0..x.rows()).map(|r| tree.predict_one(x.row(r))).collect();
+        assert!(accuracy(&y, &pred) > 0.9);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn forest_beats_chance_on_noisy_data() {
+        let rt = Runtime::new();
+        let (x, y) = blobs_nd(60, 6, 1.0, 32);
+        let xh = rt.put(x.clone());
+        let yh = rt.put(y.clone());
+        let params = RfParams {
+            n_estimators: 15,
+            ..Default::default()
+        };
+        let forest = RandomForest::fit(&rt, xh, yh, params);
+        let pred = forest.predict(&rt, xh);
+        let acc = accuracy(&y, &rt.wait(pred));
+        assert!(acc > 0.85, "acc={acc}");
+    }
+
+    #[test]
+    fn task_count_independent_of_blocks_depends_on_estimators() {
+        let rt = Runtime::new();
+        let (x, y) = blobs(20, 2.0, 33);
+        let xh = rt.put(x);
+        let yh = rt.put(y);
+        let params = RfParams {
+            n_estimators: 7,
+            ..Default::default()
+        };
+        let _f = RandomForest::fit(&rt, xh, yh, params);
+        let hist = rt.trace().task_histogram();
+        assert_eq!(hist["rf_build_tree"], 7);
+    }
+
+    #[test]
+    fn distr_depth_task_structure() {
+        let rt = Runtime::new();
+        let (x, y) = blobs(40, 2.0, 34);
+        let xh = rt.put(x);
+        let yh = rt.put(y);
+        let params = RfParams {
+            n_estimators: 3,
+            distr_depth: 2,
+            ..Default::default()
+        };
+        let _f = RandomForest::fit(&rt, xh, yh, params);
+        let hist = rt.trace().task_histogram();
+        assert_eq!(hist["rf_top"], 3);
+        assert_eq!(hist["rf_subtree"], 3 * 4); // 2^2 per estimator
+        assert_eq!(hist["rf_join"], 3);
+    }
+
+    #[test]
+    fn distributed_tree_matches_quality_of_local() {
+        let rt = Runtime::new();
+        let (x, y) = blobs(60, 1.5, 35);
+        let xh = rt.put(x.clone());
+        let yh = rt.put(y.clone());
+        let params = RfParams {
+            n_estimators: 9,
+            distr_depth: 2,
+            ..Default::default()
+        };
+        let forest = RandomForest::fit(&rt, xh, yh, params);
+        let pred = forest.predict(&rt, xh);
+        let acc = accuracy(&y, &rt.wait(pred));
+        assert!(acc > 0.9, "acc={acc}");
+    }
+
+    #[test]
+    fn join_produces_complete_tree() {
+        let (x, y) = blobs(40, 2.0, 36);
+        let params = RfParams {
+            distr_depth: 1,
+            ..Default::default()
+        };
+        let top = build_top(&x, &y, &params, 0);
+        let n_slots = top.partitions.len();
+        assert!(n_slots <= 2);
+        let subs: Vec<Tree> = (0..n_slots)
+            .map(|s| build_subtree(&x, &y, &top, s, &params, 0))
+            .collect();
+        let refs: Vec<&Tree> = subs.iter().collect();
+        let tree = join_tree(&top, &refs);
+        // No frontier slots remain.
+        assert!(tree.frontier_slots().is_empty());
+        // And it predicts sanely.
+        let pred: Vec<u8> = (0..x.rows()).map(|r| tree.predict_one(x.row(r))).collect();
+        assert!(accuracy(&y, &pred) > 0.8);
+    }
+
+    #[test]
+    fn probs_are_distributions() {
+        let rt = Runtime::new();
+        let (x, y) = blobs(30, 2.0, 37);
+        let xh = rt.put(x.clone());
+        let yh = rt.put(y);
+        let params = RfParams {
+            n_estimators: 5,
+            ..Default::default()
+        };
+        let forest = RandomForest::fit(&rt, xh, yh, params);
+        let probs = rt.wait(forest.predict_probs(&rt, xh));
+        for r in 0..probs.rows() {
+            let s = probs.get(r, 0) + probs.get(r, 1);
+            assert!((s - 1.0).abs() < 1e-9, "row {r} sums to {s}");
+            assert!(probs.get(r, 0) >= 0.0 && probs.get(r, 1) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bootstrap_determinism() {
+        let (x, y) = blobs(20, 2.0, 38);
+        let params = RfParams::default();
+        let a = build_tree(&x, &y, &params, 3);
+        let b = build_tree(&x, &y, &params, 3);
+        assert_eq!(a.nodes, b.nodes);
+        let c = build_tree(&x, &y, &params, 4);
+        assert_ne!(a.nodes, c.nodes);
+    }
+}

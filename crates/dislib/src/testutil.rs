@@ -1,0 +1,50 @@
+//! Shared helpers for the dislib unit tests.
+
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Standard normal via Box–Muller (tests only).
+pub fn randn(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1 = rng.random::<f64>();
+        let u2 = rng.random::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Two Gaussian blobs centred at `(-gap, 0)` and `(+gap, 0)` with unit/2
+/// spread, interleaved labels.
+pub fn blobs(n_per: usize, gap: f64, seed: u64) -> (Matrix, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..2 * n_per {
+        let cls = (i % 2) as u8;
+        let cx = if cls == 1 { gap } else { -gap };
+        rows.push(vec![cx + randn(&mut rng) * 0.5, randn(&mut rng) * 0.5]);
+        y.push(cls);
+    }
+    (Matrix::from_rows(&rows), y)
+}
+
+/// Higher-dimensional blobs: class difference only along the first axis,
+/// the remaining `dims - 1` axes are noise.
+pub fn blobs_nd(n_per: usize, dims: usize, gap: f64, seed: u64) -> (Matrix, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..2 * n_per {
+        let cls = (i % 2) as u8;
+        let cx = if cls == 1 { gap } else { -gap };
+        let mut row = vec![cx + randn(&mut rng) * 0.5];
+        for _ in 1..dims {
+            row.push(randn(&mut rng));
+        }
+        rows.push(row);
+        y.push(cls);
+    }
+    (Matrix::from_rows(&rows), y)
+}

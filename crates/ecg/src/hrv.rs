@@ -1,0 +1,190 @@
+//! Heart-rate-variability features and the classical RR-interval AF
+//! detector.
+//!
+//! The paper's related-work section (§II) motivates the time–frequency
+//! pipeline by the limits of simpler approaches: "RR interval-based
+//! methods are limited when the ECG changes quickly between rhythms or
+//! when AF takes place with regular ventricular rates. Moreover, the P
+//! wave absence detection is difficult due to its small amplitude."
+//!
+//! This module implements that baseline — standard HRV statistics plus a
+//! coefficient-of-variation detector — so the claim can be *measured*:
+//! the detector does well on textbook AF and collapses exactly on the
+//! atypical recordings (see the `rr_baseline` study in the bench
+//! harness and the unit tests below).
+
+use crate::rpeaks::{detect_r_peaks, RPeakConfig};
+use crate::synth::Recording;
+
+/// Standard heart-rate-variability statistics over one recording.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HrvFeatures {
+    /// Mean RR interval in seconds.
+    pub mean_rr_s: f64,
+    /// SDNN: standard deviation of RR intervals (s).
+    pub sdnn_s: f64,
+    /// RMSSD: root mean square of successive RR differences (s).
+    pub rmssd_s: f64,
+    /// pNN50: fraction of successive RR differences exceeding 50 ms.
+    pub pnn50: f64,
+    /// Coefficient of variation `sdnn / mean` — the classic AF
+    /// irregularity index.
+    pub cv: f64,
+    /// Number of detected beats.
+    pub beats: usize,
+}
+
+/// Computes HRV features from detected R peaks; `None` when fewer than
+/// four beats are found (too short to characterize rhythm).
+pub fn hrv_features(rec: &Recording) -> Option<HrvFeatures> {
+    let peaks = detect_r_peaks(&rec.samples, rec.fs, &RPeakConfig::default());
+    if peaks.len() < 4 {
+        return None;
+    }
+    let mut rr: Vec<f64> = peaks
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64 / rec.fs)
+        .collect();
+    // Standard artifact rejection: drop intervals outside 0.5-1.5x the
+    // median (missed/spurious detections would otherwise inflate every
+    // variability statistic).
+    let mut sorted = rr.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    rr.retain(|r| *r > 0.5 * median && *r < 1.5 * median);
+    if rr.len() < 3 {
+        return None;
+    }
+    let mean = rr.iter().sum::<f64>() / rr.len() as f64;
+    let var = rr.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rr.len() as f64;
+    let sdnn = var.sqrt();
+    let diffs: Vec<f64> = rr.windows(2).map(|w| w[1] - w[0]).collect();
+    let rmssd = (diffs.iter().map(|d| d * d).sum::<f64>() / diffs.len().max(1) as f64).sqrt();
+    let pnn50 = diffs.iter().filter(|d| d.abs() > 0.050).count() as f64 / diffs.len().max(1) as f64;
+    Some(HrvFeatures {
+        mean_rr_s: mean,
+        sdnn_s: sdnn,
+        rmssd_s: rmssd,
+        pnn50,
+        cv: if mean > 0.0 { sdnn / mean } else { 0.0 },
+        beats: peaks.len(),
+    })
+}
+
+/// The classical RR-irregularity AF detector: flag AF when the RR
+/// coefficient of variation exceeds `cv_threshold` (values near 0.08
+/// are typical in the literature).
+#[derive(Debug, Clone, Copy)]
+pub struct RrDetector {
+    /// CV decision threshold.
+    pub cv_threshold: f64,
+}
+
+impl Default for RrDetector {
+    fn default() -> Self {
+        Self { cv_threshold: 0.10 }
+    }
+}
+
+impl RrDetector {
+    /// Predicts 1 (AF) when RR variability exceeds the threshold;
+    /// recordings too short to analyze default to 0 (Normal).
+    pub fn predict(&self, rec: &Recording) -> u8 {
+        match hrv_features(rec) {
+            Some(f) => u8::from(f.cv > self.cv_threshold),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, Class, EcgConfig};
+
+    fn cfg(atypical: f64) -> EcgConfig {
+        EcgConfig {
+            min_duration_s: 20.0,
+            max_duration_s: 24.0,
+            noise_sd: 0.04,
+            atypical_fraction: atypical,
+            ..EcgConfig::default()
+        }
+    }
+
+    #[test]
+    fn hrv_features_sane_ranges() {
+        let rec = generate(&cfg(0.0), Class::Normal, 3);
+        let f = hrv_features(&rec).expect("enough beats");
+        assert!(
+            f.mean_rr_s > 0.5 && f.mean_rr_s < 1.2,
+            "mean {}",
+            f.mean_rr_s
+        );
+        assert!(f.sdnn_s >= 0.0 && f.sdnn_s < 0.3);
+        assert!((0.0..=1.0).contains(&f.pnn50));
+        assert!(f.beats > 15);
+    }
+
+    #[test]
+    fn af_has_higher_cv_than_normal() {
+        let mut af_cv = 0.0;
+        let mut n_cv = 0.0;
+        for seed in 0..6 {
+            af_cv += hrv_features(&generate(&cfg(0.0), Class::Af, 40 + seed))
+                .unwrap()
+                .cv;
+            n_cv += hrv_features(&generate(&cfg(0.0), Class::Normal, 40 + seed))
+                .unwrap()
+                .cv;
+        }
+        assert!(af_cv > 2.0 * n_cv, "AF cv {af_cv} vs Normal {n_cv}");
+    }
+
+    #[test]
+    fn rr_detector_works_on_textbook_rhythms() {
+        let det = RrDetector::default();
+        let mut correct = 0;
+        let n = 10;
+        for seed in 0..n {
+            if det.predict(&generate(&cfg(0.0), Class::Af, 100 + seed)) == 1 {
+                correct += 1;
+            }
+            if det.predict(&generate(&cfg(0.0), Class::Normal, 100 + seed)) == 0 {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 17, "textbook accuracy {}/20", correct);
+    }
+
+    #[test]
+    fn rr_detector_fails_on_regular_rate_af() {
+        // The paper's §II limitation, measured: force every recording
+        // into the atypical regime (AF with fairly regular ventricular
+        // response, Normal with sinus-arrhythmia-like variability).
+        let det = RrDetector::default();
+        let mut af_missed = 0;
+        let n = 12;
+        for seed in 0..n {
+            let rec = generate(&cfg(1.0), Class::Af, 500 + seed);
+            if det.predict(&rec) == 0 {
+                af_missed += 1;
+            }
+        }
+        assert!(
+            af_missed >= n / 3,
+            "expected the RR detector to miss regular-rate AF often, missed {af_missed}/{n}"
+        );
+    }
+
+    #[test]
+    fn too_short_recordings_default_to_normal() {
+        let short = Recording {
+            samples: vec![0.0; 30],
+            fs: 300.0,
+            class: Class::Af,
+        };
+        assert_eq!(RrDetector::default().predict(&short), 0);
+        assert!(hrv_features(&short).is_none());
+    }
+}

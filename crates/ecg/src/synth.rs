@@ -1,0 +1,330 @@
+//! Synthetic single-lead ECG generation (PhysioNet CinC-2017 substitute).
+//!
+//! Each beat is the classical sum-of-Gaussians morphology (as in
+//! McSharry's ECGSYN dynamical model, evaluated directly on the time
+//! axis): P, Q, R, S and T bumps placed relative to each R peak. Two
+//! rhythm classes are produced:
+//!
+//! * **Normal** — RR intervals around 0.8 s with small Gaussian jitter
+//!   plus respiratory sinus arrhythmia; P waves present.
+//! * **AF** (atrial fibrillation) — the three hallmarks the paper lists
+//!   (§II): irregular RR intervals (high-variance renewal process),
+//!   **absent P waves**, and a fibrillatory baseline **f-wave** at
+//!   4–9 Hz replacing atrial activity.
+//!
+//! Recording length is drawn uniformly from the configured range
+//! (paper: 9–61 s at 300 Hz), and measurement artefacts — white noise,
+//! baseline wander, per-recording amplitude scale — are superimposed.
+
+use crate::randn;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Diagnostic class of a recording, mirroring the four CinC-2017
+/// classes. The paper's models only ever see [`Class::Normal`] and
+/// [`Class::Af`] ("As other classes are out of the scope of this work
+/// ... we only focused on the classification of AF and Normal classes");
+/// [`Class::Other`] and [`Class::Noisy`] exist so the cohort generator
+/// can reproduce the full dataset and the filtering step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Normal sinus rhythm.
+    Normal,
+    /// Atrial fibrillation.
+    Af,
+    /// Other rhythms (modeled as sinus rhythm with frequent premature
+    /// beats and altered T-wave morphology).
+    Other,
+    /// Too noisy to classify (motion artifacts swamping the ECG).
+    Noisy,
+}
+
+impl Class {
+    /// Numeric label used by the estimators (AF = 1, the positive
+    /// class). Only the two in-scope classes have labels.
+    ///
+    /// # Panics
+    /// Panics for [`Class::Other`] / [`Class::Noisy`]: filter the cohort
+    /// with [`crate::dataset::filter_af_normal`] first, as the paper
+    /// does.
+    pub fn label(self) -> u8 {
+        match self {
+            Class::Normal => 0,
+            Class::Af => 1,
+            other => panic!("class {other:?} is out of scope; filter to AF/Normal first"),
+        }
+    }
+
+    /// Whether the class is part of the paper's binary problem.
+    pub fn in_scope(self) -> bool {
+        matches!(self, Class::Normal | Class::Af)
+    }
+}
+
+/// A single-lead ECG recording.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// Signal samples in millivolt-ish units.
+    pub samples: Vec<f64>,
+    /// Sampling frequency in Hz.
+    pub fs: f64,
+    /// Ground-truth class.
+    pub class: Class,
+}
+
+impl Recording {
+    /// Recording duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.samples.len() as f64 / self.fs
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EcgConfig {
+    /// Sampling frequency in Hz (paper: 300).
+    pub fs: f64,
+    /// Minimum recording duration in seconds (paper: 9).
+    pub min_duration_s: f64,
+    /// Maximum recording duration in seconds (paper: 61).
+    pub max_duration_s: f64,
+    /// Standard deviation of additive white noise (class-overlap knob).
+    pub noise_sd: f64,
+    /// Fraction of Normal recordings given mildly irregular rhythm and
+    /// of AF recordings given mildly regular rhythm — makes the classes
+    /// overlap the way real CinC data does.
+    pub atypical_fraction: f64,
+}
+
+impl Default for EcgConfig {
+    fn default() -> Self {
+        Self {
+            fs: 300.0,
+            min_duration_s: 9.0,
+            max_duration_s: 61.0,
+            noise_sd: 0.06,
+            atypical_fraction: 0.15,
+        }
+    }
+}
+
+/// Gaussian bump: `amp * exp(-(t - mu)^2 / (2 sd^2))`.
+#[inline]
+fn bump(t: f64, mu: f64, sd: f64, amp: f64) -> f64 {
+    let d = (t - mu) / sd;
+    amp * (-0.5 * d * d).exp()
+}
+
+/// Generates one recording of the given class.
+pub fn generate(cfg: &EcgConfig, class: Class, seed: u64) -> Recording {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let duration = rng.random_range(cfg.min_duration_s..=cfg.max_duration_s);
+    let n = (duration * cfg.fs).round() as usize;
+    let mut samples = vec![0.0f64; n];
+
+    let atypical = rng.random::<f64>() < cfg.atypical_fraction;
+    // Per-recording characteristics.
+    let amp_scale = rng.random_range(0.8..1.25);
+    let mean_rr = match class {
+        Class::Normal | Class::Noisy | Class::Other => rng.random_range(0.7..0.95),
+        Class::Af => rng.random_range(0.5..0.8),
+    };
+    let rr_sd = match (class, atypical) {
+        (Class::Normal | Class::Noisy, false) => 0.035,
+        (Class::Normal | Class::Noisy, true) => 0.10, // sinus arrhythmia look-alike
+        (Class::Af, false) => 0.18,
+        (Class::Af, true) => 0.05, // AF with fairly regular ventricular rate
+        // Other rhythms: moderately irregular ventricular response.
+        (Class::Other, _) => 0.07,
+    };
+
+    // R-peak times from a renewal process.
+    let mut r_times = Vec::new();
+    let mut t = rng.random_range(0.1..0.5);
+    while t < duration {
+        r_times.push(t);
+        let rsa = if class == Class::Normal {
+            // Respiratory sinus arrhythmia at ~0.25 Hz.
+            0.03 * (2.0 * std::f64::consts::PI * 0.25 * t).sin()
+        } else {
+            0.0
+        };
+        let mut rr = (mean_rr + rsa + rr_sd * randn(&mut rng)).clamp(0.35, 1.6);
+        // Other rhythms: ~15% premature beats (short coupling interval
+        // followed by a compensatory pause).
+        if class == Class::Other && rng.random::<f64>() < 0.15 {
+            rr *= 0.55;
+        }
+        t += rr;
+    }
+
+    // Beat morphology: offsets in seconds relative to the R peak,
+    // (offset, width, amplitude).
+    let has_p = class != Class::Af;
+    let waves: &[(f64, f64, f64)] = if has_p {
+        &[
+            (-0.17, 0.040, 0.12),   // P
+            (-0.040, 0.012, -0.12), // Q
+            (0.0, 0.018, 1.0),      // R
+            (0.040, 0.014, -0.25),  // S
+            (0.27, 0.060, 0.30),    // T
+        ]
+    } else {
+        &[
+            (-0.040, 0.012, -0.12),
+            (0.0, 0.018, 1.0),
+            (0.040, 0.014, -0.25),
+            (0.27, 0.060, 0.30),
+        ]
+    };
+
+    for &rt in &r_times {
+        // Only touch samples within ±0.5 s of the beat center.
+        let lo = (((rt - 0.5) * cfg.fs).floor().max(0.0)) as usize;
+        let hi = (((rt + 0.5) * cfg.fs).ceil() as usize).min(n);
+        for (i, s) in samples.iter_mut().enumerate().take(hi).skip(lo) {
+            let ti = i as f64 / cfg.fs;
+            for &(off, w, a) in waves {
+                *s += bump(ti, rt + off, w, a * amp_scale);
+            }
+        }
+    }
+
+    // Fibrillatory f-waves for AF: replaces atrial P activity with a
+    // 4–9 Hz oscillation whose amplitude wanders slowly.
+    if class == Class::Af {
+        let f_freq = rng.random_range(4.0..9.0);
+        let f_amp = rng.random_range(0.06..0.14) * amp_scale;
+        let mod_freq = rng.random_range(0.1..0.4);
+        let phase = rng.random_range(0.0..std::f64::consts::TAU);
+        let mphase = rng.random_range(0.0..std::f64::consts::TAU);
+        for (i, s) in samples.iter_mut().enumerate() {
+            let ti = i as f64 / cfg.fs;
+            let env = 0.75 + 0.25 * (std::f64::consts::TAU * mod_freq * ti + mphase).sin();
+            *s += f_amp * env * (std::f64::consts::TAU * f_freq * ti + phase).sin();
+        }
+    }
+
+    // Baseline wander + white measurement noise. "Noisy" recordings get
+    // motion-artifact-level wander and noise that swamp the waveform.
+    let (noise_sd, bw_scale) = if class == Class::Noisy {
+        (cfg.noise_sd * 8.0 + 0.3, 8.0)
+    } else {
+        (cfg.noise_sd, 1.0)
+    };
+    let bw_amp = rng.random_range(0.02..0.08) * bw_scale;
+    let bw_freq = rng.random_range(0.15..0.45);
+    let bw_phase = rng.random_range(0.0..std::f64::consts::TAU);
+    for (i, s) in samples.iter_mut().enumerate() {
+        let ti = i as f64 / cfg.fs;
+        *s += bw_amp * (std::f64::consts::TAU * bw_freq * ti + bw_phase).sin();
+        *s += noise_sd * randn(&mut rng);
+    }
+
+    Recording {
+        samples,
+        fs: cfg.fs,
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::rfft_mag;
+
+    fn cfg_short() -> EcgConfig {
+        EcgConfig {
+            min_duration_s: 10.0,
+            max_duration_s: 12.0,
+            ..EcgConfig::default()
+        }
+    }
+
+    #[test]
+    fn duration_within_bounds() {
+        for seed in 0..20 {
+            let r = generate(&cfg_short(), Class::Normal, seed);
+            assert!(r.duration_s() >= 10.0 - 0.01 && r.duration_s() <= 12.0 + 0.01);
+            assert_eq!(r.fs, 300.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(&cfg_short(), Class::Af, 42);
+        let b = generate(&cfg_short(), Class::Af, 42);
+        assert_eq!(a.samples, b.samples);
+        let c = generate(&cfg_short(), Class::Af, 43);
+        assert_ne!(a.samples, c.samples);
+    }
+
+    #[test]
+    fn r_peaks_dominate_amplitude() {
+        let r = generate(&cfg_short(), Class::Normal, 1);
+        let max = r.samples.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 0.6, "R peak amplitude too small: {max}");
+        assert!(max < 2.0, "amplitude implausible: {max}");
+    }
+
+    #[test]
+    fn af_rr_intervals_are_more_irregular() {
+        // Estimate RR irregularity via the detected peaks downstream; here
+        // just verify the signals differ substantially in autocorrelation
+        // periodicity by checking spectral flatness around the heart rate.
+        let cfg = EcgConfig {
+            noise_sd: 0.0,
+            atypical_fraction: 0.0,
+            ..cfg_short()
+        };
+        let n = generate(&cfg, Class::Normal, 3);
+        let a = generate(&cfg, Class::Af, 3);
+        // Average over a few seeds: AF spectra spread power more broadly
+        // in the 0.5-3 Hz band than Normal.
+        let band_peakiness = |rec: &Recording| {
+            let m = rfft_mag(&rec.samples[..2048]);
+            let df = rec.fs / 2048.0;
+            let lo = (0.5 / df) as usize;
+            let hi = (3.0 / df) as usize;
+            let band = &m[lo..hi];
+            let max = band.iter().cloned().fold(0.0f64, f64::max);
+            let mean = band.iter().sum::<f64>() / band.len() as f64;
+            max / mean
+        };
+        assert!(
+            band_peakiness(&n) > band_peakiness(&a),
+            "normal rhythm should be peakier"
+        );
+    }
+
+    #[test]
+    fn af_has_fwave_band_energy() {
+        let cfg = EcgConfig {
+            noise_sd: 0.0,
+            atypical_fraction: 0.0,
+            ..cfg_short()
+        };
+        let mut af_energy = 0.0;
+        let mut n_energy = 0.0;
+        for seed in 0..5 {
+            let af = generate(&cfg, Class::Af, 100 + seed);
+            let nr = generate(&cfg, Class::Normal, 100 + seed);
+            let band = |rec: &Recording| {
+                let m = rfft_mag(&rec.samples[..2048]);
+                let df = rec.fs / 2048.0;
+                let lo = (4.0 / df) as usize;
+                let hi = (9.0 / df) as usize;
+                m[lo..hi].iter().map(|v| v * v).sum::<f64>()
+            };
+            af_energy += band(&af);
+            n_energy += band(&nr);
+        }
+        assert!(af_energy > n_energy, "AF should carry extra 4-9 Hz energy");
+    }
+
+    #[test]
+    fn label_mapping() {
+        assert_eq!(Class::Af.label(), 1);
+        assert_eq!(Class::Normal.label(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Symmetric eigendecomposition (`numpy.linalg.eigh` replacement).
+//!
+//! The implementation is the classical two-phase dense symmetric solver,
+//! a careful port of the EISPACK/JAMA routines:
+//!
+//! 1. **Householder tridiagonalization** (`tred2`): reduce the symmetric
+//!    input `A` to tridiagonal form `T = Q^T A Q`, accumulating the
+//!    orthogonal transform `Q`.
+//! 2. **Implicit-shift QL iteration** (`tql2`): diagonalize `T`, applying
+//!    the rotations to `Q` so its columns become eigenvectors.
+//!
+//! Eigenvalues are returned in **ascending** order (as `numpy.linalg.eigh`
+//! does); the PCA implementation in `dislib` reverses them to get
+//! components sorted by explained variance.
+
+use crate::matrix::Matrix;
+
+/// Result of [`eigh`]: `a = vectors * diag(values) * vectors^T`.
+#[derive(Debug, Clone)]
+pub struct EighResult {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per **column**, aligned with
+    /// `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a real symmetric matrix.
+///
+/// The input is symmetrized internally (`(A + A^T) / 2`), so slight
+/// asymmetry from floating-point accumulation is tolerated.
+///
+/// # Panics
+/// Panics if `a` is not square, or if the QL iteration exceeds 50
+/// iterations for a single eigenvalue (which only happens for non-finite
+/// input).
+pub fn eigh(a: &Matrix) -> EighResult {
+    assert_eq!(a.rows(), a.cols(), "eigh requires a square matrix");
+    let n = a.rows();
+    if n == 0 {
+        return EighResult {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        };
+    }
+    let mut v = Matrix::from_fn(n, n, |r, c| 0.5 * (a.get(r, c) + a.get(c, r)));
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    tred2(&mut v, &mut d, &mut e);
+    tql2(&mut v, &mut d, &mut e);
+    sort_ascending(&mut v, &mut d);
+    EighResult {
+        values: d,
+        vectors: v,
+    }
+}
+
+// Index-based loops below mirror the EISPACK/JAMA reference code; the
+// clippy `needless_range_loop` shape is kept intentionally for auditability.
+#[allow(clippy::needless_range_loop)]
+/// Householder reduction to tridiagonal form. On exit `v` holds the
+/// accumulated orthogonal transform, `d` the diagonal and `e` the
+/// sub-diagonal (`e[0] == 0`).
+fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for j in 0..n {
+        d[j] = v.get(n - 1, j);
+    }
+
+    for i in (1..n).rev() {
+        let mut scale = 0.0;
+        let mut h = 0.0;
+        for k in 0..i {
+            scale += d[k].abs();
+        }
+        if scale == 0.0 {
+            e[i] = d[i - 1];
+            for j in 0..i {
+                d[j] = v.get(i - 1, j);
+                v.set(i, j, 0.0);
+                v.set(j, i, 0.0);
+            }
+        } else {
+            for k in 0..i {
+                d[k] /= scale;
+                h += d[k] * d[k];
+            }
+            let mut f = d[i - 1];
+            let mut g = if f > 0.0 { -h.sqrt() } else { h.sqrt() };
+            e[i] = scale * g;
+            h -= f * g;
+            d[i - 1] = f - g;
+            for ej in e.iter_mut().take(i) {
+                *ej = 0.0;
+            }
+
+            for j in 0..i {
+                f = d[j];
+                v.set(j, i, f);
+                g = e[j] + v.get(j, j) * f;
+                for k in (j + 1)..i {
+                    g += v.get(k, j) * d[k];
+                    e[k] += v.get(k, j) * f;
+                }
+                e[j] = g;
+            }
+            f = 0.0;
+            for j in 0..i {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            let hh = f / (h + h);
+            for j in 0..i {
+                e[j] -= hh * d[j];
+            }
+            for j in 0..i {
+                f = d[j];
+                g = e[j];
+                for k in j..i {
+                    let val = v.get(k, j) - (f * e[k] + g * d[k]);
+                    v.set(k, j, val);
+                }
+                d[j] = v.get(i - 1, j);
+                v.set(i, j, 0.0);
+            }
+        }
+        d[i] = h;
+    }
+
+    // Accumulate transformations.
+    for i in 0..n.saturating_sub(1) {
+        v.set(n - 1, i, v.get(i, i));
+        v.set(i, i, 1.0);
+        let h = d[i + 1];
+        if h != 0.0 {
+            for k in 0..=i {
+                d[k] = v.get(k, i + 1) / h;
+            }
+            for j in 0..=i {
+                let mut g = 0.0;
+                for k in 0..=i {
+                    g += v.get(k, i + 1) * v.get(k, j);
+                }
+                for k in 0..=i {
+                    let val = v.get(k, j) - g * d[k];
+                    v.set(k, j, val);
+                }
+            }
+        }
+        for k in 0..=i {
+            v.set(k, i + 1, 0.0);
+        }
+    }
+    for j in 0..n {
+        d[j] = v.get(n - 1, j);
+        v.set(n - 1, j, 0.0);
+    }
+    v.set(n - 1, n - 1, 1.0);
+    e[0] = 0.0;
+}
+
+#[allow(clippy::needless_range_loop)]
+/// Implicit-shift QL iteration on the tridiagonal (`d`, `e`), rotating
+/// the columns of `v` into eigenvectors.
+fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    let mut f = 0.0;
+    let mut tst1: f64 = 0.0;
+    let eps = 2.0_f64.powi(-52);
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m > l {
+            let mut iter = 0;
+            loop {
+                iter += 1;
+                assert!(iter <= 50, "eigh: QL iteration failed to converge");
+
+                let mut g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = p.hypot(1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let mut h = g - d[l];
+                for di in d.iter_mut().take(n).skip(l + 2) {
+                    *di -= h;
+                }
+                f += h;
+
+                p = d[m];
+                let mut c = 1.0;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0;
+                let mut s2 = 0.0;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    g = c * e[i];
+                    h = c * p;
+                    r = p.hypot(e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+                    for k in 0..n {
+                        h = v.get(k, i + 1);
+                        v.set(k, i + 1, s * v.get(k, i) + c * h);
+                        v.set(k, i, c * v.get(k, i) - s * h);
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+
+                if e[l].abs() <= eps * tst1 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+}
+
+/// Sorts eigenvalues ascending and permutes eigenvector columns to match.
+fn sort_ascending(v: &mut Matrix, d: &mut [f64]) {
+    let n = d.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite eigenvalues"));
+    let old_d = d.to_vec();
+    let old_v = v.clone();
+    for (new_col, &old_col) in order.iter().enumerate() {
+        d[new_col] = old_d[old_col];
+        for r in 0..n {
+            v.set(r, new_col, old_v.get(r, old_col));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reconstruct(res: &EighResult) -> Matrix {
+        let n = res.values.len();
+        let mut lam = Matrix::zeros(n, n);
+        for (i, &v) in res.values.iter().enumerate() {
+            lam.set(i, i, v);
+        }
+        res.vectors.matmul(&lam).matmul(&res.vectors.transpose())
+    }
+
+    #[test]
+    fn eigh_diagonal_matrix() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let r = eigh(&a);
+        assert!((r.values[0] - 1.0).abs() < 1e-12);
+        assert!((r.values[1] - 2.0).abs() < 1e-12);
+        assert!((r.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigh_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let r = eigh(&a);
+        assert!((r.values[0] - 1.0).abs() < 1e-12);
+        assert!((r.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigh_reconstructs_input() {
+        let a = Matrix::from_fn(6, 6, |r, c| {
+            let x = (r as f64 + 1.0) * (c as f64 + 1.0);
+            (x * 0.37).sin() + if r == c { 4.0 } else { 0.0 }
+        });
+        let sym = Matrix::from_fn(6, 6, |r, c| 0.5 * (a.get(r, c) + a.get(c, r)));
+        let res = eigh(&sym);
+        let back = reconstruct(&res);
+        assert!(
+            sym.max_abs_diff(&back) < 1e-9,
+            "diff={}",
+            sym.max_abs_diff(&back)
+        );
+    }
+
+    #[test]
+    fn eigh_vectors_orthonormal() {
+        let a = Matrix::from_fn(5, 5, |r, c| 1.0 / (1.0 + r as f64 + c as f64));
+        let res = eigh(&a);
+        let vtv = res.vectors.t_matmul(&res.vectors);
+        let eye = Matrix::identity(5);
+        assert!(vtv.max_abs_diff(&eye) < 1e-10);
+    }
+
+    #[test]
+    fn eigh_empty_and_single() {
+        let r = eigh(&Matrix::zeros(0, 0));
+        assert!(r.values.is_empty());
+        let r = eigh(&Matrix::from_vec(1, 1, vec![7.5]));
+        assert_eq!(r.values, vec![7.5]);
+    }
+
+    #[test]
+    fn eigh_trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_fn(8, 8, |r, c| ((r * c) as f64 * 0.11).cos());
+        let sym = Matrix::from_fn(8, 8, |r, c| 0.5 * (a.get(r, c) + a.get(c, r)));
+        let res = eigh(&sym);
+        let trace: f64 = (0..8).map(|i| sym.get(i, i)).sum();
+        let sum: f64 = res.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_eigh_reconstruction(seed_vals in proptest::collection::vec(-3.0f64..3.0, 16)) {
+            let raw = Matrix::from_vec(4, 4, seed_vals);
+            let sym = Matrix::from_fn(4, 4, |r, c| 0.5 * (raw.get(r, c) + raw.get(c, r)));
+            let res = eigh(&sym);
+            let back = reconstruct(&res);
+            prop_assert!(sym.max_abs_diff(&back) < 1e-8);
+        }
+
+        #[test]
+        fn prop_eigh_values_sorted(seed_vals in proptest::collection::vec(-3.0f64..3.0, 25)) {
+            let raw = Matrix::from_vec(5, 5, seed_vals);
+            let sym = Matrix::from_fn(5, 5, |r, c| 0.5 * (raw.get(r, c) + raw.get(c, r)));
+            let res = eigh(&sym);
+            for w in res.values.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+}

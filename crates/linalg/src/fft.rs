@@ -1,0 +1,258 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! This replaces the FFT that backs `scipy.signal.spectrogram` in the
+//! paper's pipeline. Only power-of-two lengths are handled by the core
+//! transform; [`crate::stft`] always pads windows to a power of two, the
+//! same strategy SciPy uses when `nfft` is rounded up.
+
+/// A minimal complex number for the FFT; deliberately not a general
+/// complex-arithmetic type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs a complex number.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Squared magnitude `re^2 + im^2`.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+/// Panics unless `buf.len()` is a power of two (zero-length is allowed).
+pub fn fft_inplace(buf: &mut [Complex]) {
+    fft_dir(buf, false);
+}
+
+/// In-place inverse FFT (including the `1/N` normalization).
+///
+/// # Panics
+/// Panics unless `buf.len()` is a power of two (zero-length is allowed).
+pub fn ifft_inplace(buf: &mut [Complex]) {
+    fft_dir(buf, true);
+    let n = buf.len() as f64;
+    if n > 0.0 {
+        for v in buf.iter_mut() {
+            v.re /= n;
+            v.im /= n;
+        }
+    }
+}
+
+fn fft_dir(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(
+        n.is_power_of_two(),
+        "fft length must be a power of two, got {n}"
+    );
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = buf[i + j];
+                let v = buf[i + j + len / 2].mul(w);
+                buf[i + j] = u.add(v);
+                buf[i + j + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT magnitude spectrum of a real signal: returns `n/2 + 1` one-sided
+/// magnitudes (DC through Nyquist). The input is zero-padded up to the
+/// next power of two.
+pub fn rfft_mag(signal: &[f64]) -> Vec<f64> {
+    if signal.is_empty() {
+        return vec![];
+    }
+    let n = signal.len().next_power_of_two();
+    let mut buf: Vec<Complex> = Vec::with_capacity(n);
+    buf.extend(signal.iter().map(|&x| Complex::new(x, 0.0)));
+    buf.resize(n, Complex::default());
+    fft_inplace(&mut buf);
+    buf[..n / 2 + 1].iter().map(|c| c.abs()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(v.mul(Complex::new(ang.cos(), ang.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut got = x.clone();
+        fft_inplace(&mut got);
+        let want = naive_dft(&x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut buf);
+        for c in &buf {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_pure_tone_peaks_at_bin() {
+        let n = 64;
+        let k = 5;
+        let mut buf: Vec<Complex> = (0..n)
+            .map(|i| {
+                let ang = 2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64;
+                Complex::new(ang.cos(), 0.0)
+            })
+            .collect();
+        fft_inplace(&mut buf);
+        let mags: Vec<f64> = buf.iter().map(|c| c.abs()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak.min(n - peak), k);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Complex::default(); 6];
+        fft_inplace(&mut buf);
+    }
+
+    #[test]
+    fn rfft_mag_length_and_padding() {
+        let m = rfft_mag(&[1.0, 0.0, 0.0]); // padded to 4
+        assert_eq!(m.len(), 3);
+        assert!(rfft_mag(&[]).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_fft_ifft_roundtrip(vals in proptest::collection::vec(-100.0f64..100.0, 32)) {
+            let orig: Vec<Complex> = vals.chunks(2).map(|c| Complex::new(c[0], c[1])).collect();
+            let mut buf = orig.clone();
+            fft_inplace(&mut buf);
+            ifft_inplace(&mut buf);
+            for (a, b) in buf.iter().zip(&orig) {
+                prop_assert!((a.re - b.re).abs() < 1e-9);
+                prop_assert!((a.im - b.im).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_parseval(vals in proptest::collection::vec(-10.0f64..10.0, 16)) {
+            let time: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let mut freq = time.clone();
+            fft_inplace(&mut freq);
+            let e_time: f64 = time.iter().map(|c| c.norm_sq()).sum();
+            let e_freq: f64 = freq.iter().map(|c| c.norm_sq()).sum::<f64>() / time.len() as f64;
+            prop_assert!((e_time - e_freq).abs() < 1e-6 * e_time.max(1.0));
+        }
+
+        #[test]
+        fn prop_fft_linear(
+            a in proptest::collection::vec(-5.0f64..5.0, 8),
+            b in proptest::collection::vec(-5.0f64..5.0, 8),
+        ) {
+            let xa: Vec<Complex> = a.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let xb: Vec<Complex> = b.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let sum: Vec<Complex> = xa.iter().zip(&xb).map(|(p, q)| p.add(*q)).collect();
+            let mut fa = xa.clone();
+            let mut fb = xb.clone();
+            let mut fs = sum.clone();
+            fft_inplace(&mut fa);
+            fft_inplace(&mut fb);
+            fft_inplace(&mut fs);
+            for ((pa, pb), ps) in fa.iter().zip(&fb).zip(&fs) {
+                prop_assert!((pa.re + pb.re - ps.re).abs() < 1e-9);
+                prop_assert!((pa.im + pb.im - ps.im).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Pairwise distances and SVM kernel functions.
+//!
+//! Shared by the `dislib` estimators: squared Euclidean distance (KNN),
+//! and the linear / RBF kernels used by the SMO-based SVC inside the
+//! CascadeSVM.
+
+use crate::matrix::Matrix;
+
+/// Squared Euclidean distance between two equally-long slices.
+///
+/// # Panics
+/// Panics on length mismatch (debug builds assert; release relies on the
+/// zip semantics, so callers must pass equal lengths).
+#[inline]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// SVM kernel functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `K(a, b) = a · b`
+    Linear,
+    /// `K(a, b) = exp(-gamma * |a - b|^2)`
+    Rbf {
+        /// Width parameter; scikit-learn's `"scale"` default is
+        /// `1 / (n_features * var(X))`.
+        gamma: f64,
+    },
+    /// `K(a, b) = (a · b + coef0)^degree`
+    Poly {
+        /// Polynomial degree.
+        degree: u32,
+        /// Additive constant.
+        coef0: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel on a pair of samples.
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => dot(a, b),
+            Kernel::Rbf { gamma } => (-gamma * euclidean_sq(a, b)).exp(),
+            Kernel::Poly { degree, coef0 } => (dot(a, b) + coef0).powi(degree as i32),
+        }
+    }
+
+    /// Full kernel (Gram) matrix between the rows of `x` and `y`.
+    pub fn gram(&self, x: &Matrix, y: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), y.cols(), "gram feature mismatch");
+        Matrix::from_fn(x.rows(), y.rows(), |i, j| self.eval(x.row(i), y.row(j)))
+    }
+}
+
+/// Dot product of two equally-long slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// The `"scale"` gamma heuristic of scikit-learn:
+/// `1 / (n_features * variance_of_all_entries)`.
+pub fn gamma_scale(x: &Matrix) -> f64 {
+    let n = (x.rows() * x.cols()) as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let mean: f64 = x.as_slice().iter().sum::<f64>() / n;
+    let var: f64 = x
+        .as_slice()
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
+    if var <= f64::EPSILON {
+        1.0
+    } else {
+        1.0 / (x.cols() as f64 * var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn euclidean_known() {
+        assert_eq!(euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean_sq(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn linear_kernel_is_dot() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn rbf_kernel_identity_is_one() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        assert!((k.eval(&[1.0, -2.0], &[1.0, -2.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Kernel::Rbf { gamma: 1.0 };
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[2.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn poly_kernel_known() {
+        let k = Kernel::Poly {
+            degree: 2,
+            coef0: 1.0,
+        };
+        // (1*1 + 1)^2 = 4
+        assert_eq!(k.eval(&[1.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    fn gram_is_symmetric_for_same_input() {
+        let x = Matrix::from_fn(4, 3, |r, c| (r as f64 - c as f64) * 0.5);
+        let g = Kernel::Rbf { gamma: 0.3 }.gram(&x, &x);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_scale_constant_matrix() {
+        let x = Matrix::from_fn(3, 3, |_, _| 2.0);
+        assert_eq!(gamma_scale(&x), 1.0); // zero variance fallback
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rbf_in_unit_interval(
+            a in proptest::collection::vec(-10.0f64..10.0, 4),
+            b in proptest::collection::vec(-10.0f64..10.0, 4),
+            gamma in 0.01f64..5.0,
+        ) {
+            let v = Kernel::Rbf { gamma }.eval(&a, &b);
+            // exp can underflow to exactly 0.0 for very distant points
+            prop_assert!((0.0..=1.0 + 1e-15).contains(&v));
+        }
+
+        #[test]
+        fn prop_euclidean_symmetry(
+            a in proptest::collection::vec(-10.0f64..10.0, 5),
+            b in proptest::collection::vec(-10.0f64..10.0, 5),
+        ) {
+            prop_assert!((euclidean_sq(&a, &b) - euclidean_sq(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_euclidean_triangle_like(
+            a in proptest::collection::vec(-5.0f64..5.0, 3),
+            b in proptest::collection::vec(-5.0f64..5.0, 3),
+            c in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            // sqrt of squared distance obeys the triangle inequality
+            let ab = euclidean_sq(&a, &b).sqrt();
+            let bc = euclidean_sq(&b, &c).sqrt();
+            let ac = euclidean_sq(&a, &c).sqrt();
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # linalg — dense linear algebra and spectral transforms for `taskml`
+//!
+//! This crate provides the numerical kernels that the rest of the
+//! workspace builds on. It replaces the NumPy / SciPy functionality used
+//! by the paper's Python stack:
+//!
+//! * [`Matrix`] — a dense row-major `f64` matrix with BLAS-3-style
+//!   multiply ([`Matrix::matmul`]), transpose, slicing and column
+//!   statistics (replaces `numpy.ndarray` usage).
+//! * [`eigh()`](eigh::eigh) — symmetric eigendecomposition via Householder
+//!   tridiagonalization followed by the implicit-shift QL iteration
+//!   (replaces `numpy.linalg.eigh`, used by the PCA covariance method).
+//! * [`fft`] — iterative radix-2 Cooley–Tukey FFT and real-input helpers
+//!   (replaces the FFT underlying `scipy.signal.spectrogram`).
+//! * [`stft`] — Hann-windowed short-time Fourier transform /
+//!   spectrogram (replaces `scipy.signal.spectrogram`).
+//! * [`kernels`] — pairwise distances and SVM kernel functions.
+//!
+//! All routines are deterministic and allocation-conscious; hot loops are
+//! written so the compiler can vectorize them (see the workspace's
+//! `DESIGN.md` §5).
+
+pub mod eigh;
+pub mod fft;
+pub mod kernels;
+pub mod matrix;
+pub mod stft;
+
+pub use eigh::{eigh, EighResult};
+pub use fft::{fft_inplace, ifft_inplace, rfft_mag, Complex};
+pub use kernels::{euclidean_sq, Kernel};
+pub use matrix::Matrix;
+pub use stft::{hann_window, spectrogram, SpectrogramConfig};
+
+/// Machine-epsilon-scaled tolerance used by the iterative solvers.
+pub const EPS: f64 = f64::EPSILON;
+
+/// Returns `true` when `a` and `b` are equal within `tol` absolutely or
+/// relatively (whichever is looser), the comparison used throughout the
+/// test-suites of this workspace.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+}

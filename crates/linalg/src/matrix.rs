@@ -1,0 +1,470 @@
+//! Dense row-major `f64` matrix.
+//!
+//! [`Matrix`] is the local (per-block) numeric container of the
+//! workspace; the distributed `dsarray` crate stores one `Matrix` per
+//! block. The multiply kernel uses the cache-friendly `ikj` loop order so
+//! the innermost loop is a contiguous AXPY the compiler can vectorize.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 36 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(r, c)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Builds a matrix whose rows are the given equally-long slices.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor (`debug_assert`-checked in release-hot paths).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Column `c` gathered into a fresh vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols);
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs` using the `ikj` loop order.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (j, &bkj) in b_row.iter().enumerate() {
+                    out_row[j] += aik * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `self^T * rhs` without materializing the transpose; used
+    /// by the PCA covariance step (`x.T @ x`).
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul dimension mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (j, &bkj) in b_row.iter().enumerate() {
+                    out_row[j] += aki * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise in-place scaling.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns the sub-matrix of rows `r0..r1` (half-open).
+    pub fn slice_rows(&self, r0: usize, r1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "row slice out of bounds");
+        Matrix {
+            rows: r1 - r0,
+            cols: self.cols,
+            data: self.data[r0 * self.cols..r1 * self.cols].to_vec(),
+        }
+    }
+
+    /// Returns the sub-matrix of columns `c0..c1` (half-open).
+    pub fn slice_cols(&self, c0: usize, c1: usize) -> Matrix {
+        assert!(c0 <= c1 && c1 <= self.cols, "col slice out of bounds");
+        let mut out = Matrix::zeros(self.rows, c1 - c0);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[c0..c1]);
+        }
+        out
+    }
+
+    /// Gathers the given rows (by index, with repetition allowed) into a
+    /// new matrix.
+    pub fn take_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            assert!(r < self.rows, "row index {r} out of bounds");
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Vertically stacks `self` on top of `rhs`.
+    pub fn vstack(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "vstack column mismatch");
+        let mut data = Vec::with_capacity((self.rows + rhs.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&rhs.data);
+        Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Per-column means.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        for s in &mut sums {
+            *s /= n;
+        }
+        sums
+    }
+
+    /// Per-column population standard deviations around the given means.
+    pub fn col_stds(&self, means: &[f64]) -> Vec<f64> {
+        assert_eq!(means.len(), self.cols);
+        let mut acc = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for ((a, &m), &v) in acc.iter_mut().zip(means).zip(self.row(r)) {
+                let d = v - m;
+                *a += d * d;
+            }
+        }
+        let n = self.rows.max(1) as f64;
+        for a in &mut acc {
+            *a = (*a / n).sqrt();
+        }
+        acc
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element-wise difference against `rhs`.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
+        assert_eq!(self.shape(), rhs.shape());
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Approximate heap size of the matrix in bytes, used by the
+    /// runtime's transfer model.
+    pub fn approx_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r + 2 * c) as f64);
+        let b = Matrix::from_fn(4, 2, |r, c| (3 * r + c) as f64 * 0.5);
+        let expect = a.transpose().matmul(&b);
+        let got = a.t_matmul(&b);
+        assert!(expect.max_abs_diff(&got) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(5, 2, |r, c| (r as f64).sin() + c as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn slicing_and_stacking_roundtrip() {
+        let a = Matrix::from_fn(6, 3, |r, c| (r * 10 + c) as f64);
+        let top = a.slice_rows(0, 2);
+        let bottom = a.slice_rows(2, 6);
+        assert_eq!(top.vstack(&bottom), a);
+    }
+
+    #[test]
+    fn take_rows_with_repetition() {
+        let a = Matrix::from_fn(3, 2, |r, _| r as f64);
+        let t = a.take_rows(&[2, 0, 2]);
+        assert_eq!(t.col(0), vec![2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn col_means_and_stds() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 10.0, 3.0, 14.0]);
+        let m = a.col_means();
+        assert_eq!(m, vec![2.0, 12.0]);
+        let s = a.col_stds(&m);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_cols_extracts_expected() {
+        let a = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f64);
+        let s = a.slice_cols(1, 3);
+        assert_eq!(s.as_slice(), &[1., 2., 5., 6.]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_associative(
+            a in proptest::collection::vec(-10.0f64..10.0, 6),
+            b in proptest::collection::vec(-10.0f64..10.0, 6),
+            c in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            let a = Matrix::from_vec(2, 3, a);
+            let b = Matrix::from_vec(3, 2, b);
+            let c = Matrix::from_vec(2, 2, c);
+            let left = a.matmul(&b).matmul(&c);
+            let right = a.matmul(&b.matmul(&c));
+            prop_assert!(left.max_abs_diff(&right) < 1e-8);
+        }
+
+        #[test]
+        fn prop_transpose_reverses_matmul(
+            a in proptest::collection::vec(-5.0f64..5.0, 6),
+            b in proptest::collection::vec(-5.0f64..5.0, 6),
+        ) {
+            let a = Matrix::from_vec(2, 3, a);
+            let b = Matrix::from_vec(3, 2, b);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+        }
+
+        #[test]
+        fn prop_vstack_preserves_rows(
+            rows_a in 1usize..5, rows_b in 1usize..5, cols in 1usize..5,
+        ) {
+            let a = Matrix::from_fn(rows_a, cols, |r, c| (r + c) as f64);
+            let b = Matrix::from_fn(rows_b, cols, |r, c| (r * c) as f64);
+            let s = a.vstack(&b);
+            prop_assert_eq!(s.rows(), rows_a + rows_b);
+            for r in 0..rows_a {
+                prop_assert_eq!(s.row(r), a.row(r));
+            }
+            for r in 0..rows_b {
+                prop_assert_eq!(s.row(rows_a + r), b.row(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Federated averaging over the task runtime — the paper's proposed
+//! extension (§V): "our approach could incorporate federated learning in
+//! the future to train multiple models, which is particularly relevant
+//! for healthcare applications due to privacy constraints on data
+//! sharing. In this setup, various devices with local data contribute to
+//! training local models, and the resulting outcomes are then combined
+//! by a general model."
+//!
+//! [`fed_avg`] implements exactly that (McMahan-style FedAvg) on
+//! [`taskrt`]: each device's data is `put` once and **only the model
+//! weights travel** — per round, one `fed_local_train` task per device
+//! (data-local under the locality-aware scheduler) and one
+//! `fed_aggregate` task computing the sample-weighted average.
+
+use crate::network::{Network, TrainParams};
+use linalg::Matrix;
+use taskrt::{Handle, Payload, Runtime};
+
+/// A participating device (hospital, wearable hub, ...) with private
+/// local data.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Human-readable identifier.
+    pub name: String,
+    /// Local feature rows (never leave the device task).
+    pub x: Matrix,
+    /// Local labels.
+    pub y: Vec<u8>,
+}
+
+impl Payload for Device {
+    fn approx_bytes(&self) -> usize {
+        self.x.approx_bytes() + self.y.len() + self.name.len()
+    }
+}
+
+/// How device updates are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FedWeighting {
+    /// Plain average of device models.
+    Uniform,
+    /// FedAvg: weight each device by its sample count.
+    BySamples,
+}
+
+/// Federated-training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FederatedConfig {
+    /// Communication rounds.
+    pub rounds: usize,
+    /// Local SGD epochs per round on each device.
+    pub local_epochs: usize,
+    /// Local SGD settings.
+    pub train: TrainParams,
+    /// Update combination rule.
+    pub weighting: FedWeighting,
+}
+
+impl Default for FederatedConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 5,
+            local_epochs: 2,
+            train: TrainParams::default(),
+            weighting: FedWeighting::BySamples,
+        }
+    }
+}
+
+/// Weighted average of networks (weights need not be normalized).
+///
+/// # Panics
+/// Panics on empty input, non-positive total weight, or shape mismatch.
+pub fn weighted_average(nets: &[(&Network, f64)]) -> Network {
+    assert!(!nets.is_empty(), "cannot average zero networks");
+    let total: f64 = nets.iter().map(|(_, w)| w).sum();
+    assert!(total > 0.0, "total weight must be positive");
+    let mut acc = vec![0.0f32; nets[0].0.n_params()];
+    for (net, w) in nets {
+        let weights = net.get_weights();
+        assert_eq!(
+            weights.len(),
+            acc.len(),
+            "cannot average differently-shaped networks"
+        );
+        let w = (*w / total) as f32;
+        for (a, v) in acc.iter_mut().zip(weights) {
+            *a += w * v;
+        }
+    }
+    let mut out = nets[0].0.clone();
+    out.set_weights(&acc);
+    out
+}
+
+/// Runs federated averaging: returns the final global model handle.
+/// Each round submits one `fed_local_train` task per device and one
+/// `fed_aggregate` reduction, then synchronizes on the server (the
+/// driver) exactly as the per-epoch merge of §III-D does.
+pub fn fed_avg(
+    rt: &Runtime,
+    net0: Network,
+    devices: Vec<Device>,
+    cfg: &FederatedConfig,
+) -> Handle<Network> {
+    assert!(!devices.is_empty(), "need at least one device");
+    let sample_counts: Vec<f64> = devices.iter().map(|d| d.y.len() as f64).collect();
+    let device_handles: Vec<Handle<Device>> = devices.into_iter().map(|d| rt.put(d)).collect();
+    let mut global = rt.put(net0);
+    let tp = cfg.train;
+    let local_epochs = cfg.local_epochs;
+    for round in 0..cfg.rounds {
+        let locals: Vec<Handle<Network>> = device_handles
+            .iter()
+            .map(|&dh| {
+                rt.task("fed_local_train")
+                    .run2(global, dh, move |net: &Network, dev: &Device| {
+                        let mut local = net.clone();
+                        for e in 0..local_epochs {
+                            let epoch = (round * local_epochs + e) as u64;
+                            local.train_epoch(&dev.x, &dev.y, &tp, epoch);
+                        }
+                        local
+                    })
+            })
+            .collect();
+        let weights = match cfg.weighting {
+            FedWeighting::Uniform => vec![1.0; sample_counts.len()],
+            FedWeighting::BySamples => sample_counts.clone(),
+        };
+        global = rt
+            .task("fed_aggregate")
+            .run_many(&locals, move |nets: &[&Network]| {
+                let pairs: Vec<(&Network, f64)> =
+                    nets.iter().copied().zip(weights.iter().copied()).collect();
+                weighted_average(&pairs)
+            });
+        // Server-side synchronization between rounds.
+        let _ = rt.wait(global);
+    }
+    global
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Non-IID split: device 0 holds mostly class 0, device 1 mostly
+    /// class 1 — the regime federated averaging must survive.
+    fn non_iid_devices(len: usize, seed: u64) -> Vec<Device> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut make = |bias: f64, name: &str| {
+            let mut rows = Vec::new();
+            let mut y = Vec::new();
+            for i in 0..40 {
+                let cls = if (i as f64 / 40.0) < bias { 1u8 } else { 0u8 };
+                let row: Vec<f64> = (0..len)
+                    .map(|t| {
+                        let active = if cls == 1 { t >= len / 2 } else { t < len / 2 };
+                        (if active { 1.0 } else { 0.0 }) + (rng.random::<f64>() - 0.5) * 0.2
+                    })
+                    .collect();
+                rows.push(row);
+                y.push(cls);
+            }
+            Device {
+                name: name.into(),
+                x: Matrix::from_rows(&rows),
+                y,
+            }
+        };
+        vec![make(0.15, "hospital-a"), make(0.85, "hospital-b")]
+    }
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let a = Network::afib_cnn(64, 1);
+        let b = Network::afib_cnn(64, 2);
+        let avg = weighted_average(&[(&a, 3.0), (&b, 1.0)]);
+        let (wa, wb, wm) = (a.get_weights(), b.get_weights(), avg.get_weights());
+        for i in [0usize, 33, 200] {
+            let expect = 0.75 * wa[i] + 0.25 * wb[i];
+            assert!((wm[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight")]
+    fn zero_weights_rejected() {
+        let a = Network::afib_cnn(64, 1);
+        let _ = weighted_average(&[(&a, 0.0)]);
+    }
+
+    #[test]
+    fn fed_avg_learns_from_non_iid_devices() {
+        let rt = Runtime::new();
+        let devices = non_iid_devices(64, 5);
+        let all_x = devices[0].x.vstack(&devices[1].x);
+        let mut all_y = devices[0].y.clone();
+        all_y.extend_from_slice(&devices[1].y);
+
+        let cfg = FederatedConfig {
+            rounds: 6,
+            local_epochs: 2,
+            train: TrainParams {
+                lr: 0.02,
+                momentum: 0.9,
+                batch_size: 8,
+                seed: 0,
+            },
+            weighting: FedWeighting::BySamples,
+        };
+        let global = fed_avg(&rt, Network::afib_cnn(64, 7), devices, &cfg);
+        let net = rt.wait(global);
+        let (c, t) = net.evaluate(&all_x, &all_y);
+        let acc = c as f64 / t as f64;
+        assert!(acc > 0.85, "federated model acc {acc}");
+    }
+
+    #[test]
+    fn fed_avg_task_structure() {
+        let rt = Runtime::new();
+        let devices = non_iid_devices(64, 9);
+        let cfg = FederatedConfig {
+            rounds: 3,
+            local_epochs: 1,
+            ..Default::default()
+        };
+        let _ = fed_avg(&rt, Network::afib_cnn(64, 0), devices, &cfg);
+        let hist = rt.trace().task_histogram();
+        assert_eq!(hist["fed_local_train"], 3 * 2);
+        assert_eq!(hist["fed_aggregate"], 3);
+        assert_eq!(hist[taskrt::trace::SYNC_TASK], 3);
+    }
+
+    #[test]
+    fn only_models_cross_device_boundaries() {
+        // Structural privacy check: aggregate tasks consume only the
+        // local model outputs, never the device data handles.
+        let rt = Runtime::new();
+        let devices = non_iid_devices(64, 11);
+        let cfg = FederatedConfig {
+            rounds: 1,
+            local_epochs: 1,
+            ..Default::default()
+        };
+        let _ = fed_avg(&rt, Network::afib_cnn(64, 0), devices, &cfg);
+        let trace = rt.trace();
+        let producer = trace.producer_index();
+        // Device data ids: data with no producer task consumed by the
+        // local-train tasks (second input).
+        let device_data: Vec<_> = trace
+            .records
+            .iter()
+            .filter(|r| r.name == "fed_local_train")
+            .map(|r| r.inputs[1].0)
+            .filter(|d| !producer.contains_key(d))
+            .collect();
+        assert_eq!(device_data.len(), 2);
+        for r in trace.records.iter().filter(|r| r.name == "fed_aggregate") {
+            for (d, _) in &r.inputs {
+                assert!(
+                    !device_data.contains(d),
+                    "aggregate task must not read device data"
+                );
+            }
+        }
+    }
+}

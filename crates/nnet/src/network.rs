@@ -1,0 +1,454 @@
+//! The sequential [`Network`] container, SGD training, and the paper's
+//! CNN architecture.
+
+use crate::layers::{softmax, softmax_ce, Conv1d, Dense, Layer, Shape};
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use taskrt::Payload;
+
+/// SGD training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// SGD momentum (EDDL's default optimizer is SGD with momentum).
+    pub momentum: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle seed (per epoch the seed is advanced deterministically).
+    pub seed: u64,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        Self {
+            lr: 0.01,
+            momentum: 0.9,
+            batch_size: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// A feed-forward network of [`Layer`]s.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Layers in order.
+    pub layers: Vec<Layer>,
+    /// Input shape (channels, length).
+    pub input: Shape,
+}
+
+impl Payload for Network {
+    fn approx_bytes(&self) -> usize {
+        self.n_params() * std::mem::size_of::<f32>() + std::mem::size_of::<Self>()
+    }
+}
+
+impl Network {
+    /// Builds a network, validating layer shape compatibility.
+    pub fn new(input: Shape, layers: Vec<Layer>) -> Self {
+        let mut s = input;
+        for l in &layers {
+            s = l.out_shape(s);
+        }
+        Self { layers, input }
+    }
+
+    /// The paper's AF architecture (§III-D): two 1-D convolutional
+    /// layers with 32 filters, a dense layer with 32 neurons, and a
+    /// binary softmax head. Strided convolutions + pooling keep the
+    /// flattened size manageable for arbitrary input lengths.
+    pub fn afib_cnn(in_len: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c1 = Conv1d::new(1, 32, 7, 3, &mut rng);
+        let l1 = c1.out_len(in_len);
+        let p1 = 2usize;
+        let c2 = Conv1d::new(32, 32, 5, 2, &mut rng);
+        let l2 = c2.out_len(l1 / p1);
+        let p2 = 2usize;
+        let flat = 32 * (l2 / p2);
+        let d1 = Dense::new(flat, 32, &mut rng);
+        let d2 = Dense::new(32, 2, &mut rng);
+        Self::new(
+            Shape { ch: 1, len: in_len },
+            vec![
+                Layer::Conv1d(c1),
+                Layer::Relu,
+                Layer::MaxPool1d(p1),
+                Layer::Conv1d(c2),
+                Layer::Relu,
+                Layer::MaxPool1d(p2),
+                Layer::Dense(d1),
+                Layer::Relu,
+                Layer::Dense(d2),
+            ],
+        )
+    }
+
+    /// Total trainable parameter count.
+    pub fn n_params(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(<[f32]>::len)
+            .sum()
+    }
+
+    /// Flattened copy of all parameters (for merging / assertions).
+    pub fn get_weights(&self) -> Vec<f32> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .flat_map(|p| p.iter().copied())
+            .collect()
+    }
+
+    /// Overwrites all parameters from a flat buffer (inverse of
+    /// [`Self::get_weights`]).
+    ///
+    /// # Panics
+    /// Panics on size mismatch.
+    pub fn set_weights(&mut self, w: &[f32]) {
+        let mut off = 0;
+        for l in &mut self.layers {
+            if let Some((params, _, _)) = l.params_mut() {
+                for p in params {
+                    p.copy_from_slice(&w[off..off + p.len()]);
+                    off += p.len();
+                }
+            }
+        }
+        assert_eq!(off, w.len(), "weight buffer size mismatch");
+    }
+
+    /// Saves the flat weight vector to a little-endian binary file with
+    /// a minimal header — the artifact a trained model ships to the edge
+    /// device in the paper's Fig. 1 pipeline.
+    pub fn save_weights(&self, path: &str) -> std::io::Result<()> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let w = self.get_weights();
+        let mut bytes = Vec::with_capacity(8 + w.len() * 4);
+        bytes.extend_from_slice(&(w.len() as u64).to_le_bytes());
+        for v in w {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(path, bytes)
+    }
+
+    /// Loads weights saved by [`Self::save_weights`] into this network.
+    ///
+    /// # Errors
+    /// Fails if the file is malformed or sized for a different
+    /// architecture.
+    pub fn load_weights(&mut self, path: &str) -> std::io::Result<()> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 8 {
+            return Err(std::io::Error::other("weight file too short"));
+        }
+        let n = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")) as usize;
+        if n != self.n_params() || bytes.len() != 8 + n * 4 {
+            return Err(std::io::Error::other(format!(
+                "weight count mismatch: file has {n}, network needs {}",
+                self.n_params()
+            )));
+        }
+        let w: Vec<f32> = bytes[8..]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        self.set_weights(&w);
+        Ok(())
+    }
+
+    /// Logits for one sample row (f64 features are converted to f32).
+    pub fn forward(&self, row: &[f64]) -> Vec<f32> {
+        let mut act: Vec<f32> = row.iter().map(|&v| v as f32).collect();
+        let mut s = self.input;
+        assert_eq!(act.len(), s.size(), "input length mismatch");
+        for l in &self.layers {
+            act = l.forward(&act, s);
+            s = l.out_shape(s);
+        }
+        act
+    }
+
+    /// Class probabilities for one sample.
+    pub fn predict_probs(&self, row: &[f64]) -> Vec<f32> {
+        softmax(&self.forward(row))
+    }
+
+    /// Hard 0/1 label for one sample.
+    pub fn predict_one(&self, row: &[f64]) -> u8 {
+        let p = self.predict_probs(row);
+        u8::from(p[1] > p[0])
+    }
+
+    /// Hard labels for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<u8> {
+        (0..x.rows()).map(|r| self.predict_one(x.row(r))).collect()
+    }
+
+    /// `(correct, total)` over a labeled set.
+    pub fn evaluate(&self, x: &Matrix, y: &[u8]) -> (u64, u64) {
+        let pred = self.predict(x);
+        let correct = pred.iter().zip(y).filter(|(p, t)| p == t).count() as u64;
+        (correct, y.len() as u64)
+    }
+
+    /// Backpropagates one sample, accumulating gradients; returns the
+    /// loss.
+    fn backprop_one(&mut self, row: &[f64], target: u8) -> f32 {
+        // Forward with cached activations.
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len() + 1);
+        let mut shapes: Vec<Shape> = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(row.iter().map(|&v| v as f32).collect());
+        shapes.push(self.input);
+        for (i, l) in self.layers.iter().enumerate() {
+            let out = l.forward(&acts[i], shapes[i]);
+            shapes.push(l.out_shape(shapes[i]));
+            acts.push(out);
+        }
+        let logits = acts.last().expect("non-empty activations");
+        let (loss, mut grad) = softmax_ce(logits, target as usize);
+        for i in (0..self.layers.len()).rev() {
+            grad = self.layers[i].backward(&acts[i], shapes[i], &grad);
+        }
+        loss
+    }
+
+    /// Applies accumulated gradients (scaled by `1/batch`) with
+    /// momentum, then clears them.
+    fn sgd_step(&mut self, lr: f32, momentum: f32, batch: usize) {
+        let scale = lr / batch.max(1) as f32;
+        for l in &mut self.layers {
+            if let Some((params, grads, vels)) = l.params_mut() {
+                for ((p, g), v) in params.into_iter().zip(grads).zip(vels) {
+                    for ((pv, gv), vv) in p.iter_mut().zip(g.iter_mut()).zip(v.iter_mut()) {
+                        *vv = momentum * *vv - scale * *gv;
+                        *pv += *vv;
+                        *gv = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulates gradients for the given sample indices **without**
+    /// stepping, returning the flattened gradient buffer (aligned with
+    /// [`Self::get_weights`]) and the summed loss. Internal accumulators
+    /// are cleared.
+    pub fn compute_gradients(&mut self, x: &Matrix, y: &[u8], idx: &[usize]) -> (Vec<f32>, f32) {
+        let mut loss = 0.0;
+        for &i in idx {
+            loss += self.backprop_one(x.row(i), y[i]);
+        }
+        let mut flat = Vec::with_capacity(self.n_params());
+        for l in &mut self.layers {
+            if let Some((_, grads, _)) = l.params_mut() {
+                for g in grads {
+                    flat.extend_from_slice(g);
+                    g.fill(0.0);
+                }
+            }
+        }
+        (flat, loss)
+    }
+
+    /// Applies an externally-averaged flat gradient (one momentum-SGD
+    /// step over `batch` samples) — the per-batch synchronization used
+    /// by intra-node multi-GPU data parallelism.
+    ///
+    /// # Panics
+    /// Panics on gradient-size mismatch.
+    pub fn apply_gradients(&mut self, flat: &[f32], lr: f32, momentum: f32, batch: usize) {
+        assert_eq!(flat.len(), self.n_params(), "gradient buffer size mismatch");
+        let scale = lr / batch.max(1) as f32;
+        let mut off = 0;
+        for l in &mut self.layers {
+            if let Some((params, _, vels)) = l.params_mut() {
+                for (p, v) in params.into_iter().zip(vels) {
+                    let len = p.len();
+                    for ((pv, vv), gv) in p.iter_mut().zip(v.iter_mut()).zip(&flat[off..off + len])
+                    {
+                        *vv = momentum * *vv - scale * gv;
+                        *pv += *vv;
+                    }
+                    off += len;
+                }
+            }
+        }
+    }
+
+    /// One SGD epoch over `(x, y)`; returns the mean loss.
+    pub fn train_epoch(&mut self, x: &Matrix, y: &[u8], params: &TrainParams, epoch: u64) -> f32 {
+        assert_eq!(x.rows(), y.len());
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(epoch.wrapping_mul(0x9E37)));
+        order.shuffle(&mut rng);
+        let mut total_loss = 0.0f32;
+        for chunk in order.chunks(params.batch_size.max(1)) {
+            for &i in chunk {
+                total_loss += self.backprop_one(x.row(i), y[i]);
+            }
+            self.sgd_step(params.lr, params.momentum, chunk.len());
+        }
+        total_loss / x.rows().max(1) as f32
+    }
+}
+
+/// Averages the weights of several equally-shaped networks — the
+/// paper's per-epoch merge: "the weights of the neural network in each
+/// worker are retrieved and they are merged and used in the next epoch".
+pub fn average_networks(nets: &[&Network]) -> Network {
+    assert!(!nets.is_empty(), "cannot average zero networks");
+    let mut acc = nets[0].get_weights();
+    for n in &nets[1..] {
+        let w = n.get_weights();
+        assert_eq!(
+            w.len(),
+            acc.len(),
+            "cannot average differently-shaped networks"
+        );
+        for (a, b) in acc.iter_mut().zip(w) {
+            *a += b;
+        }
+    }
+    let k = nets.len() as f32;
+    for a in &mut acc {
+        *a /= k;
+    }
+    let mut out = nets[0].clone();
+    out.set_weights(&acc);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// Tiny separable 1-D "signals": class 1 has high energy in the
+    /// second half, class 0 in the first half.
+    fn toy_data(n: usize, len: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let cls = (i % 2) as u8;
+            let row: Vec<f64> = (0..len)
+                .map(|t| {
+                    let active = if cls == 1 { t >= len / 2 } else { t < len / 2 };
+                    let base = if active { 1.0 } else { 0.0 };
+                    base + (rng.random::<f64>() - 0.5) * 0.2
+                })
+                .collect();
+            rows.push(row);
+            y.push(cls);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn afib_cnn_builds_and_predicts() {
+        let net = Network::afib_cnn(120, 0);
+        assert!(net.n_params() > 1000);
+        let x = vec![0.1f64; 120];
+        let p = net.predict_probs(&x);
+        assert_eq!(p.len(), 2);
+        assert!((p[0] + p[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let (x, y) = toy_data(60, 64, 3);
+        let mut net = Network::afib_cnn(64, 1);
+        let params = TrainParams {
+            lr: 0.05,
+            momentum: 0.9,
+            batch_size: 8,
+            seed: 2,
+        };
+        let first = net.train_epoch(&x, &y, &params, 0);
+        let mut last = first;
+        for e in 1..8 {
+            last = net.train_epoch(&x, &y, &params, e);
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        let (c, t) = net.evaluate(&x, &y);
+        assert!(c as f64 / t as f64 > 0.9, "acc={}", c as f64 / t as f64);
+    }
+
+    #[test]
+    fn weights_roundtrip() {
+        let net = Network::afib_cnn(64, 5);
+        let w = net.get_weights();
+        assert_eq!(w.len(), net.n_params());
+        let mut other = Network::afib_cnn(64, 6);
+        assert_ne!(other.get_weights(), w);
+        other.set_weights(&w);
+        assert_eq!(other.get_weights(), w);
+    }
+
+    #[test]
+    fn averaging_two_copies_is_identity() {
+        let net = Network::afib_cnn(64, 7);
+        let avg = average_networks(&[&net, &net]);
+        assert_eq!(avg.get_weights(), net.get_weights());
+    }
+
+    #[test]
+    fn averaging_moves_halfway() {
+        let a = Network::afib_cnn(64, 8);
+        let b = Network::afib_cnn(64, 9);
+        let avg = average_networks(&[&a, &b]);
+        let (wa, wb, wm) = (a.get_weights(), b.get_weights(), avg.get_weights());
+        for i in [0usize, 10, 100] {
+            assert!((wm[i] - 0.5 * (wa[i] + wb[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weights_file_roundtrip() {
+        let net = Network::afib_cnn(64, 11);
+        let path = "/tmp/taskml_weights_test.bin";
+        net.save_weights(path).unwrap();
+        let mut other = Network::afib_cnn(64, 12);
+        assert_ne!(other.get_weights(), net.get_weights());
+        other.load_weights(path).unwrap();
+        assert_eq!(other.get_weights(), net.get_weights());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn weights_file_rejects_wrong_architecture() {
+        let net = Network::afib_cnn(64, 11);
+        let path = "/tmp/taskml_weights_mismatch.bin";
+        net.save_weights(path).unwrap();
+        let mut other = Network::afib_cnn(128, 0);
+        assert!(other.load_weights(path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (x, y) = toy_data(20, 64, 4);
+        let mut a = Network::afib_cnn(64, 1);
+        let mut b = Network::afib_cnn(64, 1);
+        let p = TrainParams::default();
+        a.train_epoch(&x, &y, &p, 0);
+        b.train_epoch(&x, &y, &p, 0);
+        assert_eq!(a.get_weights(), b.get_weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn wrong_input_length_panics() {
+        let net = Network::afib_cnn(64, 0);
+        let _ = net.forward(&vec![0.0; 32]);
+    }
+}

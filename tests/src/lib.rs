@@ -1,0 +1,24 @@
+//! # integration-tests — cross-crate integration tests
+//!
+//! The actual tests live in `tests/`; this library only hosts shared
+//! fixtures.
+
+use ecg::{Dataset, DatasetSpec, Scale};
+use linalg::Matrix;
+
+/// A small, deterministic AF dataset shared by the integration tests
+/// (built once per test binary).
+pub fn tiny_dataset() -> (&'static Matrix, &'static [u8]) {
+    use std::sync::OnceLock;
+    static DATA: OnceLock<(Matrix, Vec<u8>)> = OnceLock::new();
+    let (x, y) = DATA.get_or_init(|| {
+        let mut spec = DatasetSpec::at_scale(Scale::Small).with_seed(99);
+        spec.n_normal = 36;
+        spec.n_af = 6;
+        spec.ecg.max_duration_s = 11.0;
+        let ds = Dataset::build(&spec);
+        // Cap feature count: the PCA eigendecomposition is cubic in it.
+        (ds.x.slice_cols(0, ds.x.cols().min(240)), ds.y)
+    });
+    (x, y)
+}

@@ -1,0 +1,93 @@
+//! Failure-injection tests: panics inside tasks must surface at the
+//! waiter with context — in inline mode, in threaded mode, through
+//! dependency chains, and inside nested runtimes — never deadlock.
+
+use taskrt::{ExecMode, Runtime, RuntimeConfig};
+
+#[test]
+#[should_panic(expected = "boom-inline")]
+fn inline_task_panic_reaches_wait() {
+    let rt = Runtime::new();
+    let a = rt.put(1u64);
+    let x = rt.task("bad").run1(a, |_| -> u64 { panic!("boom-inline") });
+    let _ = rt.wait(x);
+}
+
+#[test]
+#[should_panic(expected = "boom-threaded")]
+fn threaded_task_panic_reaches_wait() {
+    let rt = Runtime::threaded(2);
+    let a = rt.put(1u64);
+    let x = rt
+        .task("bad")
+        .run1(a, |_| -> u64 { panic!("boom-threaded") });
+    let _ = rt.wait(x);
+}
+
+#[test]
+#[should_panic(expected = "boom-chain")]
+fn failure_propagates_through_dependents() {
+    let rt = Runtime::threaded(4);
+    let a = rt.put(1u64);
+    let bad = rt.task("bad").run1(a, |_| -> u64 { panic!("boom-chain") });
+    // Several layers of downstream tasks.
+    let mid = rt.task("mid").run1(bad, |v| v + 1);
+    let tail = rt.task("tail").run2(mid, a, |m, a| m + a);
+    let _ = rt.wait(tail); // must panic, not hang
+}
+
+#[test]
+#[should_panic(expected = "before barrier")]
+fn failure_propagates_to_barrier() {
+    let rt = Runtime::threaded(2);
+    let a = rt.put(1u64);
+    let _bad = rt.task("bad").run1(a, |_| -> u64 { panic!("kaput") });
+    rt.barrier();
+}
+
+#[test]
+fn unrelated_tasks_survive_a_failure() {
+    let rt = Runtime::threaded(2);
+    let a = rt.put(1u64);
+    let _bad = rt.task("bad").run1(a, |_| -> u64 { panic!("isolated") });
+    // An independent chain must still complete.
+    let ok = rt.task("good").run1(a, |v| v * 10);
+    let ok2 = rt.task("good2").run1(ok, |v| v + 5);
+    assert_eq!(*rt.wait(ok2), 15);
+}
+
+#[test]
+#[should_panic(expected = "nested-boom")]
+fn nested_child_panic_reaches_parent_waiter() {
+    let rt = Runtime::with_config(RuntimeConfig {
+        mode: ExecMode::Threads(2),
+        nested_mode: ExecMode::Inline,
+    });
+    let a = rt.put(1u64);
+    let out = rt.task("fold").run_nested1(a, |child, v| {
+        let h = child.task("inner").run0({
+            let _v = *v;
+            move || -> u64 { panic!("nested-boom") }
+        });
+        *child.wait(h)
+    });
+    let _ = rt.wait(out);
+}
+
+#[test]
+fn failed_trace_is_still_inspectable() {
+    let rt = Runtime::threaded(2);
+    let a = rt.put(1u64);
+    let bad = rt.task("bad").run1(a, |_| -> u64 { panic!("x") });
+    let _good = rt.task("good").run1(a, |v| *v);
+    // Wait on the good one; give the bad one time to fail.
+    let _ = rt.wait(_good);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = rt.wait(bad);
+    }));
+    assert!(caught.is_err());
+    // Trace still records both submissions.
+    let trace = rt.trace();
+    assert!(trace.task_histogram().contains_key("bad"));
+    assert!(trace.task_histogram().contains_key("good"));
+}

@@ -1,0 +1,111 @@
+//! API-surface integration tests for the runtime: split handles,
+//! peek-vs-wait semantics, barrier behaviour, and payload size
+//! reporting — the contract downstream crates build on.
+
+use taskrt::trace::{BARRIER_TASK, SPLIT_TASK, SYNC_TASK};
+use taskrt::{Payload, Runtime};
+
+#[test]
+fn split_pair_works_in_threaded_mode() {
+    let rt = Runtime::threaded(2);
+    let pair = rt.task("mk").run0(|| (vec![1.0f64, 2.0], 7u64));
+    let (v, n) = rt.split_pair(pair);
+    assert_eq!(*rt.wait(v), vec![1.0, 2.0]);
+    assert_eq!(*rt.wait(n), 7);
+    let hist = rt.finish().task_histogram();
+    assert_eq!(hist[SPLIT_TASK], 1);
+}
+
+#[test]
+fn peek_does_not_record_sync_markers() {
+    let rt = Runtime::new();
+    let a = rt.put(1u64);
+    let x = rt.task("t").run1(a, |v| v + 1);
+    let _ = rt.peek(x);
+    let _ = rt.peek(x);
+    assert!(!rt.trace().records.iter().any(|r| r.name == SYNC_TASK));
+    // wait() does record one.
+    let _ = rt.wait(x);
+    assert_eq!(rt.trace().task_histogram()[SYNC_TASK], 1);
+}
+
+#[test]
+fn consecutive_waits_chain_markers() {
+    let rt = Runtime::new();
+    let a = rt.put(0u64);
+    let x = rt.task("t").run1(a, |v| v + 1);
+    let y = rt.task("t").run1(a, |v| v + 2);
+    let _ = rt.wait(x);
+    let _ = rt.wait(y);
+    let trace = rt.trace();
+    let markers: Vec<_> = trace
+        .records
+        .iter()
+        .filter(|r| r.name == SYNC_TASK)
+        .collect();
+    assert_eq!(markers.len(), 2);
+    // Second marker depends on the first (driver-order preserved).
+    assert!(markers[1].deps.contains(&markers[0].id));
+}
+
+#[test]
+fn repeated_barriers_are_cheap_and_ordered() {
+    let rt = Runtime::threaded(2);
+    let a = rt.put(1u64);
+    let _ = rt.task("t").run1(a, |v| *v);
+    rt.barrier();
+    rt.barrier(); // nothing new since the last one
+    let _ = rt.task("t").run1(a, |v| *v);
+    rt.barrier();
+    let hist = rt.trace().task_histogram();
+    assert_eq!(hist[BARRIER_TASK], 3);
+}
+
+#[test]
+fn wait_after_barrier_still_works() {
+    let rt = Runtime::threaded(4);
+    let a = rt.put(2u64);
+    let x = rt.task("sq").run1(a, |v| v * v);
+    rt.barrier();
+    assert_eq!(*rt.wait(x), 4);
+    let y = rt.task("inc").run1(x, |v| v + 1);
+    assert_eq!(*rt.wait(y), 5);
+}
+
+#[test]
+fn payload_sizes_flow_into_traces() {
+    let rt = Runtime::new();
+    let a = rt.put(0u8);
+    let big = rt
+        .task("alloc")
+        .run1(a, |_| linalg::Matrix::zeros(100, 100));
+    let _ = rt.wait(big);
+    let trace = rt.trace();
+    let rec = &trace.records[0];
+    assert_eq!(rec.outputs[0].1, 100 * 100 * 8);
+    // The tuple payload sums its parts.
+    let pair = (linalg::Matrix::zeros(10, 10), vec![0u8; 50]);
+    assert!(pair.approx_bytes() >= 800 + 50);
+}
+
+#[test]
+fn run0_through_run4_arities() {
+    let rt = Runtime::new();
+    let a = rt.task("g0").run0(|| 1u64);
+    let b = rt.task("g1").run1(a, |x| x + 1);
+    let c = rt.task("g2").run2(a, b, |x, y| x + y);
+    let d = rt.task("g3").run3(a, b, c, |x, y, z| x + y + z);
+    let e = rt.task("g4").run4(a, b, c, d, |x, y, z, w| x + y + z + w);
+    // a=1, b=2, c=3, d=6, e = a+b+c+d = 12
+    assert_eq!(*rt.wait(e), 12);
+}
+
+#[test]
+fn task_count_reflects_submissions() {
+    let rt = Runtime::new();
+    assert_eq!(rt.task_count(), 0);
+    let a = rt.put(1u64);
+    let _ = rt.task("t").run1(a, |v| *v);
+    let _ = rt.task("t").run1(a, |v| *v);
+    assert_eq!(rt.task_count(), 2);
+}

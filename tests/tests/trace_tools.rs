@@ -1,0 +1,109 @@
+//! Integration tests of the trace tooling: persistence, DOT export,
+//! Gantt rendering, and re-simulation of archived traces — the
+//! provenance workflow the paper's artifact appendix describes
+//! (WorkflowHub uploads + trace archives).
+
+use dislib::pca::{Components, Pca};
+use dsarray::DsArray;
+use integration_tests::tiny_dataset;
+use taskrt::gantt::{ascii_gantt, node_busy, schedule_json};
+use taskrt::sim::{simulate, ClusterSpec, Policy, SimOptions};
+use taskrt::{Runtime, Trace};
+
+fn recorded_pipeline() -> Trace {
+    let (x, _) = tiny_dataset();
+    let rt = Runtime::new();
+    let ds = DsArray::from_matrix(&rt, x, 16, 120);
+    let pca = Pca::fit(&rt, &ds, Components::Count(16));
+    let _ = pca.transform(&rt, &ds).collect(&rt);
+    rt.finish()
+}
+
+#[test]
+fn archived_trace_resimulates_identically() {
+    let trace = recorded_pipeline();
+    let path = "/tmp/taskml_it_trace.json";
+    trace.save(path).unwrap();
+    let restored = Trace::load(path).unwrap();
+    std::fs::remove_file(path).ok();
+
+    let cluster = ClusterSpec::marenostrum4(3);
+    let opts = SimOptions::with_policy(Policy::LocalityAware);
+    let a = simulate(&trace, &cluster, &opts);
+    let b = simulate(&restored, &cluster, &opts);
+    assert_eq!(a.makespan_s, b.makespan_s);
+    assert_eq!(a.transferred_bytes, b.transferred_bytes);
+    assert_eq!(a.schedule.len(), b.schedule.len());
+}
+
+#[test]
+fn schedule_is_resource_consistent() {
+    let trace = recorded_pipeline();
+    let cluster = ClusterSpec {
+        nodes: 2,
+        cores_per_node: 4,
+        gpus_per_node: 0,
+        bandwidth_bps: 1e9,
+        latency_s: 1e-5,
+    };
+    let rep = simulate(&trace, &cluster, &SimOptions::default());
+
+    // At no instant may a node exceed its core capacity. Check at every
+    // task start event.
+    for probe in &rep.schedule {
+        let t = (probe.start_s + probe.end_s) / 2.0;
+        for node in 0..cluster.nodes {
+            let used: u32 = rep
+                .schedule
+                .iter()
+                .filter(|e| e.node == node && e.start_s <= t && t < e.end_s)
+                .map(|e| e.cores)
+                .sum();
+            assert!(
+                used <= cluster.cores_per_node,
+                "node {node} oversubscribed at t={t}: {used} cores"
+            );
+        }
+    }
+}
+
+#[test]
+fn gantt_renders_real_pipeline() {
+    let trace = recorded_pipeline();
+    let rep = simulate(
+        &trace,
+        &ClusterSpec::marenostrum4(2),
+        &SimOptions::default(),
+    );
+    let g = ascii_gantt(&rep, 2, 72);
+    assert!(g.contains("node  0"));
+    assert!(g.contains("ds_"));
+    let busy = node_busy(&rep, 2);
+    assert!(busy[0] > 0.0);
+    let json = schedule_json(&rep.schedule);
+    assert!(json.contains("pca_eigh"));
+}
+
+#[test]
+fn dot_of_real_pipeline_mentions_every_kind() {
+    let trace = recorded_pipeline();
+    let dot = taskrt::dot::to_dot(&trace, "it", usize::MAX);
+    for kind in ["ds_load", "ds_gram", "pca_eigh", "ds_matmul"] {
+        assert!(dot.contains(&format!("legend_{kind}")), "missing {kind}");
+    }
+}
+
+#[test]
+fn trace_statistics_are_consistent() {
+    let trace = recorded_pipeline();
+    assert!(trace.user_task_count() > 10);
+    assert!(trace.critical_path_s() <= trace.total_work_s() + 1e-12);
+    assert!(trace.max_width() >= 1);
+    // Producer index covers every task output.
+    let producers = trace.producer_index();
+    for r in &trace.records {
+        for (d, _) in &r.outputs {
+            assert!(producers.contains_key(d));
+        }
+    }
+}
