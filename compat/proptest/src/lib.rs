@@ -1,0 +1,271 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides deterministic randomized testing with the API surface this
+//! workspace uses: the [`proptest!`] macro, [`prop_assert!`] /
+//! [`prop_assert_eq!`], numeric range strategies, and
+//! [`collection::vec`]. Unlike real proptest there is no shrinking and
+//! no persistence of failing cases — each test runs a fixed number of
+//! deterministically seeded cases (seeded from the test name, so
+//! failures reproduce run to run).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleUniform, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases each `proptest!` test executes by default.
+pub const CASES: usize = 64;
+
+/// Runner configuration (only the case count is honored), accepted via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases to execute per test.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: usize) -> Self {
+        Self { cases }
+    }
+}
+
+/// Per-test deterministic RNG.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG seeded from a stable hash of the test name, so every run of
+    /// a given test replays the same cases.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of test values — the (non-shrinking) strategy trait.
+pub trait Strategy {
+    /// Type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// A strategy producing a constant value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::SampleUniform;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            usize::sample_range(rng, self.start, self.end, false)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            usize::sample_range(rng, *self.start(), *self.end(), true)
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from `elem`.
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    /// `Vec` strategy with a fixed or ranged length
+    /// (`proptest::collection::vec`).
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Property-test entry point: declares `#[test]` functions whose
+/// arguments are drawn from strategies, executed for [`CASES`]
+/// deterministic cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block)*) => {
+        $($crate::proptest! {
+            @one ($cfg).cases; $(#[$meta])* fn $name ( $($arg in $strat),* ) $body
+        })*
+    };
+    ($($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block)*) => {
+        $($crate::proptest! {
+            @one $crate::CASES; $(#[$meta])* fn $name ( $($arg in $strat),* ) $body
+        })*
+    };
+    (@one $cases:expr;
+     $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            let cases: usize = $cases;
+            for case in 0..cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                // Render inputs up front: the body may move them.
+                let mut case_desc = ::std::string::String::new();
+                $(case_desc.push_str(&format!(
+                    "  {} = {:?}\n", stringify!($arg), $arg,
+                ));)*
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| -> () { $body }),
+                );
+                if let Err(e) = outcome {
+                    if e.is::<$crate::AssumeReject>() {
+                        continue; // prop_assume! rejected this case
+                    }
+                    eprintln!(
+                        "proptest case {}/{} failed in {}:\n{}",
+                        case + 1,
+                        cases,
+                        stringify!($name),
+                        case_desc,
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+    };
+}
+
+/// Unwind payload marking a case rejected by [`prop_assume!`]; the
+/// runner skips such cases instead of failing.
+pub struct AssumeReject;
+
+/// Discards the current case when the precondition does not hold
+/// (`proptest::prop_assume`). Uses `resume_unwind` so the panic hook
+/// stays silent.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            ::std::panic::resume_unwind(::std::boxed::Box::new($crate::AssumeReject));
+        }
+    };
+}
+
+/// Property assertion (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vecs_sized(v in collection::vec(0u8..2, 4..40)) {
+            prop_assert!(v.len() >= 4 && v.len() < 40);
+            prop_assert!(v.iter().all(|&b| b < 2));
+        }
+
+        #[test]
+        fn fixed_len_vec(v in collection::vec(-1.0f64..1.0, 6)) {
+            prop_assert_eq!(v.len(), 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic("same_name");
+        let mut b = crate::TestRng::deterministic("same_name");
+        let s = 0.0f64..1.0;
+        for _ in 0..10 {
+            assert_eq!(
+                Strategy::sample(&s, &mut a).to_bits(),
+                Strategy::sample(&s, &mut b).to_bits()
+            );
+        }
+    }
+}

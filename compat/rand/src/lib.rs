@@ -1,0 +1,326 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of the `rand` 0.10 API it actually uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded
+//!   via SplitMix64 (`seed_from_u64`),
+//! * [`RngExt::random`] / [`RngExt::random_range`] / [`RngExt::random_bool`],
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! The generator is high quality for simulation/testing purposes but is
+//! **not** cryptographically secure, and its streams differ from the
+//! upstream crate's — seeds are reproducible only within this workspace.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniformly distributed 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Marker trait mirroring `rand::Rng`; blanket-implemented for every
+/// [`RngCore`] so generic bounds like `R: rand::Rng + ?Sized` work.
+pub trait Rng: RngCore {}
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from the unit interval / full domain via
+/// [`RngExt::random`].
+pub trait StandardSample: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with uniform range sampling (the `random_range` element type).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[low, high)` (`inclusive == false`) or
+    /// `[low, high]` (`inclusive == true`).
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64, _incl: bool) -> f64 {
+        debug_assert!(low <= high, "empty range");
+        let u = f64::sample(rng);
+        low + (high - low) * u
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: f32, high: f32, _incl: bool) -> f32 {
+        debug_assert!(low <= high, "empty range");
+        low + (high - low) * f32::sample(rng)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: $t,
+                high: $t,
+                inclusive: bool,
+            ) -> $t {
+                let lo = low as i128;
+                let hi = high as i128 + if inclusive { 1 } else { 0 };
+                assert!(lo < hi, "cannot sample empty range {low}..{high}");
+                let span = (hi - lo) as u128;
+                // Multiply-shift mapping of a 64-bit draw onto the span;
+                // bias is < 2^-64 per unit of span — negligible here.
+                let draw = rng.next_u64() as u128;
+                let v = lo + ((draw * span) >> 64) as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range arguments accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand` 0.9+'s `Rng` surface.
+pub trait RngExt: RngCore {
+    /// A sample from the "standard" distribution of `T` (`f64`: uniform
+    /// `[0, 1)`).
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a half-open or inclusive range.
+    #[inline]
+    fn random_range<T: SampleUniform, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample(self) < p
+    }
+}
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator — the workspace's `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+}
+
+/// Slice helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// In-place random shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                // Uniform j in 0..=i via multiply-shift.
+                let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>().to_bits(), b.random::<f64>().to_bits());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let i = rng.random_range(3usize..10);
+            assert!((3..10).contains(&i));
+            let j = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&j));
+            let x = rng.random_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

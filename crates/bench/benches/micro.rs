@@ -59,13 +59,66 @@ fn bench_eigh(c: &mut Criterion) {
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    for &n in &[32usize, 128] {
+    // 32/128 fit in L1/L2; 320/512 exceed the KC=256 panel and exercise
+    // the cache-blocked register-tiled path end to end.
+    group.sample_size(10);
+    for &n in &[32usize, 128, 320, 512] {
         let a = Matrix::from_fn(n, n, |r, col| (r + col) as f64 * 0.25);
         let b_ = Matrix::from_fn(n, n, |r, col| (r as f64 - col as f64) * 0.5);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(a.matmul(black_box(&b_))))
         });
     }
+    group.finish();
+}
+
+fn bench_scheduler_throughput(c: &mut Criterion) {
+    // Pure scheduler overhead: a 2000-node no-op DAG with random
+    // dependencies (the shape of the `perf` binary's acceptance
+    // workload) driven end to end through submit + barrier.
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use taskrt::runtime::AnyArc;
+    use taskrt::DataId;
+
+    let n = 2000usize;
+    let mut rng = StdRng::seed_from_u64(42);
+    let dag: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                return Vec::new();
+            }
+            let ndeps = (rng.next_u64() % 9) as usize;
+            let window = i.min(64);
+            let mut deps: Vec<usize> = (0..ndeps)
+                .map(|_| i - 1 - (rng.next_u64() as usize % window))
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            deps
+        })
+        .collect();
+    let unit = std::sync::Arc::new(0u8);
+    let drive = |rt: &Runtime| {
+        let mut outs: Vec<DataId> = Vec::with_capacity(dag.len());
+        for deps in &dag {
+            let inputs: Vec<DataId> = deps.iter().map(|&j| outs[j]).collect();
+            let u = unit.clone();
+            let ids = rt.submit_raw(
+                "noop".to_string(),
+                0,
+                0,
+                inputs,
+                1,
+                Box::new(move |_ctx, _ins| vec![(u as AnyArc, 1)]),
+            );
+            outs.push(ids[0]);
+        }
+        rt.barrier();
+    };
+    let mut group = c.benchmark_group("scheduler_2000_noop");
+    group.bench_function("inline", |b| b.iter(|| drive(&Runtime::new())));
+    group.bench_function("threaded_4", |b| b.iter(|| drive(&Runtime::threaded(4))));
     group.finish();
 }
 
@@ -156,6 +209,7 @@ criterion_group!(
     bench_spectrogram,
     bench_eigh,
     bench_gemm,
+    bench_scheduler_throughput,
     bench_smo,
     bench_runtime_submission,
     bench_threaded_vs_inline,

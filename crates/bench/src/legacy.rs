@@ -1,0 +1,414 @@
+//! The seed scheduler, preserved as a benchmark baseline.
+//!
+//! This is a faithful port of the workspace's original global-lock
+//! runtime (`crates/core/src/runtime.rs` at the seed commit), kept so
+//! `--bin perf` can measure the new scheduler against the design it
+//! replaced on identical DAGs. The hot-path characteristics of the
+//! seed are reproduced exactly:
+//!
+//! * one `Mutex<State>` around **hash-map** task/data tables
+//!   (`values`, `producer`, `done`, `failed`, `remaining`,
+//!   `dependents`, `pending`) — every submission and completion hashes
+//!   several keys under the global lock;
+//! * dispatch through a single shared channel all workers contend on,
+//!   with a `Sender` clone and an `Arc<Inner>` clone per message;
+//! * completion wakes **every** sleeper (`notify_all`), whether or not
+//!   it can make progress;
+//! * full per-task bookkeeping: a boxed type-erased body, wall-clock
+//!   timing around a `catch_unwind`, a [`TaskRecord`] with
+//!   input/output byte sizes looked up from the value map.
+//!
+//! The only deliberate deviations: `std::sync` primitives replace
+//! `parking_lot`/`crossbeam` (the workspace no longer ships those), a
+//! worklist replaces inline recursion so deep chains cannot overflow,
+//! and workers are joined on drop so benchmark processes stay tidy —
+//! none of which touch the measured per-task path.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use taskrt::{DataId, TaskId, TaskRecord};
+
+/// Type-erased shared value (the seed's `AnyArc`).
+pub type AnyArc = Arc<dyn Any + Send + Sync>;
+
+/// Type-erased task body, as in the seed (minus the nesting context,
+/// which no benchmark DAG uses).
+pub type LegacyTaskFn = Box<dyn FnOnce(&[AnyArc]) -> Vec<(AnyArc, usize)> + Send>;
+
+enum Slot {
+    Pending,
+    Ready(AnyArc, usize),
+}
+
+struct PendingJob {
+    f: LegacyTaskFn,
+    inputs: Vec<DataId>,
+    outputs: Vec<DataId>,
+}
+
+struct State {
+    next_data: u64,
+    next_task: u64,
+    values: HashMap<DataId, Slot>,
+    producer: HashMap<DataId, TaskId>,
+    done: HashSet<TaskId>,
+    failed: HashMap<TaskId, String>,
+    remaining: HashMap<TaskId, usize>,
+    dependents: HashMap<TaskId, Vec<TaskId>>,
+    pending: HashMap<TaskId, PendingJob>,
+    records: Vec<TaskRecord>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+    sender: Mutex<Option<Sender<WorkerMsg>>>,
+}
+
+struct WorkerMsg {
+    task: TaskId,
+    job: PendingJob,
+    inner: Arc<Inner>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The seed's global-lock runtime.
+pub struct LegacyRuntime {
+    inner: Arc<Inner>,
+    inline: bool,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl LegacyRuntime {
+    /// Builds a runtime with `workers` worker threads (0 = inline).
+    pub fn new(workers: usize) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                next_data: 0,
+                next_task: 0,
+                values: HashMap::new(),
+                producer: HashMap::new(),
+                done: HashSet::new(),
+                failed: HashMap::new(),
+                remaining: HashMap::new(),
+                dependents: HashMap::new(),
+                pending: HashMap::new(),
+                records: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            sender: Mutex::new(None),
+        });
+        let mut handles = Vec::new();
+        if workers > 0 {
+            let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = channel();
+            // std's Receiver is single-consumer; share it behind a lock
+            // (the seed used an MPMC channel — all workers contended on
+            // one dispatch queue either way).
+            let rx = Arc::new(Mutex::new(rx));
+            for _ in 0..workers {
+                let rx = rx.clone();
+                handles.push(std::thread::spawn(move || loop {
+                    let msg = lock(&rx).recv();
+                    match msg {
+                        Ok(msg) => execute(msg),
+                        Err(_) => return,
+                    }
+                }));
+            }
+            *lock(&inner.sender) = Some(tx);
+        }
+        LegacyRuntime {
+            inner,
+            inline: workers == 0,
+            workers: handles,
+        }
+    }
+
+    /// The seed's `submit_raw`: wires last-writer dependencies, records
+    /// a full [`TaskRecord`], and dispatches if already ready.
+    pub fn submit_raw(
+        &self,
+        name: String,
+        inputs: Vec<DataId>,
+        n_outputs: usize,
+        f: LegacyTaskFn,
+    ) -> Vec<DataId> {
+        let (tid, outputs, job_now) = {
+            let mut st = lock(&self.inner.state);
+            let tid = TaskId(st.next_task);
+            st.next_task += 1;
+
+            let mut outputs = Vec::with_capacity(n_outputs);
+            for _ in 0..n_outputs {
+                let id = DataId(st.next_data);
+                st.next_data += 1;
+                st.values.insert(id, Slot::Pending);
+                st.producer.insert(id, tid);
+                outputs.push(id);
+            }
+
+            let mut deps: Vec<TaskId> = inputs
+                .iter()
+                .filter_map(|d| st.producer.get(d).copied())
+                .collect();
+            deps.sort();
+            deps.dedup();
+            deps.retain(|&d| d != tid);
+
+            let seq = st.records.len() as u64;
+            let input_bytes: Vec<(DataId, usize)> = inputs
+                .iter()
+                .map(|d| {
+                    let b = match st.values.get(d) {
+                        Some(Slot::Ready(_, b)) => *b,
+                        _ => 0,
+                    };
+                    (*d, b)
+                })
+                .collect();
+            st.records.push(TaskRecord {
+                id: tid,
+                name,
+                deps: deps.clone(),
+                duration_s: 0.0,
+                inputs: input_bytes,
+                outputs: outputs.iter().map(|&d| (d, 0)).collect(),
+                cores: 0,
+                gpus: 0,
+                seq,
+                child: None,
+            });
+
+            let unfinished = deps.iter().filter(|d| !st.done.contains(d)).count();
+            let job = PendingJob {
+                f,
+                inputs,
+                outputs: outputs.clone(),
+            };
+            if unfinished == 0 {
+                (tid, outputs, Some(job))
+            } else {
+                st.remaining.insert(tid, unfinished);
+                for d in deps {
+                    if !st.done.contains(&d) {
+                        st.dependents.entry(d).or_default().push(tid);
+                    }
+                }
+                st.pending.insert(tid, job);
+                (tid, outputs, None)
+            }
+        };
+        if let Some(job) = job_now {
+            self.dispatch(tid, job);
+        }
+        outputs
+    }
+
+    fn dispatch(&self, task: TaskId, job: PendingJob) {
+        if self.inline {
+            execute(WorkerMsg {
+                task,
+                job,
+                inner: self.inner.clone(),
+            });
+        } else {
+            let sender = lock(&self.inner.sender).clone().expect("pool sender");
+            sender
+                .send(WorkerMsg {
+                    task,
+                    job,
+                    inner: self.inner.clone(),
+                })
+                .expect("worker pool alive");
+        }
+    }
+
+    /// Blocks until every submitted task has completed (the seed's
+    /// barrier loop: broadcast wakeups, full rescan per wakeup).
+    pub fn barrier(&self) {
+        let mut st = lock(&self.inner.state);
+        loop {
+            if let Some((t, msg)) = st.failed.iter().next() {
+                panic!("legacy task {t:?} failed: {msg}");
+            }
+            if st.done.len() as u64 + st.failed.len() as u64 == st.next_task {
+                return;
+            }
+            st = self
+                .inner
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Tasks submitted so far.
+    pub fn task_count(&self) -> usize {
+        lock(&self.inner.state).records.len()
+    }
+}
+
+impl Drop for LegacyRuntime {
+    fn drop(&mut self) {
+        lock(&self.inner.sender).take(); // close the channel
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The seed's `Inner::execute`: resolve inputs, time the body, store
+/// outputs, release dependents, broadcast. A worklist replaces the
+/// seed's recursion so deep inline chains cannot overflow the stack.
+fn execute(msg: WorkerMsg) {
+    let mut work = vec![msg];
+    while let Some(WorkerMsg { task, job, inner }) = work.pop() {
+        let PendingJob { f, inputs, outputs } = job;
+
+        let resolved: Vec<AnyArc> = {
+            let st = lock(&inner.state);
+            inputs
+                .iter()
+                .map(|d| match st.values.get(d) {
+                    Some(Slot::Ready(v, _)) => v.clone(),
+                    _ => unreachable!("input {d:?} not ready for task {task:?}"),
+                })
+                .collect()
+        };
+
+        let start = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&resolved)));
+        let duration = start.elapsed().as_secs_f64();
+
+        let mut newly_ready: Vec<(TaskId, PendingJob)> = Vec::new();
+        {
+            let mut st = lock(&inner.state);
+            match result {
+                Ok(outs) => {
+                    assert_eq!(outs.len(), outputs.len(), "wrong number of outputs");
+                    let idx = task.0 as usize;
+                    let in_sizes: Vec<(DataId, usize)> = inputs
+                        .iter()
+                        .map(|d| {
+                            let b = match st.values.get(d) {
+                                Some(Slot::Ready(_, b)) => *b,
+                                _ => 0,
+                            };
+                            (*d, b)
+                        })
+                        .collect();
+                    {
+                        let rec = &mut st.records[idx];
+                        rec.duration_s = duration;
+                        rec.inputs = in_sizes;
+                        rec.outputs = outputs
+                            .iter()
+                            .zip(&outs)
+                            .map(|(&d, (_, b))| (d, *b))
+                            .collect();
+                    }
+                    for (&d, (v, b)) in outputs.iter().zip(outs) {
+                        st.values.insert(d, Slot::Ready(v, b));
+                    }
+                    st.done.insert(task);
+                }
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| e.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "task panicked".to_string());
+                    let mut frontier = vec![task];
+                    while let Some(t) = frontier.pop() {
+                        st.failed.insert(t, msg.clone());
+                        st.pending.remove(&t);
+                        st.remaining.remove(&t);
+                        if let Some(deps) = st.dependents.remove(&t) {
+                            frontier.extend(deps);
+                        }
+                    }
+                }
+            }
+
+            if st.done.contains(&task) {
+                if let Some(deps) = st.dependents.remove(&task) {
+                    for dep in deps {
+                        let rem = st.remaining.get_mut(&dep).expect("dependent counted");
+                        *rem -= 1;
+                        if *rem == 0 {
+                            st.remaining.remove(&dep);
+                            let job = st.pending.remove(&dep).expect("pending job present");
+                            newly_ready.push((dep, job));
+                        }
+                    }
+                }
+            }
+        }
+        inner.cv.notify_all();
+        for (dep, job) in newly_ready {
+            let sender = lock(&inner.sender).clone();
+            match sender {
+                Some(tx) => {
+                    let _ = tx.send(WorkerMsg {
+                        task: dep,
+                        job,
+                        inner: inner.clone(),
+                    });
+                }
+                None => work.push(WorkerMsg {
+                    task: dep,
+                    job,
+                    inner: inner.clone(),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> LegacyTaskFn {
+        Box::new(|_ins| vec![(Arc::new(0u8) as AnyArc, 1)])
+    }
+
+    #[test]
+    fn legacy_inline_runs_dag() {
+        let rt = LegacyRuntime::new(0);
+        let a = rt.submit_raw("a".into(), vec![], 1, noop());
+        let b = rt.submit_raw("b".into(), vec![a[0]], 1, noop());
+        let _c = rt.submit_raw("c".into(), vec![a[0], b[0]], 1, noop());
+        rt.barrier();
+        assert_eq!(rt.task_count(), 3);
+    }
+
+    #[test]
+    fn legacy_inline_deep_chain_does_not_overflow() {
+        let rt = LegacyRuntime::new(0);
+        let mut prev = rt.submit_raw("t".into(), vec![], 1, noop());
+        for _ in 0..50_000 {
+            prev = rt.submit_raw("t".into(), vec![prev[0]], 1, noop());
+        }
+        rt.barrier();
+    }
+
+    #[test]
+    fn legacy_threaded_runs_dag() {
+        let rt = LegacyRuntime::new(4);
+        let mut outs: Vec<DataId> = Vec::new();
+        for i in 0..200usize {
+            let deps: Vec<DataId> = outs.iter().rev().take(2).copied().collect();
+            outs.push(rt.submit_raw(format!("t{}", i % 3), deps, 1, noop())[0]);
+        }
+        rt.barrier();
+        assert_eq!(rt.task_count(), 200);
+    }
+}

@@ -10,6 +10,7 @@
 //! | `graphs` | Figs. 4, 6, 8, 9, 10: execution graphs as Graphviz DOT |
 //! | `pca_cost` | §IV-B: constant PCA cost across algorithms |
 //! | `ablate` | ablations: block size, scheduler policy, `distr_depth`, nesting, augmentation |
+//! | `perf` | hot-path throughput: scheduler (new vs [`legacy`]), DES replay, blocked GEMM — writes `BENCH_perf.json` |
 //!
 //! Library modules: [`pipeline`] (the end-to-end AF workflow at `small`
 //! scale), [`costs`] (the analytic duration scaling that lifts measured
@@ -17,5 +18,6 @@
 //! formatting and artifact output).
 
 pub mod costs;
+pub mod legacy;
 pub mod pipeline;
 pub mod report;

@@ -48,7 +48,7 @@ pub fn ascii_gantt(report: &SimReport, nodes: usize, width: usize) -> String {
 
 /// Serializes the schedule to JSON (one object per placed task).
 pub fn schedule_json(schedule: &[ScheduleEntry]) -> String {
-    serde_json::to_string_pretty(schedule).expect("schedule serialization cannot fail")
+    crate::json::Value::Array(schedule.iter().map(ScheduleEntry::to_value).collect()).pretty()
 }
 
 /// Per-node busy seconds — a quick load-balance summary.
@@ -129,7 +129,7 @@ mod tests {
     fn schedule_json_is_valid() {
         let (rep, _) = demo_report();
         let j = schedule_json(&rep.schedule);
-        let parsed: serde_json::Value = serde_json::from_str(&j).unwrap();
+        let parsed = crate::json::Value::parse(&j).unwrap();
         assert_eq!(parsed.as_array().unwrap().len(), rep.schedule.len());
     }
 

@@ -6,15 +6,19 @@
 //! Handles are `Copy`; passing one to another task wires a data
 //! dependency automatically.
 
-use serde::{Deserialize, Serialize};
 use std::marker::PhantomData;
 
 /// Unique identifier of a datum in the runtime's store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+///
+/// Ids are **dense**: a runtime hands them out sequentially from zero,
+/// so both the scheduler and the simulator index plain vectors with
+/// them instead of hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DataId(pub u64);
 
-/// Unique identifier of a submitted task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+/// Unique identifier of a submitted task. Dense, like [`DataId`]; a
+/// task's id equals its record index in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TaskId(pub u64);
 
 /// Typed reference to a (possibly not-yet-computed) value.

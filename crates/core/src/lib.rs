@@ -35,10 +35,20 @@
 //! | [`sim`] | discrete-event cluster simulator and [`sim::ClusterSpec`] |
 //! | [`dot`] | Graphviz export of execution graphs |
 //! | [`gantt`] | ASCII/JSON timelines of simulated schedules |
+//! | [`json`] | self-contained JSON tree, parser, and printer |
+//!
+//! ## Runtime internals & performance
+//!
+//! The scheduler is built for fine-grained task graphs (10k+ tasks)
+//! where per-task overhead dominates; see [`runtime`] for the data
+//! structures (dense id-indexed tables, per-worker work-stealing
+//! deques, batched ready release, targeted wakeups) and
+//! `cargo run -p bench --bin perf` for the measured throughput.
 
 pub mod dot;
 pub mod gantt;
 pub mod handle;
+pub mod json;
 pub mod payload;
 pub mod runtime;
 pub mod sim;
@@ -46,5 +56,5 @@ pub mod trace;
 
 pub use handle::{DataId, Handle, TaskId};
 pub use payload::Payload;
-pub use runtime::{ExecMode, Runtime, RuntimeConfig, TaskBuilder, TaskCtx};
+pub use runtime::{live_worker_threads, ExecMode, Runtime, RuntimeConfig, TaskBuilder, TaskCtx};
 pub use trace::{TaskRecord, Trace};

@@ -25,15 +25,49 @@
 //!   (deterministic; durations still measured).
 //! * [`ExecMode::Threads`] runs tasks on a worker pool with true
 //!   parallelism.
+//!
+//! ## Scheduler internals
+//!
+//! The runtime targets *fine-grained* graphs (tens of thousands of
+//! sub-millisecond tasks) where per-task overhead dominates:
+//!
+//! * **Dense tables.** [`TaskId`]s and [`DataId`]s are handed out
+//!   sequentially, so every per-task and per-datum lookup is a plain
+//!   `Vec` index — no hashing anywhere on the hot path. A task's id
+//!   doubles as its record index in the trace.
+//! * **Release-time resolution.** A task that becomes ready is turned
+//!   into a self-contained `ReadyRun` (job closure + cloned input
+//!   `Arc`s) under whichever lock released it, so executing it later
+//!   needs the shared state exactly once — at commit.
+//! * **Per-worker deques + stealing.** Each worker owns a deque; the
+//!   driver stages root tasks and flushes them to a shared injector
+//!   queue in batches (immediately when a worker is idle — tracked by
+//!   a lock-free hint — otherwise every [`STAGE_BATCH`] submissions).
+//!   An idle worker pops its own deque first, then adopts the front
+//!   half of the injector, then steals the back half of a sibling
+//!   deque. Lock order is `state → injector → queues`, one-way.
+//! * **Cooperative wait.** A driver blocked in `wait`/`barrier` does
+//!   not just sleep: it drains the injector and deques and executes
+//!   tasks itself, only parking on the condvar after a dry pass.
+//! * **Batched release + continuation.** Completing a task releases all
+//!   newly-ready dependents in a single pass under the lock. The worker
+//!   keeps one as its continuation (no queue round-trip) and publishes
+//!   the rest, waking at most that many sleeping workers via a
+//!   token-counted `notify_one` scheme — never a thundering-herd
+//!   `notify_all`. Driver wakeups are likewise skipped entirely unless
+//!   a `wait`/`barrier` is actually blocked.
+//! * **Clean shutdown.** Dropping the last [`Runtime`] clone signals
+//!   shutdown and joins every worker; no threads outlive the runtime
+//!   (observable via [`live_worker_threads`]).
 
 use crate::handle::{DataId, Handle, TaskId};
 use crate::payload::Payload;
 use crate::trace::{TaskRecord, Trace, BARRIER_TASK, SPLIT_TASK, SYNC_TASK};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Type-erased shared value.
@@ -42,6 +76,37 @@ pub type AnyArc = Arc<dyn Any + Send + Sync>;
 /// Type-erased task body: receives the resolved inputs, returns the
 /// outputs with their approximate byte sizes.
 type TaskFn = Box<dyn FnOnce(&TaskCtx, &[AnyArc]) -> Vec<(AnyArc, usize)> + Send>;
+
+/// Poison-tolerant lock: a panicking task body never leaves the
+/// scheduler unusable (task panics are caught, but driver-side panics
+/// from failure propagation would otherwise poison std mutexes).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Number of scheduler worker threads currently alive process-wide.
+/// Returns to its previous value once every threaded [`Runtime`] has
+/// been dropped — the drop joins its workers.
+pub fn live_worker_threads() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+struct WorkerGuard;
+
+impl WorkerGuard {
+    fn new() -> Self {
+        LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+        WorkerGuard
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// How tasks are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +140,7 @@ impl Default for RuntimeConfig {
 /// Context handed to every task body; grants access to nesting.
 pub struct TaskCtx {
     nested_mode: ExecMode,
-    child: Mutex<Option<Arc<Inner>>>,
+    child: Mutex<Option<Runtime>>,
 }
 
 impl TaskCtx {
@@ -89,7 +154,7 @@ impl TaskCtx {
             mode: self.nested_mode,
             nested_mode: self.nested_mode,
         });
-        *self.child.lock() = Some(rt.inner.clone());
+        *lock(&self.child) = Some(rt.clone());
         rt
     }
 }
@@ -99,38 +164,151 @@ enum Slot {
     Ready(AnyArc, usize),
 }
 
+/// Per-datum entry, indexed by `DataId`.
+struct DataEntry {
+    slot: Slot,
+    /// Producing task, if any (`None` for `put` data).
+    producer: Option<TaskId>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Some dependencies are still unfinished.
+    Waiting,
+    /// All dependencies done; queued (or about to be) for execution.
+    Ready,
+    /// Completed successfully.
+    Done,
+    /// Panicked, or depends (transitively) on a task that did.
+    Failed,
+}
+
+/// A staged task body, held while the task waits on dependencies.
+/// Input/output data ids are not duplicated here — the task's
+/// [`TaskRecord`] already carries them (one less allocation per task
+/// on the submission hot path).
 struct PendingJob {
     f: TaskFn,
-    inputs: Vec<DataId>,
-    outputs: Vec<DataId>,
+}
+
+/// A task made fully self-contained at *release* time: the body plus
+/// its already-resolved inputs. Built by [`make_run`] under whichever
+/// state lock released the task (submission or a predecessor's
+/// completion) — so executing it needs no state lock at all before the
+/// commit, two acquisitions per task instead of three. This is what
+/// flows through the injector and the worker deques.
+struct ReadyRun {
+    id: TaskId,
+    f: TaskFn,
+    inputs: Vec<AnyArc>,
+}
+
+/// Extracts the body of ready task `tid` and resolves its inputs (all
+/// producers are done by the release invariant). Caller holds the
+/// state lock.
+fn make_run(st: &mut State, tid: TaskId) -> ReadyRun {
+    let ti = tid.0 as usize;
+    let job = st.tasks[ti].job.take().expect("ready task has a job");
+    let rec = &st.records[ti];
+    let mut inputs = Vec::with_capacity(rec.inputs.len());
+    for (d, _) in rec.inputs.iter() {
+        match &st.data[d.0 as usize].slot {
+            Slot::Ready(v, _) => inputs.push(v.clone()),
+            Slot::Pending => unreachable!("input {d:?} not ready for task {tid:?}"),
+        }
+    }
+    ReadyRun {
+        id: tid,
+        f: job.f,
+        inputs,
+    }
+}
+
+/// Per-task scheduling entry, indexed by `TaskId` (== record index).
+struct TaskEntry {
+    status: Status,
+    /// Unfinished dependencies (meaningful while `Waiting`).
+    remaining: usize,
+    /// Tasks to release when this one completes.
+    dependents: Vec<TaskId>,
+    /// The body, staged until execution.
+    job: Option<PendingJob>,
+    /// Failure message (shared across the transitive failure cone).
+    failure: Option<Arc<str>>,
 }
 
 struct State {
-    next_data: u64,
-    next_task: u64,
-    values: HashMap<DataId, Slot>,
-    producer: HashMap<DataId, TaskId>,
-    done: HashSet<TaskId>,
-    failed: HashMap<TaskId, String>,
-    remaining: HashMap<TaskId, usize>,
-    dependents: HashMap<TaskId, Vec<TaskId>>,
-    pending: HashMap<TaskId, PendingJob>,
+    data: Vec<DataEntry>,
+    tasks: Vec<TaskEntry>,
     records: Vec<TaskRecord>,
     sync_marker: Option<TaskId>,
     since_barrier: Vec<TaskId>,
+    /// Drivers currently blocked in `wait`/`barrier`; completion skips
+    /// the condvar entirely when zero.
+    waiters: usize,
+    /// Ready-at-submission tasks not yet moved to the injector
+    /// (threaded mode only). Submission storms stage here — already
+    /// under the state lock — and flush in batches, instead of paying
+    /// an injector lock plus a wakeup per task. Flushed immediately
+    /// whenever a worker is idle, so eager execution is preserved; an
+    /// idle worker also drains it directly (see [`flush_staged`]).
+    staged: Vec<ReadyRun>,
+}
+
+struct WakeState {
+    /// Workers currently in (or entering) a condvar sleep.
+    sleepers: usize,
+    /// Pending wake obligations for sleeping workers (each is one
+    /// issued `notify_one`; always `<= sleepers`). A worker consumes
+    /// one token per sleep cycle.
+    tokens: usize,
+    shutdown: bool,
+}
+
+impl WakeState {
+    /// Republishes the "unclaimed sleeper exists" hint after any
+    /// `sleepers`/`tokens` change (caller holds the wake lock). The
+    /// submission path reads the hint with a relaxed load instead of
+    /// taking the wake lock on every task.
+    fn publish_idle_hint(&self, hint: &AtomicBool) {
+        hint.store(self.sleepers > self.tokens, Ordering::Relaxed);
+    }
+}
+
+/// Everything workers need. Workers hold `Arc<Shared>` only — never
+/// `Arc<Inner>` — so dropping the last `Runtime` clone can join them.
+struct Shared {
+    config: RuntimeConfig,
+    state: Mutex<State>,
+    /// Signals task completion to blocked drivers.
+    cv: Condvar,
+    /// Root-task submissions from the driver.
+    injector: Mutex<VecDeque<ReadyRun>>,
+    /// One deque per worker.
+    queues: Vec<Mutex<VecDeque<ReadyRun>>>,
+    wake: Mutex<WakeState>,
+    wake_cv: Condvar,
+    /// Mirror of `sleepers > tokens`, maintained under the wake lock;
+    /// lets `submit_raw` decide stage-vs-flush without that lock.
+    idle_hint: AtomicBool,
 }
 
 struct Inner {
-    config: RuntimeConfig,
-    state: Mutex<State>,
-    cv: Condvar,
-    sender: Mutex<Option<Sender<WorkerMsg>>>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
 }
 
-struct WorkerMsg {
-    task: TaskId,
-    job: PendingJob,
-    inner: Arc<Inner>,
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        lock(&self.shared.wake).shutdown = true;
+        self.shared.wake_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
 }
 
 /// The task-based workflow runtime (PyCOMPSs equivalent). Cheap to
@@ -162,39 +340,46 @@ impl Runtime {
 
     /// Builds a runtime from an explicit configuration.
     pub fn with_config(config: RuntimeConfig) -> Self {
-        let inner = Arc::new(Inner {
+        let n_workers = match config.mode {
+            ExecMode::Inline => 0,
+            ExecMode::Threads(n) => n.max(1),
+        };
+        let shared = Arc::new(Shared {
             config,
             state: Mutex::new(State {
-                next_data: 0,
-                next_task: 0,
-                values: HashMap::new(),
-                producer: HashMap::new(),
-                done: HashSet::new(),
-                failed: HashMap::new(),
-                remaining: HashMap::new(),
-                dependents: HashMap::new(),
-                pending: HashMap::new(),
+                data: Vec::new(),
+                tasks: Vec::new(),
                 records: Vec::new(),
                 sync_marker: None,
                 since_barrier: Vec::new(),
+                waiters: 0,
+                staged: Vec::new(),
             }),
             cv: Condvar::new(),
-            sender: Mutex::new(None),
+            injector: Mutex::new(VecDeque::new()),
+            queues: (0..n_workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            wake: Mutex::new(WakeState {
+                sleepers: 0,
+                tokens: 0,
+                shutdown: false,
+            }),
+            wake_cv: Condvar::new(),
+            idle_hint: AtomicBool::new(false),
         });
-        if let ExecMode::Threads(n) = config.mode {
-            let n = n.max(1);
-            let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
-            for _ in 0..n {
-                let rx = rx.clone();
-                std::thread::spawn(move || {
-                    while let Ok(msg) = rx.recv() {
-                        Inner::execute(msg);
-                    }
-                });
-            }
-            *inner.sender.lock() = Some(tx);
+        let workers = (0..n_workers)
+            .map(|i| {
+                let s = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("taskrt-worker-{i}"))
+                    .spawn(move || worker_loop(s, i))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Runtime {
+            inner: Arc::new(Inner { shared, workers }),
         }
-        Runtime { inner }
     }
 
     /// Stores a value in the runtime, returning a handle. Equivalent to
@@ -202,10 +387,12 @@ impl Runtime {
     /// places such data on the master node (node 0).
     pub fn put<T: Payload>(&self, value: T) -> Handle<T> {
         let bytes = value.approx_bytes();
-        let mut st = self.inner.state.lock();
-        let id = DataId(st.next_data);
-        st.next_data += 1;
-        st.values.insert(id, Slot::Ready(Arc::new(value), bytes));
+        let mut st = lock(&self.inner.shared.state);
+        let id = DataId(st.data.len() as u64);
+        st.data.push(DataEntry {
+            slot: Slot::Ready(Arc::new(value), bytes),
+            producer: None,
+        });
         Handle::new(id)
     }
 
@@ -235,8 +422,8 @@ impl Runtime {
         // Record the sync marker first (driver-side order is submission
         // order), then block.
         {
-            let mut st = self.inner.state.lock();
-            if let Some(&producer) = st.producer.get(&h.id) {
+            let mut st = lock(&self.inner.shared.state);
+            if let Some(producer) = st.data[h.id.0 as usize].producer {
                 let mut deps = vec![producer];
                 if let Some(prev) = st.sync_marker {
                     if prev != producer {
@@ -246,7 +433,6 @@ impl Runtime {
                 let marker = Self::push_marker(&mut st, SYNC_TASK, deps);
                 st.sync_marker = Some(marker);
                 st.since_barrier.push(marker);
-                st.done.insert(marker);
             }
         }
         self.block_on(h.id)
@@ -259,53 +445,91 @@ impl Runtime {
     }
 
     fn block_on<T: Payload>(&self, id: DataId) -> Arc<T> {
-        let mut st = self.inner.state.lock();
+        let shared = &self.inner.shared;
+        let di = id.0 as usize;
+        if di >= lock(&shared.state).data.len() {
+            panic!("unknown data id {id:?}");
+        }
+        let mut newly: Vec<ReadyRun> = Vec::new();
+        let mut idle = false; // last help pass found no queued work
         loop {
-            if let Some(&producer) = st.producer.get(&id) {
-                if let Some(msg) = st.failed.get(&producer) {
-                    panic!("dependency task failed: {msg}");
+            {
+                let mut st = lock(&shared.state);
+                if let Some(p) = st.data[di].producer {
+                    if let Some(msg) = &st.tasks[p.0 as usize].failure {
+                        let msg = msg.clone();
+                        drop(st);
+                        panic!("dependency task failed: {msg}");
+                    }
                 }
-            }
-            match st.values.get(&id) {
-                Some(Slot::Ready(v, _)) => {
+                if let Slot::Ready(v, _) = &st.data[di].slot {
                     let v = v.clone();
                     drop(st);
                     return v.downcast::<T>().expect("handle type mismatch");
                 }
-                Some(Slot::Pending) => {
-                    self.inner.cv.wait(&mut st);
+                if idle {
+                    st.waiters += 1;
+                    let mut st = shared
+                        .cv
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st.waiters -= 1;
+                    idle = false;
+                    continue;
                 }
-                None => panic!("unknown data id {id:?}"),
             }
+            // Cooperative wait: run ready tasks on this thread instead of
+            // sleeping; see [`help_drain`]. Sleep only after a dry pass
+            // (re-checking readiness under the lock first — a completion
+            // cannot slip between that check and the wait).
+            idle = !help_drain(shared, &mut newly);
         }
     }
 
     /// Waits for every submitted task to complete and records a barrier
     /// marker (PyCOMPSs `compss_barrier`).
     pub fn barrier(&self) {
-        let pending: Vec<TaskId>;
-        {
-            let mut st = self.inner.state.lock();
+        let shared = &self.inner.shared;
+        let pending: Vec<TaskId> = {
+            let mut st = lock(&shared.state);
             let deps = std::mem::take(&mut st.since_barrier);
             let marker = Self::push_marker(&mut st, BARRIER_TASK, deps.clone());
             st.sync_marker = Some(marker);
             st.since_barrier = vec![marker];
-            st.done.insert(marker);
-            pending = deps;
-        }
-        // Block until all are done.
-        let mut st = self.inner.state.lock();
+            deps
+        };
+        let mut newly: Vec<ReadyRun> = Vec::new();
+        let mut idle = false; // last help pass found no queued work
         loop {
-            if let Some((t, msg)) = pending
-                .iter()
-                .find_map(|t| st.failed.get(t).map(|m| (t, m.clone())))
             {
-                panic!("task {t:?} failed before barrier: {msg}");
+                let mut st = lock(&shared.state);
+                for &t in &pending {
+                    if let Some(msg) = &st.tasks[t.0 as usize].failure {
+                        let msg = msg.clone();
+                        drop(st);
+                        panic!("task {t:?} failed before barrier: {msg}");
+                    }
+                }
+                if pending
+                    .iter()
+                    .all(|&t| st.tasks[t.0 as usize].status == Status::Done)
+                {
+                    return;
+                }
+                if idle {
+                    st.waiters += 1;
+                    let mut st = shared
+                        .cv
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st.waiters -= 1;
+                    idle = false;
+                    continue;
+                }
             }
-            if pending.iter().all(|t| st.done.contains(t)) {
-                return;
-            }
-            self.inner.cv.wait(&mut st);
+            // Cooperative wait: run ready tasks on this thread instead of
+            // sleeping; see [`help_drain`]. Sleep only after a dry pass.
+            idle = !help_drain(shared, &mut newly);
         }
     }
 
@@ -340,7 +564,7 @@ impl Runtime {
     ///
     /// [`barrier`]: Runtime::barrier
     pub fn trace(&self) -> Trace {
-        let st = self.inner.state.lock();
+        let st = lock(&self.inner.shared.state);
         Trace {
             records: st.records.clone(),
         }
@@ -354,14 +578,15 @@ impl Runtime {
 
     /// Number of tasks submitted so far (markers included).
     pub fn task_count(&self) -> usize {
-        self.inner.state.lock().records.len()
+        lock(&self.inner.shared.state).records.len()
     }
 
+    /// Markers are born `Done`: they never execute, they only shape the
+    /// dependency graph.
     fn push_marker(st: &mut State, name: &str, mut deps: Vec<TaskId>) -> TaskId {
-        deps.sort();
+        deps.sort_unstable();
         deps.dedup();
-        let id = TaskId(st.next_task);
-        st.next_task += 1;
+        let id = TaskId(st.tasks.len() as u64);
         let seq = st.records.len() as u64;
         st.records.push(TaskRecord {
             id,
@@ -374,6 +599,13 @@ impl Runtime {
             gpus: 0,
             seq,
             child: None,
+        });
+        st.tasks.push(TaskEntry {
+            status: Status::Done,
+            remaining: 0,
+            dependents: Vec::new(),
+            job: None,
+            failure: None,
         });
         id
     }
@@ -389,47 +621,61 @@ impl Runtime {
         n_outputs: usize,
         f: TaskFn,
     ) -> Vec<DataId> {
-        let (tid, outputs, job_now) = {
-            let mut st = self.inner.state.lock();
-            let tid = TaskId(st.next_task);
-            st.next_task += 1;
+        let shared = &self.inner.shared;
+        let (outputs, inline_run, wake_n) = {
+            let mut st = lock(&shared.state);
+            let tid = TaskId(st.tasks.len() as u64);
 
             let mut outputs = Vec::with_capacity(n_outputs);
             for _ in 0..n_outputs {
-                let id = DataId(st.next_data);
-                st.next_data += 1;
-                st.values.insert(id, Slot::Pending);
-                st.producer.insert(id, tid);
+                let id = DataId(st.data.len() as u64);
+                st.data.push(DataEntry {
+                    slot: Slot::Pending,
+                    producer: Some(tid),
+                });
                 outputs.push(id);
             }
-
-            // Data dependencies: last writer of each input.
-            let mut deps: Vec<TaskId> = inputs
-                .iter()
-                .filter_map(|d| st.producer.get(d).copied())
-                .collect();
-            if let Some(m) = st.sync_marker {
-                deps.push(m);
-            }
-            deps.sort();
-            deps.dedup();
-            deps.retain(|&d| d != tid);
 
             let seq = st.records.len() as u64;
             let input_bytes: Vec<(DataId, usize)> = inputs
                 .iter()
                 .map(|d| {
-                    let b = match st.values.get(d) {
-                        Some(Slot::Ready(_, b)) => *b,
-                        _ => 0, // filled in at completion
+                    let b = match &st.data[d.0 as usize].slot {
+                        Slot::Ready(_, b) => *b,
+                        Slot::Pending => 0, // filled in at completion
                     };
                     (*d, b)
                 })
                 .collect();
+
+            // Data dependencies: last writer of each input. Consuming
+            // `inputs` by value lets `collect` reuse its allocation
+            // (same-layout in-place collection) — the record's `inputs`
+            // carries the ids from here on.
+            let mut deps: Vec<TaskId> = inputs
+                .into_iter()
+                .filter_map(|d| st.data[d.0 as usize].producer)
+                .collect();
+            if let Some(m) = st.sync_marker {
+                deps.push(m);
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            deps.retain(|&d| d != tid);
+
+            let st = &mut *st; // split field borrows below
+            let inherited_failure = deps
+                .iter()
+                .find_map(|&d| st.tasks[d.0 as usize].failure.clone());
+            let remaining = deps
+                .iter()
+                .filter(|&&d| st.tasks[d.0 as usize].status != Status::Done)
+                .count();
+
             st.records.push(TaskRecord {
                 id: tid,
                 name,
-                deps: deps.clone(),
+                deps, // moved — the record holds the only copy
                 duration_s: 0.0,
                 inputs: input_bytes,
                 outputs: outputs.iter().map(|&d| (d, 0)).collect(),
@@ -440,169 +686,414 @@ impl Runtime {
             });
             st.since_barrier.push(tid);
 
-            let unfinished = deps.iter().filter(|d| !st.done.contains(d)).count();
-            let job = PendingJob {
-                f,
-                inputs,
-                outputs: outputs.clone(),
-            };
-            if unfinished == 0 {
-                (tid, outputs, Some(job))
+            let ready_now = if let Some(msg) = inherited_failure {
+                // A dependency already failed; its cascade ran before we
+                // existed, so fail in place (waiters see it immediately).
+                st.tasks.push(TaskEntry {
+                    status: Status::Failed,
+                    remaining: 0,
+                    dependents: Vec::new(),
+                    job: None,
+                    failure: Some(msg),
+                });
+                false
+            } else if remaining == 0 {
+                st.tasks.push(TaskEntry {
+                    status: Status::Ready,
+                    remaining: 0,
+                    dependents: Vec::new(),
+                    job: Some(PendingJob { f }),
+                    failure: None,
+                });
+                true
             } else {
-                st.remaining.insert(tid, unfinished);
-                for d in deps {
-                    if !st.done.contains(&d) {
-                        st.dependents.entry(d).or_default().push(tid);
+                st.tasks.push(TaskEntry {
+                    status: Status::Waiting,
+                    remaining,
+                    dependents: Vec::new(),
+                    job: Some(PendingJob { f }),
+                    failure: None,
+                });
+                let deps = &st.records[tid.0 as usize].deps;
+                let tasks = &mut st.tasks;
+                for &d in deps {
+                    if tasks[d.0 as usize].status != Status::Done {
+                        tasks[d.0 as usize].dependents.push(tid);
                     }
                 }
-                st.pending.insert(tid, job);
-                (tid, outputs, None)
+                false
+            };
+
+            // Dispatch, still under the state lock. Inline: resolve now
+            // and run after unlocking. Threaded: stage the resolved run
+            // and flush in batches — an idle worker forces an immediate
+            // flush (eager semantics); otherwise submission storms pay
+            // one injector lock + wakeup per batch, not per task. Lock
+            // order state -> wake/injector is one-way: nothing acquires
+            // the state lock while holding either.
+            let mut wake_n = 0;
+            let mut inline_run = None;
+            if ready_now {
+                match shared.config.mode {
+                    ExecMode::Inline => inline_run = Some(make_run(st, tid)),
+                    ExecMode::Threads(_) => {
+                        let run = make_run(st, tid);
+                        st.staged.push(run);
+                        // "Idle" means a sleeper with no wakeup already
+                        // in flight — a notified-but-not-yet-scheduled
+                        // worker doesn't force a flush per submission.
+                        // (Hint read is racy but never loses work: a
+                        // worker publishes the hint before its final
+                        // staged-drain, and we stage before reading.)
+                        let idle = shared.idle_hint.load(Ordering::Relaxed);
+                        if idle || st.staged.len() >= STAGE_BATCH {
+                            wake_n = st.staged.len();
+                            lock(&shared.injector).extend(st.staged.drain(..));
+                        }
+                    }
+                }
             }
+            (outputs, inline_run, wake_n)
         };
 
-        if let Some(job) = job_now {
-            self.dispatch(tid, job);
+        if let Some(run) = inline_run {
+            run_worklist(shared, run);
+        } else if wake_n > 0 {
+            wake(shared, wake_n);
         }
         outputs
     }
+}
 
-    fn dispatch(&self, task: TaskId, job: PendingJob) {
-        match self.inner.config.mode {
-            ExecMode::Inline => {
-                Inner::execute(WorkerMsg {
-                    task,
-                    job,
-                    inner: self.inner.clone(),
-                });
+/// How many ready-at-submission tasks accumulate in [`State::staged`]
+/// before a flush when no worker is idle (all busy: dispatch latency is
+/// irrelevant, batching the lock + wakeup traffic is everything).
+const STAGE_BATCH: usize = 32;
+
+/// Moves driver-staged ready tasks into the injector (see
+/// [`State::staged`]); returns how many were moved. Called by workers
+/// that ran dry and by a helping driver, so staged work can never stall
+/// behind a paused submission stream.
+fn flush_staged(shared: &Shared) -> usize {
+    let mut st = lock(&shared.state);
+    let n = st.staged.len();
+    if n > 0 {
+        lock(&shared.injector).extend(st.staged.drain(..));
+    }
+    n
+}
+
+/// Inline execution: drain the ready set on the caller's thread
+/// (iterative, so long chains don't recurse; a plain `Vec` worklist —
+/// execution order among ready tasks is unconstrained — reused across
+/// every task it drains, so steady-state chains allocate nothing).
+fn run_worklist(shared: &Shared, first: ReadyRun) {
+    let mut work = vec![first];
+    while let Some(r) = work.pop() {
+        execute_one(shared, r, &mut work);
+    }
+}
+
+/// Pokes up to `n` sleeping workers. Notifies only workers that are
+/// actually asleep and not already claimed by an in-flight token —
+/// when every worker is awake (busy or spinning) this is one
+/// uncontended lock and no syscall, which matters on fine-grained
+/// submission storms. No lost wakeups: callers publish work to a queue
+/// *before* calling `wake`, and a worker only commits to sleeping
+/// after registering in `sleepers` and re-scanning every queue.
+fn wake(shared: &Shared, n: usize) {
+    if n == 0 || shared.queues.is_empty() {
+        return;
+    }
+    let k = {
+        let mut w = lock(&shared.wake);
+        if w.shutdown {
+            return;
+        }
+        let unclaimed = w.sleepers.saturating_sub(w.tokens);
+        let k = n.min(unclaimed);
+        w.tokens += k;
+        w.publish_idle_hint(&shared.idle_hint);
+        k
+    };
+    for _ in 0..k {
+        shared.wake_cv.notify_one();
+    }
+}
+
+/// One cooperative help pass for a blocked driver thread: drains ready
+/// tasks from the injector and the workers' deques and executes them in
+/// place, exactly as a worker would (keep one continuation, publish the
+/// rest). Returns whether anything was executed. Work-sharing turns
+/// sync points into throughput — on machines with fewer cores than
+/// workers a sleeping driver would otherwise just add context switches
+/// while the workers time-slice.
+fn help_drain(shared: &Shared, newly: &mut Vec<ReadyRun>) -> bool {
+    let mut helped = false;
+    loop {
+        let next = lock(&shared.injector)
+            .pop_front()
+            .or_else(|| shared.queues.iter().find_map(|q| lock(q).pop_back()));
+        let Some(first) = next else {
+            if flush_staged(shared) > 0 {
+                continue;
             }
-            ExecMode::Threads(_) => {
-                let sender = self.inner.sender.lock().clone().expect("pool sender");
-                sender
-                    .send(WorkerMsg {
-                        task,
-                        job,
-                        inner: self.inner.clone(),
-                    })
-                    .expect("worker pool alive");
+            return helped;
+        };
+        helped = true;
+        let mut cont = Some(first);
+        while let Some(t) = cont.take() {
+            newly.clear();
+            execute_one(shared, t, newly);
+            if newly.len() > 1 {
+                let n = newly.len() - 1;
+                lock(&shared.injector).extend(newly.drain(1..));
+                wake(shared, n);
             }
+            cont = newly.pop();
         }
     }
 }
 
-impl Inner {
-    /// Runs one task to completion: resolve inputs, time the body, store
-    /// outputs, and release dependents.
-    fn execute(msg: WorkerMsg) {
-        let WorkerMsg { task, job, inner } = msg;
-        let PendingJob { f, inputs, outputs } = job;
+/// Moves the front (oldest) half of the injector into `me`'s deque and
+/// returns one task to run now. Batch acquisition amortizes the lock
+/// traffic: one visit feeds a worker for many tasks instead of one.
+/// Lock order: injector strictly before worker deques (matches
+/// [`help_drain`]; never the reverse).
+fn adopt_batch(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Option<ReadyRun> {
+    scratch.clear();
+    {
+        let mut inj = lock(&shared.injector);
+        let take = inj.len().div_ceil(2);
+        scratch.extend(inj.drain(..take));
+    }
+    if scratch.len() > 1 {
+        // Keep the oldest for ourselves, queue the rest.
+        lock(&shared.queues[me]).extend(scratch.drain(1..));
+    }
+    scratch.pop()
+}
 
-        // Resolve input values (ready by scheduling invariant).
-        let resolved: Vec<AnyArc> = {
-            let st = inner.state.lock();
-            inputs
-                .iter()
-                .map(|d| match st.values.get(d) {
-                    Some(Slot::Ready(v, _)) => v.clone(),
-                    _ => unreachable!("input {d:?} not ready for task {task:?}"),
-                })
-                .collect()
-        };
+/// Finds the next task for worker `me`: own deque, then a batch from
+/// the injector, then a batch stolen from a sibling's deque.
+fn pop_work(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Option<ReadyRun> {
+    if let Some(t) = lock(&shared.queues[me]).pop_front() {
+        return Some(t);
+    }
+    if let Some(t) = adopt_batch(shared, me, scratch) {
+        return Some(t);
+    }
+    let n = shared.queues.len();
+    for k in 1..n {
+        let j = (me + k) % n;
+        let mut q = lock(&shared.queues[j]);
+        // Steal the back (coldest) half of the victim's deque.
+        let take = q.len() / 2;
+        if take > 0 {
+            scratch.clear();
+            let start = q.len() - take;
+            scratch.extend(q.drain(start..));
+            drop(q);
+            if scratch.len() > 1 {
+                lock(&shared.queues[me]).extend(scratch.drain(1..));
+            }
+            return scratch.pop();
+        }
+        if let Some(t) = q.pop_back() {
+            return Some(t);
+        }
+    }
+    // Ran dry: adopt anything the driver staged but hasn't dispatched,
+    // sharing the surplus with other sleepers.
+    let flushed = flush_staged(shared);
+    if flushed > 0 {
+        if flushed > 1 {
+            wake(shared, flushed - 1);
+        }
+        return adopt_batch(shared, me, scratch);
+    }
+    None
+}
 
-        let ctx = TaskCtx {
-            nested_mode: inner.config.nested_mode,
-            child: Mutex::new(None),
-        };
-        let start = Instant::now();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx, &resolved)));
-        let duration = start.elapsed().as_secs_f64();
-        let child_trace = ctx.child.lock().take().map(|ci| {
-            let st = ci.state.lock();
-            Box::new(Trace {
-                records: st.records.clone(),
-            })
-        });
+/// Rounds of `yield_now` + rescan an idle worker performs before
+/// falling back to a condvar sleep. A producer usually refills the
+/// queues within a few scheduler quanta, and `sched_yield` is far
+/// cheaper than a futex sleep/wake round trip per task — this is what
+/// keeps fine-grained pipelines from ping-ponging through the kernel.
+const IDLE_SPIN_ROUNDS: usize = 32;
 
-        let mut newly_ready: Vec<(TaskId, PendingJob)> = Vec::new();
+/// True when any queue (own, injector, or a sibling's) holds work.
+/// One lock at a time — `||` would keep the left operand's guard alive
+/// while taking the next lock, violating the injector-before-deques
+/// order used everywhere else.
+fn has_work(shared: &Shared, me: usize) -> bool {
+    if !lock(&shared.injector).is_empty() {
+        return true;
+    }
+    let n = shared.queues.len();
+    (0..n).any(|k| !lock(&shared.queues[(me + k) % n]).is_empty())
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    let _guard = WorkerGuard::new();
+    let mut newly: Vec<ReadyRun> = Vec::new(); // reused across all tasks
+    let mut scratch: Vec<ReadyRun> = Vec::new(); // batch-acquisition buffer
+    'outer: loop {
+        while let Some(task) = pop_work(&shared, me, &mut scratch) {
+            // Run the task; keep one newly-ready dependent as the
+            // continuation and publish the rest for siblings.
+            let mut cont = Some(task);
+            while let Some(t) = cont.take() {
+                newly.clear();
+                execute_one(&shared, t, &mut newly);
+                if newly.len() > 1 {
+                    let n = newly.len() - 1;
+                    lock(&shared.queues[me]).extend(newly.drain(1..));
+                    wake(&shared, n);
+                }
+                cont = newly.pop();
+            }
+        }
+        // Idle: spin briefly (yielding the CPU each round) in case the
+        // driver is mid-submission, then sleep for a wake token.
+        for _ in 0..IDLE_SPIN_ROUNDS {
+            std::thread::yield_now();
+            if has_work(&shared, me) {
+                continue 'outer;
+            }
+        }
+        // Register as a sleeper *before* the final re-scan. A producer
+        // always publishes work before calling `wake`, so either our
+        // re-scan sees the work, or the producer saw our registration
+        // and left a token + notify — no interleaving loses a wakeup.
         {
-            let mut st = inner.state.lock();
-            match result {
-                Ok(outs) => {
-                    assert_eq!(
-                        outs.len(),
-                        outputs.len(),
-                        "task produced wrong number of outputs"
-                    );
-                    let idx = task.0 as usize;
-                    // Fill in sizes and duration on the record.
-                    let in_sizes: Vec<(DataId, usize)> = inputs
-                        .iter()
-                        .map(|d| {
-                            let b = match st.values.get(d) {
-                                Some(Slot::Ready(_, b)) => *b,
-                                _ => 0,
-                            };
-                            (*d, b)
-                        })
-                        .collect();
-                    {
-                        let rec = &mut st.records[idx];
-                        rec.duration_s = duration;
-                        rec.inputs = in_sizes;
-                        rec.outputs = outputs
-                            .iter()
-                            .zip(&outs)
-                            .map(|(&d, (_, b))| (d, *b))
-                            .collect();
-                        rec.child = child_trace;
-                    }
-                    for (&d, (v, b)) in outputs.iter().zip(outs) {
-                        st.values.insert(d, Slot::Ready(v, b));
-                    }
-                    st.done.insert(task);
-                }
-                Err(e) => {
-                    let msg = e
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| e.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "task panicked".to_string());
-                    let name = st.records[task.0 as usize].name.clone();
-                    let full = format!("task '{name}' panicked: {msg}");
-                    // Propagate failure to all transitive dependents so
-                    // that waiters on any downstream output wake up and
-                    // report instead of deadlocking.
-                    let mut frontier = vec![task];
-                    while let Some(t) = frontier.pop() {
-                        st.failed.insert(t, full.clone());
-                        st.pending.remove(&t);
-                        st.remaining.remove(&t);
-                        if let Some(deps) = st.dependents.remove(&t) {
-                            frontier.extend(deps);
-                        }
-                    }
-                }
+            let mut w = lock(&shared.wake);
+            if w.shutdown {
+                return;
             }
+            w.sleepers += 1;
+            w.publish_idle_hint(&shared.idle_hint);
+        }
+        if has_work(&shared, me) || flush_staged(&shared) > 0 {
+            // A token granted against this registration may linger; it
+            // is consumed (as a free pass through one sleep cycle) by
+            // whichever worker next reaches the sleep loop.
+            let mut w = lock(&shared.wake);
+            w.sleepers -= 1;
+            w.publish_idle_hint(&shared.idle_hint);
+            continue 'outer;
+        }
+        let mut w = lock(&shared.wake);
+        loop {
+            if w.shutdown {
+                return;
+            }
+            if w.tokens > 0 {
+                w.tokens -= 1;
+                w.sleepers -= 1;
+                w.publish_idle_hint(&shared.idle_hint);
+                break;
+            }
+            w = shared
+                .wake_cv
+                .wait(w)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
 
-            if st.done.contains(&task) {
-                if let Some(deps) = st.dependents.remove(&task) {
-                    for dep in deps {
-                        let rem = st.remaining.get_mut(&dep).expect("dependent counted");
-                        *rem -= 1;
-                        if *rem == 0 {
-                            st.remaining.remove(&dep);
-                            let job = st.pending.remove(&dep).expect("pending job present");
-                            newly_ready.push((dep, job));
-                        }
+/// Runs one released task to completion: time the body, store outputs,
+/// release dependents. Inputs were already resolved at release time
+/// (see [`ReadyRun`]), so the only state-lock acquisition here is the
+/// commit. Dependents that became ready are resolved under that same
+/// lock and appended to `newly_ready` (an out-param so callers reuse
+/// one buffer across many tasks).
+fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>) {
+    let ReadyRun {
+        id: task,
+        f,
+        inputs,
+    } = run;
+    let ti = task.0 as usize;
+
+    let ctx = TaskCtx {
+        nested_mode: shared.config.nested_mode,
+        child: Mutex::new(None),
+    };
+    let start = Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx, &inputs)));
+    let duration = start.elapsed().as_secs_f64();
+    drop(inputs); // release the input refcounts outside the lock
+    let child_trace = lock(&ctx.child).take().map(|rt| Box::new(rt.trace()));
+
+    let notify_driver;
+    {
+        let mut st = lock(&shared.state);
+        let st = &mut *st; // split field borrows below
+        match result {
+            Ok(outs) => {
+                // Fill sizes and duration in place on the record (no
+                // reallocation on the completion hot path).
+                let rec = &mut st.records[ti];
+                assert_eq!(
+                    outs.len(),
+                    rec.outputs.len(),
+                    "task produced wrong number of outputs"
+                );
+                let data = &mut st.data;
+                rec.duration_s = duration;
+                rec.child = child_trace;
+                for ((d, bytes), (v, b)) in rec.outputs.iter_mut().zip(outs) {
+                    *bytes = b;
+                    data[d.0 as usize].slot = Slot::Ready(v, b);
+                }
+                for (d, bytes) in rec.inputs.iter_mut() {
+                    if let Slot::Ready(_, b) = &data[d.0 as usize].slot {
+                        *bytes = *b;
                     }
+                }
+                st.tasks[ti].status = Status::Done;
+
+                // Batched release: one pass over the dependents. The
+                // list is detached while iterating (releasing `dep`
+                // needs `&mut` into the same `tasks` vec) and its
+                // allocation handed back afterwards rather than freed.
+                let mut deps = std::mem::take(&mut st.tasks[ti].dependents);
+                for dep in deps.drain(..) {
+                    let e = &mut st.tasks[dep.0 as usize];
+                    e.remaining -= 1;
+                    if e.remaining == 0 {
+                        e.status = Status::Ready;
+                        newly_ready.push(make_run(st, dep));
+                    }
+                }
+                st.tasks[ti].dependents = deps;
+            }
+            Err(e) => {
+                let msg = e
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| e.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "task panicked".to_string());
+                let name = st.records[ti].name.clone();
+                let full: Arc<str> = format!("task '{name}' panicked: {msg}").into();
+                // Propagate failure to all transitive dependents so that
+                // waiters on any downstream output wake up and report
+                // instead of deadlocking.
+                let mut frontier = vec![task];
+                while let Some(t) = frontier.pop() {
+                    let e = &mut st.tasks[t.0 as usize];
+                    e.status = Status::Failed;
+                    e.failure = Some(full.clone());
+                    e.job = None;
+                    frontier.append(&mut e.dependents);
                 }
             }
         }
-        inner.cv.notify_all();
-
-        let rt = Runtime { inner };
-        for (tid, job) in newly_ready {
-            rt.dispatch(tid, job);
-        }
+        notify_driver = st.waiters > 0;
+    }
+    if notify_driver {
+        shared.cv.notify_all();
     }
 }
 
@@ -1064,5 +1555,52 @@ mod tests {
             .iter()
             .filter(|r| !r.is_marker())
             .all(|r| r.duration_s >= 0.0));
+    }
+
+    #[test]
+    fn dropping_threaded_runtime_joins_workers() {
+        let rt = Runtime::threaded(4);
+        let h = rt.put(1u64);
+        let x = rt.task("t").run1(h, |v| v + 1);
+        assert_eq!(*rt.wait(x), 2);
+        let weak = Arc::downgrade(&rt.inner.shared);
+        drop(rt);
+        // Workers hold the only other strong refs to the scheduler; if
+        // the weak can't upgrade, every worker has exited.
+        assert!(weak.upgrade().is_none(), "worker threads outlived Runtime");
+    }
+
+    #[test]
+    fn idle_threaded_runtime_drops_cleanly() {
+        let rt = Runtime::threaded(8);
+        let weak = Arc::downgrade(&rt.inner.shared);
+        drop(rt);
+        assert!(weak.upgrade().is_none(), "idle workers outlived Runtime");
+    }
+
+    #[test]
+    fn many_threaded_runtimes_do_not_leak_threads() {
+        let mut weaks = Vec::new();
+        for i in 0..48u64 {
+            let rt = Runtime::threaded(3);
+            let a = rt.put(i);
+            let b = rt.task("sq").run1(a, |v| v * v);
+            assert_eq!(*rt.wait(b), i * i);
+            weaks.push(Arc::downgrade(&rt.inner.shared));
+        }
+        for w in &weaks {
+            assert!(w.upgrade().is_none(), "a runtime leaked worker threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn task_submitted_after_failure_inherits_it() {
+        let rt = Runtime::new();
+        let a = rt.put(1u64);
+        let x = rt.task("boom").run1(a, |_| -> u64 { panic!("kaboom") });
+        // x already failed (inline); y must not deadlock.
+        let y = rt.task("after").run1(x, |v| *v);
+        let _ = rt.peek(y);
     }
 }

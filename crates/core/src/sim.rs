@@ -20,7 +20,7 @@
 
 use crate::trace::{TaskRecord, Trace};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 /// Description of a simulated cluster.
@@ -139,7 +139,7 @@ impl SimOptions {
 /// One placed task in a simulated schedule (for Gantt rendering and
 /// schedule inspection — the PyCOMPSs ecosystem's Paraver-trace
 /// equivalent).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScheduleEntry {
     /// Task id within the trace.
     pub task: crate::handle::TaskId,
@@ -157,6 +157,23 @@ pub struct ScheduleEntry {
     pub cores: u32,
     /// GPUs occupied.
     pub gpus: u32,
+}
+
+impl ScheduleEntry {
+    /// Encodes the entry as a JSON tree (see [`crate::gantt::schedule_json`]).
+    pub fn to_value(&self) -> crate::json::Value {
+        use crate::json::Value;
+        Value::Object(vec![
+            ("task".into(), Value::from(self.task.0)),
+            ("name".into(), Value::from(self.name.as_str())),
+            ("node".into(), Value::from(self.node)),
+            ("start_s".into(), Value::from(self.start_s)),
+            ("transfer_s".into(), Value::from(self.transfer_s)),
+            ("end_s".into(), Value::from(self.end_s)),
+            ("cores".into(), Value::from(self.cores)),
+            ("gpus".into(), Value::from(self.gpus)),
+        ])
+    }
 }
 
 /// Outcome of a simulation.
@@ -181,7 +198,53 @@ pub struct SimReport {
     pub schedule: Vec<ScheduleEntry>,
 }
 
+/// Tests whether datum `d` has a replica on node `nd`.
+#[inline]
+fn replica_has(bits: &[u64], words: usize, d: usize, nd: usize) -> bool {
+    bits[d * words + nd / 64] >> (nd % 64) & 1 == 1
+}
+
+/// Records a replica of datum `d` on node `nd`.
+#[inline]
+fn replica_set(bits: &mut [u64], words: usize, d: usize, nd: usize) {
+    bits[d * words + nd / 64] |= 1 << (nd % 64);
+}
+
+/// Merges the sorted `newly` list into the sorted `ready` list.
+fn merge_ready(ready: &mut Vec<(u64, usize)>, newly: Vec<(u64, usize)>) {
+    if newly.is_empty() {
+        return;
+    }
+    if ready.is_empty() {
+        *ready = newly;
+        return;
+    }
+    let old = std::mem::replace(ready, Vec::with_capacity(ready.len() + newly.len()));
+    let (mut a, mut b) = (old.into_iter().peekable(), newly.into_iter().peekable());
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    ready.push(a.next().unwrap());
+                } else {
+                    ready.push(b.next().unwrap());
+                }
+            }
+            (Some(_), None) => ready.extend(a.by_ref()),
+            (None, Some(_)) => ready.extend(b.by_ref()),
+            (None, None) => break,
+        }
+    }
+}
+
 /// Simulates `trace` on `cluster` and returns the schedule metrics.
+///
+/// The replay is fully indexed: task and data lookups are dense vector
+/// accesses, data replica locations are flat bitsets, task kinds are
+/// interned once, and equal-time completion events are drained as one
+/// batch followed by a *single* placement sweep (placing a task only
+/// consumes capacity, so one seq-ordered pass over the ready list is
+/// complete — nothing becomes placeable mid-sweep).
 ///
 /// # Panics
 /// Panics if the trace contains a dependency cycle (impossible for
@@ -193,19 +256,29 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
     );
     let n = trace.records.len();
     let index = trace.index_by_id();
-    let producer = trace.producer_index();
 
-    // Effective durations (overrides, nesting) and resource demands.
+    // Effective durations (overrides, nesting), resource demands, and
+    // interned kind names (records of one kind share a name id).
     let mut dur = vec![0.0f64; n];
     let mut cores = vec![0u32; n];
     let mut gpus = vec![0u32; n];
+    let mut kind_names: Vec<String> = Vec::new();
+    let mut kind_of = vec![0usize; n];
     for (i, r) in trace.records.iter().enumerate() {
         dur[i] = effective_duration(r, cluster, opts);
         if !r.is_marker() {
             cores[i] = r.cores.clamp(1, cluster.cores_per_node);
             gpus[i] = r.gpus.min(cluster.gpus_per_node);
         }
+        kind_of[i] = kind_names
+            .iter()
+            .position(|k| k == &r.name)
+            .unwrap_or_else(|| {
+                kind_names.push(r.name.clone());
+                kind_names.len() - 1
+            });
     }
+    let mut busy_of_kind = vec![0.0f64; kind_names.len()];
 
     // Dependency bookkeeping.
     let mut indeg = vec![0usize; n];
@@ -219,19 +292,41 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
         }
     }
 
-    // Data placement: data not produced by any record lives on node 0
-    // (the master); replicas accumulate as transfers happen.
-    let mut location: HashMap<crate::handle::DataId, HashSet<usize>> = HashMap::new();
-    let mut task_node = vec![0usize; n];
+    // Dense data tables: the producing record of each datum and a flat
+    // replica bitset (`words` u64 words per datum, one bit per node).
+    // Data without a producing record is external input living on the
+    // master (node 0); produced data gets its bit at completion, which
+    // happens before any consumer is placed.
+    let mut n_data = 0usize;
+    for r in &trace.records {
+        for (d, _) in r.inputs.iter().chain(r.outputs.iter()) {
+            n_data = n_data.max(d.0 as usize + 1);
+        }
+    }
+    let words = cluster.nodes.div_ceil(64);
+    let mut replicas = vec![0u64; n_data * words];
+    let mut produced = vec![false; n_data];
+    for r in &trace.records {
+        for (d, _) in &r.outputs {
+            produced[d.0 as usize] = true;
+        }
+    }
+    for (d, &p) in produced.iter().enumerate() {
+        if !p {
+            replica_set(&mut replicas, words, d, 0);
+        }
+    }
 
+    let mut task_node = vec![0usize; n];
     let mut free_cores: Vec<i64> = vec![cluster.cores_per_node as i64; cluster.nodes];
     let mut free_gpus: Vec<i64> = vec![cluster.gpus_per_node as i64; cluster.nodes];
 
-    // Ready set ordered by submission sequence (FIFO task order).
-    let mut ready: BTreeSet<(u64, usize)> = (0..n)
+    // Ready list ordered by submission sequence (FIFO task order).
+    let mut ready: Vec<(u64, usize)> = (0..n)
         .filter(|&i| indeg[i] == 0)
         .map(|i| (trace.records[i].seq, i))
         .collect();
+    ready.sort_unstable();
 
     #[derive(PartialEq)]
     struct Ev {
@@ -268,106 +363,107 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
         schedule: Vec::new(),
     };
 
-    while done < n {
-        // Place as many ready tasks as possible at the current time.
-        let mut placed_any = true;
-        while placed_any {
-            placed_any = false;
-            let candidates: Vec<(u64, usize)> = ready.iter().copied().collect();
-            for (key, i) in candidates {
-                let r = &trace.records[i];
-                let node = match choose_node(
-                    r,
-                    cores[i],
-                    gpus[i],
-                    &free_cores,
-                    &free_gpus,
-                    &location,
-                    &producer,
-                    &task_node,
-                    opts.policy,
-                    &mut rr_next,
-                ) {
-                    Some(nd) => nd,
-                    None => continue,
-                };
-                ready.remove(&(key, i));
-                placed_any = true;
-                task_node[i] = node;
-                free_cores[node] -= cores[i] as i64;
-                free_gpus[node] -= gpus[i] as i64;
+    loop {
+        // One placement sweep over the ready list at the current time.
+        let mut still_ready = Vec::new();
+        for (key, i) in ready.drain(..) {
+            let r = &trace.records[i];
+            let node = match choose_node(
+                r,
+                cores[i],
+                gpus[i],
+                &free_cores,
+                &free_gpus,
+                &replicas,
+                words,
+                opts.policy,
+                &mut rr_next,
+            ) {
+                Some(nd) => nd,
+                None => {
+                    still_ready.push((key, i));
+                    continue;
+                }
+            };
+            task_node[i] = node;
+            free_cores[node] -= cores[i] as i64;
+            free_gpus[node] -= gpus[i] as i64;
 
-                // Transfers for remote inputs.
-                let mut xfer = 0.0;
-                if opts.model_transfers && !r.is_marker() {
-                    for (d, bytes) in &r.inputs {
-                        let locs = location.entry(*d).or_insert_with(|| {
-                            let mut s = HashSet::new();
-                            // Data produced by a trace record lives where
-                            // that record ran; otherwise on the master.
-                            if let Some(&p) = producer.get(d) {
-                                s.insert(task_node[p]);
-                            } else {
-                                s.insert(0);
-                            }
-                            s
-                        });
-                        if !locs.contains(&node) {
-                            xfer += cluster.latency_s + *bytes as f64 / cluster.bandwidth_bps;
-                            report.transferred_bytes += *bytes as f64;
-                            locs.insert(node);
-                        }
+            // Transfers for remote inputs (each leaves a replica behind).
+            let mut xfer = 0.0;
+            if opts.model_transfers && !r.is_marker() {
+                for (d, bytes) in &r.inputs {
+                    let di = d.0 as usize;
+                    if !replica_has(&replicas, words, di, node) {
+                        xfer += cluster.latency_s + *bytes as f64 / cluster.bandwidth_bps;
+                        report.transferred_bytes += *bytes as f64;
+                        replica_set(&mut replicas, words, di, node);
                     }
                 }
-                report.transfer_time_s += xfer;
-                let speed = opts.node_speed.as_ref().map_or(1.0, |f| f(node));
-                assert!(speed > 0.0, "node speed must be positive");
-                let run_s = dur[i] / speed;
-                let finish = now + xfer + run_s;
-                heap.push(Reverse(Ev {
-                    time: finish,
-                    idx: i,
-                }));
-                report.busy_core_s += run_s * cores[i] as f64;
-                *report.busy_by_kind.entry(r.name.clone()).or_insert(0.0) += run_s;
-                if !r.is_marker() {
-                    report.schedule.push(ScheduleEntry {
-                        task: r.id,
-                        name: r.name.clone(),
-                        node,
-                        start_s: now,
-                        transfer_s: xfer,
-                        end_s: finish,
-                        cores: cores[i],
-                        gpus: gpus[i],
-                    });
-                }
+            }
+            report.transfer_time_s += xfer;
+            let speed = opts.node_speed.as_ref().map_or(1.0, |f| f(node));
+            assert!(speed > 0.0, "node speed must be positive");
+            let run_s = dur[i] / speed;
+            let finish = now + xfer + run_s;
+            heap.push(Reverse(Ev {
+                time: finish,
+                idx: i,
+            }));
+            report.busy_core_s += run_s * cores[i] as f64;
+            busy_of_kind[kind_of[i]] += run_s;
+            if !r.is_marker() {
+                report.schedule.push(ScheduleEntry {
+                    task: r.id,
+                    name: r.name.clone(),
+                    node,
+                    start_s: now,
+                    transfer_s: xfer,
+                    end_s: finish,
+                    cores: cores[i],
+                    gpus: gpus[i],
+                });
             }
         }
+        ready = still_ready;
 
         if done == n {
             break;
         }
+
+        // Drain the batch of completions sharing the earliest time.
         let Reverse(Ev { time, idx }) = heap
             .pop()
             .expect("simulation stalled: ready tasks cannot be placed and nothing is running");
         now = now.max(time);
-        done += 1;
-        free_cores[task_node[idx]] += cores[idx] as i64;
-        free_gpus[task_node[idx]] += gpus[idx] as i64;
-        // Record output locations.
-        for (d, _) in &trace.records[idx].outputs {
-            location.entry(*d).or_default().insert(task_node[idx]);
+        let mut batch = vec![idx];
+        while let Some(Reverse(ev)) = heap.peek() {
+            if ev.time != time {
+                break;
+            }
+            batch.push(heap.pop().unwrap().0.idx);
         }
-        for &dep in &dependents[idx] {
-            indeg[dep] -= 1;
-            if indeg[dep] == 0 {
-                ready.insert((trace.records[dep].seq, dep));
+        let mut newly: Vec<(u64, usize)> = Vec::new();
+        for idx in batch {
+            done += 1;
+            free_cores[task_node[idx]] += cores[idx] as i64;
+            free_gpus[task_node[idx]] += gpus[idx] as i64;
+            for (d, _) in &trace.records[idx].outputs {
+                replica_set(&mut replicas, words, d.0 as usize, task_node[idx]);
+            }
+            for &dep in &dependents[idx] {
+                indeg[dep] -= 1;
+                if indeg[dep] == 0 {
+                    newly.push((trace.records[dep].seq, dep));
+                }
             }
         }
+        newly.sort_unstable();
+        merge_ready(&mut ready, newly);
     }
 
     report.makespan_s = now;
+    report.busy_by_kind = kind_names.into_iter().zip(busy_of_kind).collect();
     report
         .schedule
         .sort_by(|a, b| a.start_s.total_cmp(&b.start_s).then(a.node.cmp(&b.node)));
@@ -415,9 +511,8 @@ fn choose_node(
     gpus: u32,
     free_cores: &[i64],
     free_gpus: &[i64],
-    location: &HashMap<crate::handle::DataId, HashSet<usize>>,
-    producer: &HashMap<crate::handle::DataId, usize>,
-    task_node: &[usize],
+    replicas: &[u64],
+    words: usize,
     policy: Policy,
     rr_next: &mut usize,
 ) -> Option<usize> {
@@ -445,14 +540,7 @@ fn choose_node(
                 // Bytes that would need transferring to `nd`.
                 let mut missing = 0.0;
                 for (d, bytes) in &r.inputs {
-                    let here = match location.get(d) {
-                        Some(locs) => locs.contains(&nd),
-                        None => {
-                            let home = producer.get(d).map(|&p| task_node[p]).unwrap_or(0);
-                            home == nd
-                        }
-                    };
-                    if !here {
+                    if !replica_has(replicas, words, d.0 as usize, nd) {
                         missing += *bytes as f64;
                     }
                 }

@@ -8,7 +8,7 @@
 //! reproducing the scalability figures).
 
 use crate::handle::{DataId, TaskId};
-use serde::{Deserialize, Serialize};
+use crate::json::{JsonError, Value};
 
 /// Name given to synchronization marker pseudo-tasks.
 pub const SYNC_TASK: &str = "__sync";
@@ -18,7 +18,7 @@ pub const BARRIER_TASK: &str = "__barrier";
 pub const SPLIT_TASK: &str = "__split";
 
 /// One task (or marker) in a recorded trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TaskRecord {
     /// Task identifier, unique within its trace.
     pub id: TaskId,
@@ -49,10 +49,92 @@ impl TaskRecord {
     pub fn is_marker(&self) -> bool {
         self.name == SYNC_TASK || self.name == BARRIER_TASK || self.name == SPLIT_TASK
     }
+
+    /// Encodes the record as a JSON tree (data refs as `[id, bytes]`
+    /// pairs — the layout the serde derive used to emit).
+    pub fn to_value(&self) -> Value {
+        let refs = |v: &[(DataId, usize)]| {
+            Value::Array(
+                v.iter()
+                    .map(|(d, b)| Value::Array(vec![Value::from(d.0), Value::from(*b)]))
+                    .collect(),
+            )
+        };
+        Value::Object(vec![
+            ("id".into(), Value::from(self.id.0)),
+            ("name".into(), Value::from(self.name.as_str())),
+            (
+                "deps".into(),
+                Value::Array(self.deps.iter().map(|t| Value::from(t.0)).collect()),
+            ),
+            ("duration_s".into(), Value::from(self.duration_s)),
+            ("inputs".into(), refs(&self.inputs)),
+            ("outputs".into(), refs(&self.outputs)),
+            ("cores".into(), Value::from(self.cores)),
+            ("gpus".into(), Value::from(self.gpus)),
+            ("seq".into(), Value::from(self.seq)),
+            (
+                "child".into(),
+                match &self.child {
+                    Some(c) => c.to_value(),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Decodes a record from a JSON tree.
+    pub fn from_value(v: &Value) -> Result<TaskRecord, JsonError> {
+        let u64_of = |v: &Value, what: &str| {
+            v.as_u64()
+                .ok_or_else(|| JsonError::msg(format!("{what} must be an unsigned integer")))
+        };
+        let refs = |v: &Value, what: &str| -> Result<Vec<(DataId, usize)>, JsonError> {
+            v.as_array()
+                .ok_or_else(|| JsonError::msg(format!("{what} must be an array")))?
+                .iter()
+                .map(|pair| {
+                    let id = u64_of(&pair[0], "data id")?;
+                    let bytes = u64_of(&pair[1], "byte size")?;
+                    Ok((DataId(id), bytes as usize))
+                })
+                .collect()
+        };
+        let deps = v
+            .field("deps")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("'deps' must be an array"))?
+            .iter()
+            .map(|d| u64_of(d, "dep id").map(TaskId))
+            .collect::<Result<Vec<_>, _>>()?;
+        let child = match v.field("child")? {
+            Value::Null => None,
+            c => Some(Box::new(Trace::from_value(c)?)),
+        };
+        Ok(TaskRecord {
+            id: TaskId(u64_of(v.field("id")?, "id")?),
+            name: v
+                .field("name")?
+                .as_str()
+                .ok_or_else(|| JsonError::msg("'name' must be a string"))?
+                .to_string(),
+            deps,
+            duration_s: v
+                .field("duration_s")?
+                .as_f64()
+                .ok_or_else(|| JsonError::msg("'duration_s' must be a number"))?,
+            inputs: refs(v.field("inputs")?, "inputs")?,
+            outputs: refs(v.field("outputs")?, "outputs")?,
+            cores: u64_of(v.field("cores")?, "cores")? as u32,
+            gpus: u64_of(v.field("gpus")?, "gpus")? as u32,
+            seq: u64_of(v.field("seq")?, "seq")?,
+            child,
+        })
+    }
 }
 
 /// A recorded task graph with timings — the replayable artifact of a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Records ordered by submission sequence.
     pub records: Vec<TaskRecord>,
@@ -165,15 +247,35 @@ impl Trace {
 
     /// Serializes the trace to pretty JSON (for EXPERIMENTS.md artifacts).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+        self.to_value().pretty()
     }
 
     /// Parses a trace previously produced by [`Self::to_json`] — the
     /// round-trip that lets recorded workloads be archived and
     /// re-simulated later (the role Paraver trace files play for
     /// PyCOMPSs).
-    pub fn from_json(s: &str) -> Result<Trace, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Trace, JsonError> {
+        Trace::from_value(&Value::parse(s)?)
+    }
+
+    /// Encodes the trace as a JSON tree.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![(
+            "records".into(),
+            Value::Array(self.records.iter().map(TaskRecord::to_value).collect()),
+        )])
+    }
+
+    /// Decodes a trace from a JSON tree.
+    pub fn from_value(v: &Value) -> Result<Trace, JsonError> {
+        let records = v
+            .field("records")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("'records' must be an array"))?
+            .iter()
+            .map(TaskRecord::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace { records })
     }
 
     /// Writes the trace to a file as JSON.

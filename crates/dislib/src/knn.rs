@@ -9,7 +9,7 @@
 //! the uniform- or distance-weighted vote.
 
 use dsarray::{tree_reduce, DsArray, DsLabels};
-use linalg::{euclidean_sq, Matrix};
+use linalg::{pairwise_sq_dists, Matrix};
 use taskrt::{Handle, Payload, Runtime};
 
 /// Prediction weighting (the paper's parameter (2)).
@@ -172,13 +172,20 @@ impl KnnClassifier {
 }
 
 /// Brute-force k-nearest search of a query block against one model block.
+///
+/// Distances for the whole block come from one blocked GEMM
+/// ([`pairwise_sq_dists`]) instead of a per-pair subtract-square pass;
+/// a query row identical to a model row still scores exactly `0.0`.
 fn query_block(model: &(Matrix, Vec<u8>), q: &Matrix, k: usize) -> Neighbors {
     let (mx, my) = model;
+    let d2 = pairwise_sq_dists(q, mx);
     let cand = (0..q.rows())
         .map(|r| {
-            let qrow = q.row(r);
-            let mut dists: Vec<(f64, u8)> = (0..mx.rows())
-                .map(|i| (euclidean_sq(mx.row(i), qrow), my[i]))
+            let mut dists: Vec<(f64, u8)> = d2
+                .row(r)
+                .iter()
+                .zip(my)
+                .map(|(&d, &label)| (d, label))
                 .collect();
             dists.sort_by(|a, b| a.0.total_cmp(&b.0));
             dists.truncate(k);

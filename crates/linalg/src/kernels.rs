@@ -49,18 +49,36 @@ impl Kernel {
     }
 
     /// Full kernel (Gram) matrix between the rows of `x` and `y`.
+    ///
+    /// Built on the blocked [`Matrix::matmul_nt`] kernel rather than
+    /// per-pair [`Kernel::eval`] calls: linear/poly kernels are one
+    /// `x * y^T`, and the RBF kernel expands `|xi - yj|^2` as
+    /// `|xi|^2 + |yj|^2 - 2 xi.yj` via [`pairwise_sq_dists`]. Because
+    /// norms and cross terms share one summation order, `gram(x, x)` is
+    /// exactly symmetric and the RBF diagonal is exactly `1.0`.
     pub fn gram(&self, x: &Matrix, y: &Matrix) -> Matrix {
         assert_eq!(x.cols(), y.cols(), "gram feature mismatch");
-        Matrix::from_fn(x.rows(), y.rows(), |i, j| self.eval(x.row(i), y.row(j)))
+        match *self {
+            Kernel::Linear => x.matmul_nt(y),
+            Kernel::Rbf { gamma } => {
+                let mut g = pairwise_sq_dists(x, y);
+                for v in g.as_mut_slice() {
+                    *v = (-gamma * *v).exp();
+                }
+                g
+            }
+            Kernel::Poly { degree, coef0 } => {
+                let mut g = x.matmul_nt(y);
+                for v in g.as_mut_slice() {
+                    *v = (*v + coef0).powi(degree as i32);
+                }
+                g
+            }
+        }
     }
 }
 
-/// Dot product of two equally-long slices.
-#[inline]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
+pub use crate::matrix::{dot, pairwise_sq_dists};
 
 /// The `"scale"` gamma heuristic of scikit-learn:
 /// `1 / (n_features * variance_of_all_entries)`.
@@ -131,6 +149,48 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matches_per_pair_eval() {
+        let x = Matrix::from_fn(7, 5, |r, c| ((r * 5 + c) as f64 * 0.37).sin());
+        let y = Matrix::from_fn(4, 5, |r, c| ((r + c) as f64 * 0.61).cos());
+        for k in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.8 },
+            Kernel::Poly {
+                degree: 3,
+                coef0: 0.5,
+            },
+        ] {
+            let fast = k.gram(&x, &y);
+            let naive = Matrix::from_fn(7, 4, |i, j| k.eval(x.row(i), y.row(j)));
+            assert!(
+                fast.max_abs_diff(&naive) < 1e-12,
+                "{k:?} gram diverges from eval"
+            );
+        }
+    }
+
+    #[test]
+    fn rbf_gram_diagonal_exactly_one() {
+        let x = Matrix::from_fn(6, 9, |r, c| (r as f64 + 1.3) * (c as f64 - 4.1));
+        let g = Kernel::Rbf { gamma: 2.5 }.gram(&x, &x);
+        for i in 0..6 {
+            assert_eq!(g.get(i, i), 1.0, "diagonal entry {i}");
+        }
+    }
+
+    #[test]
+    fn pairwise_sq_dists_matches_euclidean() {
+        let x = Matrix::from_fn(5, 6, |r, c| ((r * 6 + c) as f64).sqrt() - 2.0);
+        let y = Matrix::from_fn(3, 6, |r, c| (r as f64) * 0.25 - (c as f64) * 0.5);
+        let d = pairwise_sq_dists(&x, &y);
+        for i in 0..5 {
+            for j in 0..3 {
+                assert!((d.get(i, j) - euclidean_sq(x.row(i), y.row(j))).abs() < 1e-12);
             }
         }
     }

@@ -29,7 +29,7 @@ pub mod stft;
 pub use eigh::{eigh, EighResult};
 pub use fft::{fft_inplace, ifft_inplace, rfft_mag, Complex};
 pub use kernels::{euclidean_sq, Kernel};
-pub use matrix::Matrix;
+pub use matrix::{dot, pairwise_sq_dists, Matrix};
 pub use stft::{hann_window, spectrogram, SpectrogramConfig};
 
 /// Machine-epsilon-scaled tolerance used by the iterative solvers.

@@ -2,11 +2,75 @@
 //!
 //! [`Matrix`] is the local (per-block) numeric container of the
 //! workspace; the distributed `dsarray` crate stores one `Matrix` per
-//! block. The multiply kernel uses the cache-friendly `ikj` loop order so
-//! the innermost loop is a contiguous AXPY the compiler can vectorize.
+//! block. The multiply kernels are cache-blocked and register-tiled:
+//! they stream `KC`-deep, `NC`-wide panels of the right operand through
+//! cache while updating [`MR`] output rows per pass, and the innermost
+//! loop stays a contiguous AXPY the compiler vectorizes. Blocking never
+//! reorders the per-element summation (contributions arrive in
+//! ascending-`k` order), so results are bitwise identical to the naive
+//! triple loop.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Depth (`k`) blocking factor: a `KC x NC` panel of the right operand
+/// is reused across all output rows before moving on.
+const KC: usize = 256;
+/// Column (`j`) blocking factor, keeping the streamed panel (`KC * NC`
+/// doubles = 1 MiB) within L2.
+const NC: usize = 512;
+/// Register tile height: output rows updated simultaneously, so each
+/// loaded element of the right operand feeds `MR` multiply-adds.
+const MR: usize = 4;
+
+/// Dot product over two equal-length slices with four independent
+/// partial accumulators (fixed summation order, so `dot(a, b)` and
+/// `dot(b, a)` are bitwise equal and repeated calls are deterministic).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (qa, qb) in ca.zip(cb) {
+        acc[0] += qa[0] * qb[0];
+        acc[1] += qa[1] * qb[1];
+        acc[2] += qa[2] * qb[2];
+        acc[3] += qa[3] * qb[3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in ra.iter().zip(rb) {
+        s += x * y;
+    }
+    s
+}
+
+/// Squared Euclidean distances between every row of `x` and every row
+/// of `y` via the expansion `|xi|^2 + |yj|^2 - 2 xi.yj` (one GEMM
+/// instead of `rows_x * rows_y` subtract-square passes). Distances are
+/// clamped at zero, and a row paired with an identical row yields
+/// exactly `0.0` because norms and cross terms share one summation
+/// order.
+pub fn pairwise_sq_dists(x: &Matrix, y: &Matrix) -> Matrix {
+    assert_eq!(
+        x.cols(),
+        y.cols(),
+        "pairwise_sq_dists dimension mismatch: {} vs {} columns",
+        x.cols(),
+        y.cols()
+    );
+    let xn = x.row_sq_norms();
+    let yn = y.row_sq_norms();
+    let mut g = x.matmul_nt(y);
+    for (i, &xni) in xn.iter().enumerate() {
+        let row = g.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (xni + yn[j] - 2.0 * *v).max(0.0);
+        }
+    }
+    g
+}
 
 /// A dense, row-major matrix of `f64`.
 #[derive(Clone, PartialEq)]
@@ -160,7 +224,15 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * rhs` using the `ikj` loop order.
+    /// Matrix product `self * rhs`, cache-blocked and register-tiled.
+    ///
+    /// The kernel blocks over columns (`NC`) and depth (`KC`) so the
+    /// streamed panel of `rhs` stays cache-resident, and processes
+    /// [`MR`] output rows at once so every loaded `rhs` row feeds `MR`
+    /// accumulating AXPY streams (the inner loop stays the contiguous
+    /// `ikj` AXPY the compiler vectorizes). Per output element the
+    /// contributions still arrive in ascending-`k` order, so results
+    /// are bitwise identical to the naive triple loop.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -170,17 +242,51 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (j, &bkj) in b_row.iter().enumerate() {
-                    out_row[j] += aik * bkj;
+        let (kdim, n) = (self.cols, rhs.cols);
+        let mut out = Matrix::zeros(self.rows, n);
+        if n == 0 || kdim == 0 {
+            return out;
+        }
+        for j0 in (0..n).step_by(NC) {
+            let j1 = (j0 + NC).min(n);
+            for k0 in (0..kdim).step_by(KC) {
+                let k1 = (k0 + KC).min(kdim);
+                for (ib, out_chunk) in out.data.chunks_mut(MR * n).enumerate() {
+                    let i0 = ib * MR;
+                    if out_chunk.len() == MR * n {
+                        // Register-tiled micro-panel: MR rows at once.
+                        let (o0, r) = out_chunk.split_at_mut(n);
+                        let (o1, r) = r.split_at_mut(n);
+                        let (o2, o3) = r.split_at_mut(n);
+                        let (o0, o1) = (&mut o0[j0..j1], &mut o1[j0..j1]);
+                        let (o2, o3) = (&mut o2[j0..j1], &mut o3[j0..j1]);
+                        for k in k0..k1 {
+                            let b = &rhs.data[k * n + j0..k * n + j1];
+                            let a0 = self.data[i0 * kdim + k];
+                            let a1 = self.data[(i0 + 1) * kdim + k];
+                            let a2 = self.data[(i0 + 2) * kdim + k];
+                            let a3 = self.data[(i0 + 3) * kdim + k];
+                            for (j, &bkj) in b.iter().enumerate() {
+                                o0[j] += a0 * bkj;
+                                o1[j] += a1 * bkj;
+                                o2[j] += a2 * bkj;
+                                o3[j] += a3 * bkj;
+                            }
+                        }
+                    } else {
+                        // Remainder rows: plain AXPY per row.
+                        for (ri, o) in out_chunk.chunks_mut(n).enumerate() {
+                            let i = i0 + ri;
+                            let o = &mut o[j0..j1];
+                            for k in k0..k1 {
+                                let aik = self.data[i * kdim + k];
+                                let b = &rhs.data[k * n + j0..k * n + j1];
+                                for (j, &bkj) in b.iter().enumerate() {
+                                    o[j] += aik * bkj;
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -188,28 +294,86 @@ impl Matrix {
     }
 
     /// Computes `self^T * rhs` without materializing the transpose; used
-    /// by the PCA covariance step (`x.T @ x`).
+    /// by the PCA covariance step (`x.T @ x`). Depth-blocked with the
+    /// same `MR`-row register tiling as [`Matrix::matmul`] (here the
+    /// tile runs over columns of `self`, i.e. rows of the output).
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul dimension mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (j, &bkj) in b_row.iter().enumerate() {
-                    out_row[j] += aki * bkj;
+        let (m, n) = (self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        for k0 in (0..self.rows).step_by(KC) {
+            let k1 = (k0 + KC).min(self.rows);
+            for (ib, out_chunk) in out.data.chunks_mut(MR * n).enumerate() {
+                let i0 = ib * MR;
+                if out_chunk.len() == MR * n {
+                    let (o0, r) = out_chunk.split_at_mut(n);
+                    let (o1, r) = r.split_at_mut(n);
+                    let (o2, o3) = r.split_at_mut(n);
+                    for k in k0..k1 {
+                        let a = &self.data[k * self.cols..(k + 1) * self.cols];
+                        let b = &rhs.data[k * n..(k + 1) * n];
+                        let (a0, a1, a2, a3) = (a[i0], a[i0 + 1], a[i0 + 2], a[i0 + 3]);
+                        for (j, &bkj) in b.iter().enumerate() {
+                            o0[j] += a0 * bkj;
+                            o1[j] += a1 * bkj;
+                            o2[j] += a2 * bkj;
+                            o3[j] += a3 * bkj;
+                        }
+                    }
+                } else {
+                    for (ri, o) in out_chunk.chunks_mut(n).enumerate() {
+                        let i = i0 + ri;
+                        for k in k0..k1 {
+                            let aki = self.data[k * self.cols + i];
+                            let b = &rhs.data[k * n..(k + 1) * n];
+                            for (j, &bkj) in b.iter().enumerate() {
+                                o[j] += aki * bkj;
+                            }
+                        }
+                    }
                 }
             }
         }
         out
+    }
+
+    /// Computes `self * rhs^T` (both operands row-major, so every dot
+    /// product runs over two contiguous rows). This is the kernel-matrix
+    /// building block: Gram matrices are `x.matmul_nt(y)`.
+    ///
+    /// # Panics
+    /// Panics if the operands disagree on column count.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a = self.row(i);
+            let o = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, oj) in o.iter_mut().enumerate() {
+                *oj = dot(a, rhs.row(j));
+            }
+        }
+        out
+    }
+
+    /// Squared Euclidean norm of every row, computed with the same
+    /// summation order as [`dot`] — so `pairwise_sq_dists` between a
+    /// row and itself is exactly zero.
+    pub fn row_sq_norms(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| dot(self.row(r), self.row(r)))
+            .collect()
     }
 
     /// Element-wise in-place addition.
@@ -375,6 +539,76 @@ mod tests {
         let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
         let c = a.matmul(&b);
         assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    /// Reference triple loop (the seed implementation) — the blocked
+    /// kernel must reproduce it bitwise.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let aik = a.get(i, k);
+                for j in 0..b.cols() {
+                    out[(i, j)] += aik * b.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_bitwise_matches_naive_across_block_edges() {
+        // Sizes straddle every blocking boundary: rows 6 = one full
+        // MR=4 tile + 2 remainder rows, depth 300 > KC=256, and
+        // cols 530 > NC=512.
+        let a = Matrix::from_fn(6, 300, |r, c| ((r * 300 + c) as f64 * 0.013).sin());
+        let b = Matrix::from_fn(300, 530, |r, c| ((r + 3 * c) as f64 * 0.007).cos());
+        let fast = a.matmul(&b);
+        let slow = matmul_naive(&a, &b);
+        assert_eq!(fast, slow, "blocking must not change summation order");
+    }
+
+    #[test]
+    fn t_matmul_blocked_matches_transpose_across_block_edges() {
+        let a = Matrix::from_fn(300, 6, |r, c| ((r + c) as f64 * 0.011).sin());
+        let b = Matrix::from_fn(300, 5, |r, c| ((2 * r + c) as f64 * 0.017).cos());
+        let got = a.t_matmul(&b);
+        let expect = matmul_naive(&a.transpose(), &b);
+        assert!(expect.max_abs_diff(&got) < 1e-12);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(5, 7, |r, c| (r as f64 - c as f64) * 0.3);
+        let b = Matrix::from_fn(9, 7, |r, c| ((r * c) as f64).sqrt());
+        let got = a.matmul_nt(&b);
+        let expect = a.matmul(&b.transpose());
+        assert!(expect.max_abs_diff(&got) < 1e-12);
+    }
+
+    #[test]
+    fn dot_is_bitwise_symmetric() {
+        let a: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..37).map(|i| (i as f64 * 1.3).cos()).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot(&b, &a).to_bits());
+    }
+
+    #[test]
+    fn pairwise_self_distance_exactly_zero() {
+        let x = Matrix::from_fn(4, 11, |r, c| (r as f64 + 0.5) * (c as f64 - 3.7));
+        let d = pairwise_sq_dists(&x, &x);
+        for i in 0..4 {
+            assert_eq!(d.get(i, i), 0.0, "self-distance of row {i}");
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_empty() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (3, 4));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

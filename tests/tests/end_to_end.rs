@@ -110,7 +110,7 @@ fn cnn_nested_training_integrates() {
         }
     }
     let rt = Runtime::new();
-    let net0 = nnet::Network::afib_cnn(xn.cols(), 3);
+    let net0 = nnet::Network::afib_cnn(xn.cols(), 6);
     let folds = vec![nnet::FoldData {
         x_train: xn.clone(),
         y_train: y.clone(),

@@ -1,0 +1,133 @@
+//! Scheduler stress tests for the work-stealing runtime.
+//!
+//! Three properties the performance overhaul must preserve:
+//!
+//! 1. **Mode equivalence** — a ~5k-task DAG of fine-grained float tasks
+//!    with random dependencies computes *bit-identical* results inline
+//!    and threaded (the paper's determinism claim: threads change
+//!    scheduling, never values).
+//! 2. **Synchronization semantics (Fig. 9)** — a `wait()` inserts a
+//!    sync marker and every later submission depends on it, in both
+//!    execution modes.
+//! 3. **Clean shutdown** — no worker thread outlives its dropped
+//!    `Runtime`, even after churning through many short-lived runtimes.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use taskrt::trace::SYNC_TASK;
+use taskrt::{live_worker_threads, Handle, Runtime};
+
+const N_TASKS: usize = 5_000;
+
+/// Drives a ~5k-task random-dependency DAG of fine-grained float ops.
+/// Task `i` combines up to 6 of the previous 48 results with fixed
+/// (associativity-sensitive) arithmetic, so any reordering of the
+/// *evaluation* inside a task would change the bits of the answer —
+/// only the scheduler's freedom to reorder *independent tasks* remains,
+/// and that must not affect values.
+fn random_dag_checksum(rt: &Runtime, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outs: Vec<Handle<f64>> = Vec::with_capacity(N_TASKS);
+    for i in 0..N_TASKS {
+        let h = if i == 0 {
+            rt.task("seed").run0(|| 1.0f64)
+        } else {
+            let ndeps = 1 + (rng.next_u64() % 6) as usize;
+            let window = i.min(48);
+            let mut deps: Vec<usize> = (0..ndeps)
+                .map(|_| i - 1 - (rng.next_u64() as usize % window))
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            let handles: Vec<Handle<f64>> = deps.iter().map(|&j| outs[j]).collect();
+            let salt = rng.random::<f64>();
+            rt.task("mix").run_many(&handles, move |xs: &[&f64]| {
+                let mut acc = salt;
+                for &x in xs {
+                    acc = (acc * 1.000_000_11 + x).sin() + x * 0.5;
+                }
+                acc
+            })
+        };
+        outs.push(h);
+    }
+    // Fold every output's exact bit pattern into one checksum so a
+    // single ULP of divergence anywhere in the 5k tasks is caught.
+    let mut checksum = 0u64;
+    for h in outs {
+        checksum = checksum.rotate_left(7).wrapping_add(rt.wait(h).to_bits());
+    }
+    checksum
+}
+
+#[test]
+fn stress_5k_random_dag_threaded_matches_inline_bitwise() {
+    let inline = random_dag_checksum(&Runtime::new(), 7);
+    for workers in [2usize, 4] {
+        let threaded = random_dag_checksum(&Runtime::threaded(workers), 7);
+        assert_eq!(
+            inline, threaded,
+            "workers={workers}: threaded checksum diverged from inline"
+        );
+    }
+}
+
+#[test]
+fn stress_sync_marker_serializes_later_submissions() {
+    // Fig. 9 semantics: tasks submitted after a wait() carry an extra
+    // dependency on the sync marker, so a replay cannot hoist them
+    // before the synchronization point. Must hold in both modes.
+    for rt in [Runtime::new(), Runtime::threaded(4)] {
+        let xs: Vec<Handle<u64>> = (0..100)
+            .map(|i| rt.task("pre").run0(move || i as u64))
+            .collect();
+        let _ = rt.wait(xs[99]); // synchronization point
+        let post: Vec<Handle<u64>> = (0..100)
+            .map(|i| rt.task("post").run0(move || i as u64 * 2))
+            .collect();
+        for &h in &post {
+            assert_eq!(*rt.wait(h) % 2, 0);
+        }
+        let t = rt.finish();
+        let marker = t
+            .records
+            .iter()
+            .find(|r| r.name == SYNC_TASK)
+            .expect("wait() on a task output must record a sync marker");
+        let post_records: Vec<_> = t.records.iter().filter(|r| r.name == "post").collect();
+        assert_eq!(post_records.len(), 100);
+        for r in &post_records {
+            assert!(
+                r.deps.contains(&marker.id),
+                "post-wait task {:?} does not depend on the sync marker",
+                r.id
+            );
+        }
+        // Pre-wait tasks must NOT depend on the marker.
+        for r in t.records.iter().filter(|r| r.name == "pre") {
+            assert!(!r.deps.contains(&marker.id));
+        }
+    }
+}
+
+#[test]
+fn stress_no_worker_threads_outlive_dropped_runtimes() {
+    let baseline = live_worker_threads();
+    for round in 0..20 {
+        let rt = Runtime::threaded(4);
+        let inputs: Vec<Handle<u64>> = (0..50).map(|i| rt.put(i + round)).collect();
+        let squares: Vec<Handle<u64>> = inputs
+            .iter()
+            .map(|&h| rt.task("sq").run1(h, |v| v * v))
+            .collect();
+        for h in squares {
+            let _ = rt.wait(h);
+        }
+        drop(rt);
+    }
+    assert_eq!(
+        live_worker_threads(),
+        baseline,
+        "worker threads leaked after dropping 20 runtimes"
+    );
+}
