@@ -28,7 +28,7 @@ use std::time::Instant;
 use taskrt::json::Value;
 use taskrt::runtime::AnyArc;
 use taskrt::sim::{simulate, ClusterSpec, SimOptions};
-use taskrt::{DataId, Runtime};
+use taskrt::{DataId, ExecMode, Runtime, RuntimeConfig};
 
 /// Random-dependency DAG: task `i` depends on up to 3 of the previous
 /// 64 tasks. Generated once and replayed on every runtime under test.
@@ -135,6 +135,36 @@ fn main() {
         "scheduler (inline):      new {inline_tps:.0} tasks/s | legacy {legacy_inline_tps:.0} tasks/s | speedup {speedup_inline:.2}x"
     );
 
+    // -- observability overhead ---------------------------------------
+    // `Runtime::threaded` keeps the obs counters on (the default);
+    // re-run with `metrics: false` to bound the instrumentation cost.
+    // The two configurations are measured interleaved (on, off, on,
+    // off, ...) with extra repetitions: threaded timings on a loaded
+    // 1-CPU container drift over time, and interleaving keeps that
+    // drift from landing on one side of the comparison. The acceptance
+    // criterion is enabled-within-10%-of-disabled.
+    let no_metrics = || {
+        Runtime::with_config(RuntimeConfig {
+            mode: ExecMode::Threads(workers),
+            nested_mode: ExecMode::Inline,
+            metrics: false,
+        })
+    };
+    let obs_reps = reps.max(11);
+    let mut t_obs_on = f64::INFINITY;
+    let mut t_obs_off = f64::INFINITY;
+    for _ in 0..obs_reps {
+        t_obs_on = t_obs_on.min(drive_new(&Runtime::threaded(workers), &dag));
+        t_obs_off = t_obs_off.min(drive_new(&no_metrics(), &dag));
+    }
+    let obs_on_tps = n_tasks as f64 / t_obs_on;
+    let obs_off_tps = n_tasks as f64 / t_obs_off;
+    let obs_overhead = obs_off_tps / obs_on_tps - 1.0;
+    println!(
+        "scheduler obs: counters on {obs_on_tps:.0} tasks/s | off {obs_off_tps:.0} tasks/s | overhead {:.1}%",
+        obs_overhead * 100.0
+    );
+
     // -- DES replay ---------------------------------------------------
     let sim_rt = Runtime::new();
     let mut outs: Vec<DataId> = Vec::with_capacity(dag.len());
@@ -196,6 +226,9 @@ fn main() {
                 ),
                 ("speedup_threaded".into(), Value::Number(speedup)),
                 ("speedup_inline".into(), Value::Number(speedup_inline)),
+                ("obs_on_tasks_per_s".into(), Value::Number(obs_on_tps)),
+                ("obs_off_tasks_per_s".into(), Value::Number(obs_off_tps)),
+                ("obs_overhead_frac".into(), Value::Number(obs_overhead)),
             ]),
         ),
         (

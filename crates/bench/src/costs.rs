@@ -197,6 +197,8 @@ mod tests {
             cores: 1,
             gpus,
             seq: 0,
+            start_s: 0.0,
+            worker: -1,
             child: None,
         }
     }

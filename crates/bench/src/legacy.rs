@@ -183,6 +183,8 @@ impl LegacyRuntime {
                 cores: 0,
                 gpus: 0,
                 seq,
+                start_s: 0.0,
+                worker: -1,
                 child: None,
             });
 

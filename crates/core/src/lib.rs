@@ -35,6 +35,7 @@
 //! | [`sim`] | discrete-event cluster simulator and [`sim::ClusterSpec`] |
 //! | [`dot`] | Graphviz export of execution graphs |
 //! | [`gantt`] | ASCII/JSON timelines of simulated schedules |
+//! | [`obs`] | scheduler counters, Chrome-trace export, profile reports |
 //! | [`json`] | self-contained JSON tree, parser, and printer |
 //!
 //! ## Runtime internals & performance
@@ -49,12 +50,14 @@ pub mod dot;
 pub mod gantt;
 pub mod handle;
 pub mod json;
+pub mod obs;
 pub mod payload;
 pub mod runtime;
 pub mod sim;
 pub mod trace;
 
 pub use handle::{DataId, Handle, TaskId};
+pub use obs::{Profile, RuntimeStats, SimProfile};
 pub use payload::Payload;
 pub use runtime::{live_worker_threads, ExecMode, Runtime, RuntimeConfig, TaskBuilder, TaskCtx};
 pub use trace::{TaskRecord, Trace};

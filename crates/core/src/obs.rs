@@ -1,0 +1,973 @@
+//! Observability: runtime counters, profile reports, and timeline export.
+//!
+//! The paper's methodology rests on *measuring* workflows: PyCOMPSs
+//! emits Extrae traces that are inspected in Paraver to explain every
+//! scalability curve and anomaly. This module plays that role for
+//! `taskrt` — for real runs *and* for simulated schedules:
+//!
+//! * **[`RuntimeStats`]** — a snapshot of the scheduler's atomic
+//!   counters (tasks per worker, steal attempts/successes, injector
+//!   batches, wakeups, parks/idle time, driver stalls, queue-wait vs
+//!   run time). Collected with relaxed atomics off the lock path and
+//!   gated by [`crate::RuntimeConfig::metrics`], so the hot path stays
+//!   within noise of the un-instrumented scheduler (measured by
+//!   `bench --bin perf`, recorded in `BENCH_perf.json`).
+//! * **[`chrome_trace`] / [`chrome_trace_schedule`]** — Chrome-trace
+//!   format (`chrome://tracing` / [Perfetto](https://ui.perfetto.dev))
+//!   JSON timelines: one track per executor (driver + workers) for a
+//!   recorded [`Trace`], one track per cluster node for a simulated
+//!   schedule. This is the Paraver-timeline equivalent.
+//! * **[`Profile`]** — per-task-kind aggregation over a trace: count,
+//!   total/mean/p50/p95 duration, bytes in/out, and the share of the
+//!   critical path each kind is responsible for.
+//! * **[`SimProfile`]** — per-node breakdown of a [`SimReport`]: busy
+//!   (wall and task-seconds), transfer time, idle time, link bytes
+//!   received, plus cluster-wide *stall* time (instants where no node
+//!   runs anything — the cost of `wait`/`barrier` serialization).
+//!
+//! `cargo run --release -p bench --bin profile` exercises all of the
+//! above on a real pipeline and writes `out/profile.json` plus two
+//! `.trace.json` timelines.
+
+use crate::json::Value;
+use crate::sim::SimReport;
+use crate::trace::{Trace, BARRIER_TASK, SYNC_TASK};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-executor counter shard. One cache line each (`align(64)`, eight
+/// `u64` fields) so the per-task hot-path updates from different
+/// executors never contend on a shared line — with naively shared
+/// counters the instrumentation cost measured ~45% on the no-op DAG
+/// benchmark; sharded it sits within the 10% acceptance bound.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub(crate) struct ExecShard {
+    /// Tasks executed by this executor.
+    pub(crate) tasks: AtomicU64,
+    /// Nanoseconds its tasks spent between becoming visible to workers
+    /// (injector flush or predecessor completion) and starting.
+    pub(crate) queue_wait_ns: AtomicU64,
+    /// Nanoseconds spent inside task bodies.
+    pub(crate) run_ns: AtomicU64,
+    /// Steal probes into a sibling's deque (hit or miss).
+    pub(crate) steal_attempts: AtomicU64,
+    /// Steal probes that obtained at least one task.
+    pub(crate) steal_successes: AtomicU64,
+    /// Tasks acquired by stealing.
+    pub(crate) stolen_tasks: AtomicU64,
+    /// Condvar sleeps: workers parking idle, the driver blocking in
+    /// `wait`/`barrier` after a dry cooperative help pass.
+    pub(crate) parks: AtomicU64,
+    /// Nanoseconds spent parked.
+    pub(crate) idle_ns: AtomicU64,
+}
+
+/// Scheduler-internal atomic counters, one instance per runtime.
+/// Updated with relaxed ordering outside the state lock; read via
+/// [`crate::Runtime::stats`]. All updates are gated by
+/// [`crate::RuntimeConfig::metrics`].
+#[derive(Debug)]
+pub(crate) struct Counters {
+    /// Per-executor shards: `shards[0]` is the driver, `shards[w + 1]`
+    /// is pool worker `w`.
+    pub(crate) shards: Vec<ExecShard>,
+    // Low-frequency counters (batch granularity) stay shared.
+    /// Staged-submission batches flushed to the injector.
+    pub(crate) injector_flushes: AtomicU64,
+    /// Tasks moved to the injector across all flushes.
+    pub(crate) injector_flushed_tasks: AtomicU64,
+    /// `notify_one` wake tokens granted to sleeping workers.
+    pub(crate) wakeups: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn new(n_workers: usize) -> Self {
+        Counters {
+            shards: (0..=n_workers).map(|_| ExecShard::default()).collect(),
+            injector_flushes: AtomicU64::new(0),
+            injector_flushed_tasks: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard owned by executor `who` (`-1` = driver, `w >= 0` =
+    /// pool worker `w`).
+    #[inline]
+    pub(crate) fn shard(&self, who: i64) -> &ExecShard {
+        &self.shards[(who + 1) as usize]
+    }
+
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment for single-writer counters: each pool worker is the
+    /// only thread that writes its own shard, so a plain load + store
+    /// replaces the lock-prefixed RMW on the per-task hot path.
+    /// (The driver shard can be written from several user threads and
+    /// must use [`Counters::add`].)
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+        counter.store(
+            counter.load(Ordering::Relaxed).wrapping_add(n),
+            Ordering::Relaxed,
+        );
+    }
+
+    pub(crate) fn snapshot(&self) -> RuntimeStats {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let sum =
+            |f: fn(&ExecShard) -> &AtomicU64| -> u64 { self.shards.iter().map(|s| ld(f(s))).sum() };
+        let total_tasks = sum(|s| &s.tasks);
+        let workers = &self.shards[1..];
+        RuntimeStats {
+            worker_tasks: workers.iter().map(|s| ld(&s.tasks)).collect(),
+            driver_tasks: ld(&self.shards[0].tasks),
+            steal_attempts: sum(|s| &s.steal_attempts),
+            steal_successes: sum(|s| &s.steal_successes),
+            stolen_tasks: sum(|s| &s.stolen_tasks),
+            injector_flushes: ld(&self.injector_flushes),
+            injector_flushed_tasks: ld(&self.injector_flushed_tasks),
+            wakeups: ld(&self.wakeups),
+            worker_parks: workers.iter().map(|s| ld(&s.parks)).sum(),
+            worker_idle_s: workers.iter().map(|s| ld(&s.idle_ns)).sum::<u64>() as f64 * 1e-9,
+            driver_parks: ld(&self.shards[0].parks),
+            driver_stall_s: ld(&self.shards[0].idle_ns) as f64 * 1e-9,
+            queue_wait_s: sum(|s| &s.queue_wait_ns) as f64 * 1e-9,
+            // Every task gets a release timestamp when metrics are on,
+            // so the queue-wait denominator is the task count.
+            queued_tasks: total_tasks,
+            run_s: sum(|s| &s.run_ns) as f64 * 1e-9,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the scheduler counters (see
+/// [`crate::Runtime::stats`]). All zeros when the runtime was built
+/// with [`crate::RuntimeConfig::metrics`] `= false`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeStats {
+    /// Tasks executed by each pool worker (empty in inline mode).
+    pub worker_tasks: Vec<u64>,
+    /// Tasks executed on a driver thread (inline or cooperative wait).
+    pub driver_tasks: u64,
+    /// Steal probes into sibling deques.
+    pub steal_attempts: u64,
+    /// Steal probes that obtained work.
+    pub steal_successes: u64,
+    /// Tasks acquired via stealing.
+    pub stolen_tasks: u64,
+    /// Staged-submission batches flushed to the injector.
+    pub injector_flushes: u64,
+    /// Total tasks that passed through the injector.
+    pub injector_flushed_tasks: u64,
+    /// Wake tokens granted (`notify_one` calls issued).
+    pub wakeups: u64,
+    /// Worker condvar sleeps.
+    pub worker_parks: u64,
+    /// Total seconds workers were parked.
+    pub worker_idle_s: f64,
+    /// Driver condvar sleeps inside `wait`/`barrier`.
+    pub driver_parks: u64,
+    /// Total seconds the driver was parked in `wait`/`barrier`.
+    pub driver_stall_s: f64,
+    /// Summed ready-to-start latency over measured tasks.
+    pub queue_wait_s: f64,
+    /// Number of tasks with a measured queue wait.
+    pub queued_tasks: u64,
+    /// Summed task-body execution seconds.
+    pub run_s: f64,
+}
+
+impl RuntimeStats {
+    /// Total tasks executed (workers + driver).
+    pub fn total_tasks(&self) -> u64 {
+        self.driver_tasks + self.worker_tasks.iter().sum::<u64>()
+    }
+
+    /// Mean seconds a task waited between release and start.
+    pub fn mean_queue_wait_s(&self) -> f64 {
+        if self.queued_tasks == 0 {
+            0.0
+        } else {
+            self.queue_wait_s / self.queued_tasks as f64
+        }
+    }
+
+    /// Fraction of steal probes that found work.
+    pub fn steal_hit_rate(&self) -> f64 {
+        if self.steal_attempts == 0 {
+            0.0
+        } else {
+            self.steal_successes as f64 / self.steal_attempts as f64
+        }
+    }
+
+    /// Encodes the snapshot as a JSON tree.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "worker_tasks".into(),
+                Value::Array(self.worker_tasks.iter().map(|&n| Value::from(n)).collect()),
+            ),
+            ("driver_tasks".into(), Value::from(self.driver_tasks)),
+            ("total_tasks".into(), Value::from(self.total_tasks())),
+            ("steal_attempts".into(), Value::from(self.steal_attempts)),
+            ("steal_successes".into(), Value::from(self.steal_successes)),
+            ("stolen_tasks".into(), Value::from(self.stolen_tasks)),
+            ("steal_hit_rate".into(), Value::from(self.steal_hit_rate())),
+            (
+                "injector_flushes".into(),
+                Value::from(self.injector_flushes),
+            ),
+            (
+                "injector_flushed_tasks".into(),
+                Value::from(self.injector_flushed_tasks),
+            ),
+            ("wakeups".into(), Value::from(self.wakeups)),
+            ("worker_parks".into(), Value::from(self.worker_parks)),
+            ("worker_idle_s".into(), Value::from(self.worker_idle_s)),
+            ("driver_parks".into(), Value::from(self.driver_parks)),
+            ("driver_stall_s".into(), Value::from(self.driver_stall_s)),
+            ("queue_wait_s".into(), Value::from(self.queue_wait_s)),
+            ("queued_tasks".into(), Value::from(self.queued_tasks)),
+            (
+                "mean_queue_wait_s".into(),
+                Value::from(self.mean_queue_wait_s()),
+            ),
+            ("run_s".into(), Value::from(self.run_s)),
+        ])
+    }
+
+    /// Renders the snapshot as a small human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "scheduler counters").unwrap();
+        writeln!(out, "  tasks executed     {:>12}", self.total_tasks()).unwrap();
+        writeln!(out, "    by driver        {:>12}", self.driver_tasks).unwrap();
+        for (i, n) in self.worker_tasks.iter().enumerate() {
+            writeln!(out, "    by worker {i:<2}     {n:>12}").unwrap();
+        }
+        writeln!(
+            out,
+            "  steals             {:>12} ok / {} probes ({:.1}% hit, {} tasks)",
+            self.steal_successes,
+            self.steal_attempts,
+            self.steal_hit_rate() * 100.0,
+            self.stolen_tasks
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  injector flushes   {:>12} ({} tasks)",
+            self.injector_flushes, self.injector_flushed_tasks
+        )
+        .unwrap();
+        writeln!(out, "  wakeups            {:>12}", self.wakeups).unwrap();
+        writeln!(
+            out,
+            "  worker parks       {:>12} ({:.4}s idle)",
+            self.worker_parks, self.worker_idle_s
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  driver parks       {:>12} ({:.4}s stalled)",
+            self.driver_parks, self.driver_stall_s
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  queue wait         {:>12.6}s total, {:.2}us mean",
+            self.queue_wait_s,
+            self.mean_queue_wait_s() * 1e6
+        )
+        .unwrap();
+        writeln!(out, "  run time           {:>12.6}s total", self.run_s).unwrap();
+        out
+    }
+}
+
+/// True for the pure bookkeeping markers that never execute a body.
+fn is_pseudo(name: &str) -> bool {
+    name == SYNC_TASK || name == BARRIER_TASK
+}
+
+fn ev(fields: Vec<(String, Value)>) -> Value {
+    Value::Object(fields)
+}
+
+fn thread_name_event(pid: u64, tid: u64, name: &str) -> Value {
+    ev(vec![
+        ("name".into(), Value::from("thread_name")),
+        ("ph".into(), Value::from("M")),
+        ("pid".into(), Value::from(pid)),
+        ("tid".into(), Value::from(tid)),
+        (
+            "args".into(),
+            Value::Object(vec![("name".into(), Value::from(name))]),
+        ),
+    ])
+}
+
+/// Exports a recorded [`Trace`] as Chrome-trace-format JSON (open in
+/// `chrome://tracing` or <https://ui.perfetto.dev>) — the Paraver
+/// timeline of a *real* run. One track per executor: the driver thread
+/// plus each pool worker. Timestamps are the recorded
+/// [`crate::TaskRecord::start_s`] offsets from the runtime epoch.
+///
+/// Sync/barrier markers carry no duration and are skipped; nested child
+/// traces run on their own clock and are likewise not flattened in.
+pub fn chrome_trace(trace: &Trace) -> String {
+    let mut events = Vec::new();
+    // One metadata record per executor track, driver first.
+    let max_worker = trace
+        .records
+        .iter()
+        .filter(|r| !is_pseudo(&r.name))
+        .map(|r| r.worker)
+        .max()
+        .unwrap_or(-1);
+    events.push(thread_name_event(0, 0, "driver"));
+    for w in 0..=max_worker.max(-1) {
+        if w >= 0 {
+            events.push(thread_name_event(0, (w + 1) as u64, &format!("worker {w}")));
+        }
+    }
+    for r in &trace.records {
+        if is_pseudo(&r.name) {
+            continue;
+        }
+        let tid = (r.worker + 1).max(0) as u64;
+        let bytes_in: usize = r.inputs.iter().map(|(_, b)| b).sum();
+        let bytes_out: usize = r.outputs.iter().map(|(_, b)| b).sum();
+        events.push(ev(vec![
+            ("name".into(), Value::from(r.name.as_str())),
+            ("cat".into(), Value::from("task")),
+            ("ph".into(), Value::from("X")),
+            ("ts".into(), Value::from(r.start_s * 1e6)),
+            ("dur".into(), Value::from(r.duration_s * 1e6)),
+            ("pid".into(), Value::from(0u64)),
+            ("tid".into(), Value::from(tid)),
+            (
+                "args".into(),
+                Value::Object(vec![
+                    ("task".into(), Value::from(r.id.0)),
+                    ("bytes_in".into(), Value::from(bytes_in)),
+                    ("bytes_out".into(), Value::from(bytes_out)),
+                ]),
+            ),
+        ]));
+    }
+    ev(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), Value::from("ms")),
+    ])
+    .pretty()
+}
+
+/// Exports a simulated schedule as Chrome-trace-format JSON — the
+/// Paraver timeline of a *what-if* run. One track per cluster node;
+/// each placed task renders as a `transfer` slice (when inputs had to
+/// move) followed by a `compute` slice.
+pub fn chrome_trace_schedule(report: &SimReport) -> String {
+    let mut events = Vec::new();
+    let max_node = report.schedule.iter().map(|e| e.node).max().unwrap_or(0);
+    for node in 0..=max_node {
+        events.push(thread_name_event(0, node as u64, &format!("node {node}")));
+    }
+    for e in &report.schedule {
+        if e.transfer_s > 0.0 {
+            events.push(ev(vec![
+                ("name".into(), Value::from(format!("xfer:{}", e.name))),
+                ("cat".into(), Value::from("transfer")),
+                ("ph".into(), Value::from("X")),
+                ("ts".into(), Value::from(e.start_s * 1e6)),
+                ("dur".into(), Value::from(e.transfer_s * 1e6)),
+                ("pid".into(), Value::from(0u64)),
+                ("tid".into(), Value::from(e.node)),
+                (
+                    "args".into(),
+                    Value::Object(vec![
+                        ("task".into(), Value::from(e.task.0)),
+                        ("bytes".into(), Value::from(e.transfer_bytes)),
+                    ]),
+                ),
+            ]));
+        }
+        events.push(ev(vec![
+            ("name".into(), Value::from(e.name.as_str())),
+            ("cat".into(), Value::from("compute")),
+            ("ph".into(), Value::from("X")),
+            ("ts".into(), Value::from((e.start_s + e.transfer_s) * 1e6)),
+            (
+                "dur".into(),
+                Value::from((e.end_s - e.start_s - e.transfer_s).max(0.0) * 1e6),
+            ),
+            ("pid".into(), Value::from(0u64)),
+            ("tid".into(), Value::from(e.node)),
+            (
+                "args".into(),
+                Value::Object(vec![
+                    ("task".into(), Value::from(e.task.0)),
+                    ("cores".into(), Value::from(e.cores)),
+                    ("gpus".into(), Value::from(e.gpus)),
+                ]),
+            ),
+        ]));
+    }
+    ev(vec![
+        ("traceEvents".into(), Value::Array(events)),
+        ("displayTimeUnit".into(), Value::from("ms")),
+    ])
+    .pretty()
+}
+
+/// Aggregated statistics for one task kind (see [`Profile`]).
+#[derive(Debug, Clone)]
+pub struct KindStats {
+    /// Task kind name.
+    pub name: String,
+    /// Number of executed tasks of this kind.
+    pub count: usize,
+    /// Summed duration, seconds.
+    pub total_s: f64,
+    /// Mean duration, seconds.
+    pub mean_s: f64,
+    /// Median duration, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile duration, seconds.
+    pub p95_s: f64,
+    /// Summed input bytes.
+    pub bytes_in: u64,
+    /// Summed output bytes.
+    pub bytes_out: u64,
+    /// Seconds this kind contributes to the trace's critical path.
+    pub critical_path_s: f64,
+}
+
+/// Per-task-kind profile of a recorded [`Trace`] — the answer to
+/// "where did the time go", including which kinds dominate the
+/// critical path (and therefore bound any schedule's makespan).
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Per-kind rows, ordered by descending total duration.
+    pub kinds: Vec<KindStats>,
+    /// User tasks profiled (markers excluded).
+    pub task_count: usize,
+    /// Summed user-task duration, seconds.
+    pub total_work_s: f64,
+    /// Critical-path length of the trace, seconds.
+    pub critical_path_s: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl Profile {
+    /// Builds the profile of a trace. Sync/barrier/split markers are
+    /// excluded from the per-kind rows; nested child traces are not
+    /// folded in (the parent's duration already encloses them).
+    pub fn from_trace(trace: &Trace) -> Profile {
+        use std::collections::BTreeMap;
+        let mut durs: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        let mut bytes: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for r in trace.records.iter().filter(|r| !r.is_marker()) {
+            durs.entry(&r.name).or_default().push(r.duration_s);
+            let e = bytes.entry(&r.name).or_insert((0, 0));
+            e.0 += r.inputs.iter().map(|(_, b)| *b as u64).sum::<u64>();
+            e.1 += r.outputs.iter().map(|(_, b)| *b as u64).sum::<u64>();
+        }
+
+        // Walk the critical path backwards to attribute its time.
+        let index = trace.index_by_id();
+        let n = trace.records.len();
+        let mut finish = vec![0.0f64; n];
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        let mut best = 0usize;
+        for (i, r) in trace.records.iter().enumerate() {
+            let mut ready = 0.0f64;
+            for d in &r.deps {
+                if let Some(&j) = index.get(d) {
+                    if finish[j] > ready {
+                        ready = finish[j];
+                        pred[i] = Some(j);
+                    }
+                }
+            }
+            finish[i] = ready + r.duration_s;
+            if finish[i] > finish[best] {
+                best = i;
+            }
+        }
+        let mut cp_of: BTreeMap<&str, f64> = BTreeMap::new();
+        if n > 0 {
+            let mut cur = Some(best);
+            while let Some(i) = cur {
+                let r = &trace.records[i];
+                if !r.is_marker() {
+                    *cp_of.entry(&r.name).or_insert(0.0) += r.duration_s;
+                }
+                cur = pred[i];
+            }
+        }
+
+        let mut kinds: Vec<KindStats> = durs
+            .into_iter()
+            .map(|(name, mut ds)| {
+                ds.sort_by(f64::total_cmp);
+                let total: f64 = ds.iter().sum();
+                let (bin, bout) = bytes[name];
+                KindStats {
+                    name: name.to_string(),
+                    count: ds.len(),
+                    total_s: total,
+                    mean_s: total / ds.len() as f64,
+                    p50_s: percentile(&ds, 0.50),
+                    p95_s: percentile(&ds, 0.95),
+                    bytes_in: bin,
+                    bytes_out: bout,
+                    critical_path_s: cp_of.get(name).copied().unwrap_or(0.0),
+                }
+            })
+            .collect();
+        kinds.sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.name.cmp(&b.name)));
+        Profile {
+            kinds,
+            task_count: trace.records.iter().filter(|r| !r.is_marker()).count(),
+            total_work_s: trace.total_work_s(),
+            critical_path_s: trace.critical_path_s(),
+        }
+    }
+
+    /// Share of the critical path attributed to `kind` (0..=1).
+    pub fn critical_share(&self, kind: &str) -> f64 {
+        if self.critical_path_s <= 0.0 {
+            return 0.0;
+        }
+        self.kinds
+            .iter()
+            .find(|k| k.name == kind)
+            .map_or(0.0, |k| k.critical_path_s / self.critical_path_s)
+    }
+
+    /// Encodes the profile as a JSON tree.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("task_count".into(), Value::from(self.task_count)),
+            ("total_work_s".into(), Value::from(self.total_work_s)),
+            ("critical_path_s".into(), Value::from(self.critical_path_s)),
+            (
+                "kinds".into(),
+                Value::Array(
+                    self.kinds
+                        .iter()
+                        .map(|k| {
+                            Value::Object(vec![
+                                ("name".into(), Value::from(k.name.as_str())),
+                                ("count".into(), Value::from(k.count)),
+                                ("total_s".into(), Value::from(k.total_s)),
+                                ("mean_s".into(), Value::from(k.mean_s)),
+                                ("p50_s".into(), Value::from(k.p50_s)),
+                                ("p95_s".into(), Value::from(k.p95_s)),
+                                ("bytes_in".into(), Value::from(k.bytes_in)),
+                                ("bytes_out".into(), Value::from(k.bytes_out)),
+                                ("critical_path_s".into(), Value::from(k.critical_path_s)),
+                                (
+                                    "critical_share".into(),
+                                    Value::from(self.critical_share(&k.name)),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the profile as a fixed-width table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "profile: {} tasks, {:.4}s work, {:.4}s critical path",
+            self.task_count, self.total_work_s, self.critical_path_s
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<18} {:>7} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>7}",
+            "kind", "count", "total_s", "mean_s", "p50_s", "p95_s", "bytes_in", "bytes_out", "cp%"
+        )
+        .unwrap();
+        for k in &self.kinds {
+            writeln!(
+                out,
+                "{:<18} {:>7} {:>10.4} {:>10.6} {:>10.6} {:>10.6} {:>12} {:>12} {:>6.1}%",
+                k.name,
+                k.count,
+                k.total_s,
+                k.mean_s,
+                k.p50_s,
+                k.p95_s,
+                k.bytes_in,
+                k.bytes_out,
+                self.critical_share(&k.name) * 100.0
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Per-node statistics of a simulated schedule (see [`SimProfile`]).
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// Node index.
+    pub node: usize,
+    /// Wall seconds the node had at least one task in flight.
+    pub busy_s: f64,
+    /// Occupancy in task-seconds (sum of per-task compute durations —
+    /// exceeds `busy_s` when tasks overlap on the node).
+    pub task_s: f64,
+    /// Seconds spent in input transfers (summed over tasks).
+    pub transfer_s: f64,
+    /// Wall seconds the node ran nothing (`makespan - busy_s`).
+    pub idle_s: f64,
+    /// Tasks placed on the node.
+    pub tasks: usize,
+    /// Bytes transferred *to* this node for task inputs.
+    pub bytes_in: u64,
+}
+
+/// Per-node utilization breakdown of a [`SimReport`] — the summary
+/// Paraver's node-level views give the paper (e.g. the idle stretches
+/// that explain the RF 2-vs-3-node anomaly).
+#[derive(Debug, Clone)]
+pub struct SimProfile {
+    /// Makespan of the schedule, seconds.
+    pub makespan_s: f64,
+    /// Per-node rows, indexed by node.
+    pub nodes: Vec<NodeStats>,
+    /// Wall seconds during which *no* node ran anything — time the
+    /// whole cluster stalled behind `wait`/`barrier` serialization.
+    pub stall_s: f64,
+    /// Total bytes moved over inter-node links.
+    pub link_bytes: u64,
+    /// Cluster utilization carried over from the report.
+    pub utilization: f64,
+}
+
+/// Wall-clock coverage of a set of `[start, end)` intervals.
+fn coverage(mut iv: Vec<(f64, f64)>) -> f64 {
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut covered = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (s, e) in iv {
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = ce.max(e),
+            _ => {
+                if let Some((cs, ce)) = cur.take() {
+                    covered += ce - cs;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        covered += ce - cs;
+    }
+    covered
+}
+
+impl SimProfile {
+    /// Builds the per-node breakdown from a simulation report.
+    /// `nodes` is the cluster's node count (idle nodes still get rows).
+    pub fn from_report(report: &SimReport, nodes: usize) -> SimProfile {
+        let mut rows: Vec<NodeStats> = (0..nodes)
+            .map(|node| NodeStats {
+                node,
+                busy_s: 0.0,
+                task_s: 0.0,
+                transfer_s: 0.0,
+                idle_s: 0.0,
+                tasks: 0,
+                bytes_in: 0,
+            })
+            .collect();
+        let mut per_node_iv: Vec<Vec<(f64, f64)>> = vec![Vec::new(); nodes];
+        let mut all_iv: Vec<(f64, f64)> = Vec::new();
+        for e in &report.schedule {
+            if e.node >= nodes {
+                continue;
+            }
+            let row = &mut rows[e.node];
+            row.task_s += (e.end_s - e.start_s - e.transfer_s).max(0.0);
+            row.transfer_s += e.transfer_s;
+            row.tasks += 1;
+            row.bytes_in += e.transfer_bytes;
+            per_node_iv[e.node].push((e.start_s, e.end_s));
+            all_iv.push((e.start_s, e.end_s));
+        }
+        for (row, iv) in rows.iter_mut().zip(per_node_iv) {
+            row.busy_s = coverage(iv);
+            row.idle_s = (report.makespan_s - row.busy_s).max(0.0);
+        }
+        SimProfile {
+            makespan_s: report.makespan_s,
+            stall_s: (report.makespan_s - coverage(all_iv)).max(0.0),
+            link_bytes: report.transferred_bytes as u64,
+            utilization: report.utilization,
+            nodes: rows,
+        }
+    }
+
+    /// Encodes the breakdown as a JSON tree.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("makespan_s".into(), Value::from(self.makespan_s)),
+            ("stall_s".into(), Value::from(self.stall_s)),
+            ("link_bytes".into(), Value::from(self.link_bytes)),
+            ("utilization".into(), Value::from(self.utilization)),
+            (
+                "nodes".into(),
+                Value::Array(
+                    self.nodes
+                        .iter()
+                        .map(|n| {
+                            Value::Object(vec![
+                                ("node".into(), Value::from(n.node)),
+                                ("busy_s".into(), Value::from(n.busy_s)),
+                                ("task_s".into(), Value::from(n.task_s)),
+                                ("transfer_s".into(), Value::from(n.transfer_s)),
+                                ("idle_s".into(), Value::from(n.idle_s)),
+                                ("tasks".into(), Value::from(n.tasks)),
+                                ("bytes_in".into(), Value::from(n.bytes_in)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the breakdown as a fixed-width table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "simulated schedule: makespan {:.4}s, stall {:.4}s, {} link bytes, {:.1}% utilization",
+            self.makespan_s,
+            self.stall_s,
+            self.link_bytes,
+            self.utilization * 100.0
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<6} {:>7} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "node", "tasks", "busy_s", "task_s", "xfer_s", "idle_s", "bytes_in"
+        )
+        .unwrap();
+        for n in &self.nodes {
+            writeln!(
+                out,
+                "{:<6} {:>7} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12}",
+                n.node, n.tasks, n.busy_s, n.task_s, n.transfer_s, n.idle_s, n.bytes_in
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::{DataId, TaskId};
+    use crate::sim::{simulate, ClusterSpec, SimOptions};
+    use crate::trace::TaskRecord;
+    use crate::Runtime;
+
+    fn rec(id: u64, deps: &[u64], dur: f64, name: &str) -> TaskRecord {
+        TaskRecord {
+            id: TaskId(id),
+            name: name.to_string(),
+            deps: deps.iter().map(|&d| TaskId(d)).collect(),
+            duration_s: dur,
+            inputs: deps.iter().map(|&d| (DataId(d), 100)).collect(),
+            outputs: vec![(DataId(id), 100)],
+            cores: 1,
+            gpus: 0,
+            seq: id,
+            start_s: 0.0,
+            worker: -1,
+            child: None,
+        }
+    }
+
+    fn diamond() -> Trace {
+        Trace {
+            records: vec![
+                rec(0, &[], 1.0, "src"),
+                rec(1, &[0], 5.0, "left"),
+                rec(2, &[0], 2.0, "right"),
+                rec(3, &[1, 2], 1.0, "join"),
+            ],
+        }
+    }
+
+    #[test]
+    fn profile_aggregates_kinds_and_critical_path() {
+        let p = Profile::from_trace(&diamond());
+        assert_eq!(p.task_count, 4);
+        assert!((p.critical_path_s - 7.0).abs() < 1e-12);
+        let left = p.kinds.iter().find(|k| k.name == "left").unwrap();
+        assert_eq!(left.count, 1);
+        assert!((left.critical_path_s - 5.0).abs() < 1e-12);
+        // src + left + join are on the critical path; right is not.
+        let right = p.kinds.iter().find(|k| k.name == "right").unwrap();
+        assert_eq!(right.critical_path_s, 0.0);
+        assert!((p.critical_share("left") - 5.0 / 7.0).abs() < 1e-12);
+        // Rows sorted by total time: "left" dominates.
+        assert_eq!(p.kinds[0].name, "left");
+    }
+
+    #[test]
+    fn profile_percentiles_on_repeated_kind() {
+        let records: Vec<TaskRecord> = (0..100)
+            .map(|i| rec(i, &[], (i + 1) as f64 / 100.0, "work"))
+            .collect();
+        let p = Profile::from_trace(&Trace { records });
+        let w = &p.kinds[0];
+        assert_eq!(w.count, 100);
+        assert!((w.p50_s - 0.50).abs() < 0.02, "p50={}", w.p50_s);
+        assert!((w.p95_s - 0.95).abs() < 0.02, "p95={}", w.p95_s);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let rt = Runtime::new();
+        let a = rt.put(1.0f64);
+        let b = rt.task("scale").run1(a, |v| v * 2.0);
+        let _ = rt.wait(b);
+        let json = chrome_trace(&rt.trace());
+        let v = Value::parse(&json).expect("valid chrome trace JSON");
+        let events = v.field("traceEvents").unwrap().as_array().unwrap();
+        // At least the driver thread_name metadata and the task slice.
+        assert!(events.len() >= 2);
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("one complete event");
+        assert_eq!(slice.field("name").unwrap().as_str(), Some("scale"));
+        assert!(slice.field("dur").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_schedule_splits_transfer_and_compute() {
+        let t = diamond();
+        let cluster = ClusterSpec {
+            nodes: 2,
+            cores_per_node: 1,
+            gpus_per_node: 0,
+            bandwidth_bps: 1e3, // slow link: transfers are visible
+            latency_s: 0.0,
+        };
+        let rep = simulate(&t, &cluster, &SimOptions::default());
+        let json = chrome_trace_schedule(&rep);
+        let v = Value::parse(&json).expect("valid chrome trace JSON");
+        let events = v.field("traceEvents").unwrap().as_array().unwrap();
+        let cats: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("cat").and_then(|c| c.as_str()))
+            .collect();
+        assert!(cats.contains(&"compute"));
+        assert!(cats.contains(&"transfer"));
+    }
+
+    #[test]
+    fn sim_profile_accounts_for_the_whole_makespan() {
+        let t = diamond();
+        let cluster = ClusterSpec {
+            nodes: 2,
+            cores_per_node: 1,
+            gpus_per_node: 0,
+            bandwidth_bps: 1e9,
+            latency_s: 0.0,
+        };
+        let rep = simulate(&t, &cluster, &SimOptions::default());
+        let sp = SimProfile::from_report(&rep, 2);
+        assert_eq!(sp.nodes.len(), 2);
+        for n in &sp.nodes {
+            assert!((n.busy_s + n.idle_s - sp.makespan_s).abs() < 1e-9);
+        }
+        // The critical chain keeps at least one node busy throughout.
+        assert!(sp.stall_s < 1e-9, "stall={}", sp.stall_s);
+        let total_tasks: usize = sp.nodes.iter().map(|n| n.tasks).sum();
+        assert_eq!(total_tasks, 4);
+    }
+
+    #[test]
+    fn sim_profile_detects_serialization_stall() {
+        // Two tasks separated by a zero-duration gap cannot stall; force
+        // one by inserting an artificial schedule hole via sync-marker
+        // style dependency and a duration override is overkill — instead
+        // check coverage() directly.
+        assert!((coverage(vec![(0.0, 1.0), (2.0, 3.0)]) - 2.0).abs() < 1e-12);
+        assert!((coverage(vec![(0.0, 2.0), (1.0, 3.0)]) - 3.0).abs() < 1e-12);
+        assert_eq!(coverage(vec![]), 0.0);
+    }
+
+    #[test]
+    fn runtime_stats_snapshot_counts_tasks() {
+        let rt = Runtime::threaded(2);
+        let a = rt.put(0u64);
+        for _ in 0..100 {
+            let _ = rt.task("t").run1(a, |v| v + 1);
+        }
+        rt.barrier();
+        let stats = rt.stats();
+        assert_eq!(stats.total_tasks(), 100);
+        assert_eq!(stats.worker_tasks.len(), 2);
+        assert!(stats.run_s >= 0.0);
+        assert!(stats.queued_tasks > 0);
+    }
+
+    #[test]
+    fn metrics_disabled_runtime_reports_zeros() {
+        let rt = Runtime::with_config(crate::RuntimeConfig {
+            mode: crate::ExecMode::Threads(2),
+            nested_mode: crate::ExecMode::Inline,
+            metrics: false,
+        });
+        let a = rt.put(0u64);
+        for _ in 0..50 {
+            let _ = rt.task("t").run1(a, |v| v + 1);
+        }
+        rt.barrier();
+        let stats = rt.stats();
+        assert_eq!(stats.total_tasks(), 0);
+        assert_eq!(stats.queued_tasks, 0);
+    }
+
+    #[test]
+    fn stats_table_renders() {
+        let rt = Runtime::new();
+        let a = rt.put(1u64);
+        let _ = rt.task("x").run1(a, |v| *v);
+        rt.barrier();
+        let table = rt.stats().render_table();
+        assert!(table.contains("tasks executed"));
+        let profile = Profile::from_trace(&rt.trace());
+        assert!(profile.render_table().contains("kind"));
+    }
+}

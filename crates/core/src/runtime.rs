@@ -61,11 +61,12 @@
 //!   (observable via [`live_worker_threads`]).
 
 use crate::handle::{DataId, Handle, TaskId};
+use crate::obs::{Counters, RuntimeStats};
 use crate::payload::Payload;
 use crate::trace::{TaskRecord, Trace, BARRIER_TASK, SPLIT_TASK, SYNC_TASK};
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -126,6 +127,12 @@ pub struct RuntimeConfig {
     pub mode: ExecMode,
     /// Execution mode for child runtimes created by nested tasks.
     pub nested_mode: ExecMode,
+    /// Whether the scheduler maintains observability counters and
+    /// per-task timestamps (see [`crate::obs`] and [`Runtime::stats`]).
+    /// Updates are relaxed atomics off the lock path, so the default is
+    /// on; `bench --bin perf` measures the on-vs-off gap to keep it
+    /// within noise.
+    pub metrics: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -133,6 +140,7 @@ impl Default for RuntimeConfig {
         Self {
             mode: ExecMode::Inline,
             nested_mode: ExecMode::Inline,
+            metrics: true,
         }
     }
 }
@@ -140,6 +148,7 @@ impl Default for RuntimeConfig {
 /// Context handed to every task body; grants access to nesting.
 pub struct TaskCtx {
     nested_mode: ExecMode,
+    metrics: bool,
     child: Mutex<Option<Runtime>>,
 }
 
@@ -153,6 +162,7 @@ impl TaskCtx {
         let rt = Runtime::with_config(RuntimeConfig {
             mode: self.nested_mode,
             nested_mode: self.nested_mode,
+            metrics: self.metrics,
         });
         *lock(&self.child) = Some(rt.clone());
         rt
@@ -201,12 +211,20 @@ struct ReadyRun {
     id: TaskId,
     f: TaskFn,
     inputs: Vec<AnyArc>,
+    /// When the task became visible to workers — queue-wait origin for
+    /// the obs counters. Stamped once per injector flush (staged tasks
+    /// share the flush instant) or at the releasing predecessor's
+    /// completion; `None` when metrics are off or the task runs inline.
+    ready_at: Option<Instant>,
 }
 
 /// Extracts the body of ready task `tid` and resolves its inputs (all
 /// producers are done by the release invariant). Caller holds the
-/// state lock.
-fn make_run(st: &mut State, tid: TaskId) -> ReadyRun {
+/// state lock; `ready_at` is the release timestamp, taken by the caller
+/// *outside* the lock (one clock read covers every task released in the
+/// same batch) so instrumentation never lengthens the serialized
+/// critical section. `None` when metrics are off.
+fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>) -> ReadyRun {
     let ti = tid.0 as usize;
     let job = st.tasks[ti].job.take().expect("ready task has a job");
     let rec = &st.records[ti];
@@ -221,6 +239,7 @@ fn make_run(st: &mut State, tid: TaskId) -> ReadyRun {
         id: tid,
         f: job.f,
         inputs,
+        ready_at,
     }
 }
 
@@ -291,6 +310,11 @@ struct Shared {
     /// Mirror of `sleepers > tokens`, maintained under the wake lock;
     /// lets `submit_raw` decide stage-vs-flush without that lock.
     idle_hint: AtomicBool,
+    /// Creation time — the zero point of every recorded `start_s`.
+    epoch: Instant,
+    /// Observability counters (see [`crate::obs`]); updates gated by
+    /// `config.metrics`.
+    counters: Counters,
 }
 
 struct Inner {
@@ -335,6 +359,7 @@ impl Runtime {
         Self::with_config(RuntimeConfig {
             mode: ExecMode::Threads(workers),
             nested_mode: ExecMode::Inline,
+            metrics: true,
         })
     }
 
@@ -367,6 +392,8 @@ impl Runtime {
             }),
             wake_cv: Condvar::new(),
             idle_hint: AtomicBool::new(false),
+            epoch: Instant::now(),
+            counters: Counters::new(n_workers),
         });
         let workers = (0..n_workers)
             .map(|i| {
@@ -469,11 +496,17 @@ impl Runtime {
                 }
                 if idle {
                     st.waiters += 1;
+                    let park_t0 = shared.config.metrics.then(Instant::now);
                     let mut st = shared
                         .cv
                         .wait(st)
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     st.waiters -= 1;
+                    if let Some(t0) = park_t0 {
+                        let shard = shared.counters.shard(DRIVER);
+                        Counters::add(&shard.parks, 1);
+                        Counters::add(&shard.idle_ns, t0.elapsed().as_nanos() as u64);
+                    }
                     idle = false;
                     continue;
                 }
@@ -518,11 +551,17 @@ impl Runtime {
                 }
                 if idle {
                     st.waiters += 1;
+                    let park_t0 = shared.config.metrics.then(Instant::now);
                     let mut st = shared
                         .cv
                         .wait(st)
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     st.waiters -= 1;
+                    if let Some(t0) = park_t0 {
+                        let shard = shared.counters.shard(DRIVER);
+                        Counters::add(&shard.parks, 1);
+                        Counters::add(&shard.idle_ns, t0.elapsed().as_nanos() as u64);
+                    }
                     idle = false;
                     continue;
                 }
@@ -581,6 +620,13 @@ impl Runtime {
         lock(&self.inner.shared.state).records.len()
     }
 
+    /// Snapshot of the scheduler's observability counters (see
+    /// [`crate::obs::RuntimeStats`]). All zeros when the runtime was
+    /// built with [`RuntimeConfig::metrics`] `= false`.
+    pub fn stats(&self) -> RuntimeStats {
+        self.inner.shared.counters.snapshot()
+    }
+
     /// Markers are born `Done`: they never execute, they only shape the
     /// dependency graph.
     fn push_marker(st: &mut State, name: &str, mut deps: Vec<TaskId>) -> TaskId {
@@ -598,6 +644,8 @@ impl Runtime {
             cores: 0,
             gpus: 0,
             seq,
+            start_s: 0.0,
+            worker: -1,
             child: None,
         });
         st.tasks.push(TaskEntry {
@@ -682,6 +730,8 @@ impl Runtime {
                 cores,
                 gpus,
                 seq,
+                start_s: 0.0,
+                worker: -1,
                 child: None,
             });
             st.since_barrier.push(tid);
@@ -734,10 +784,18 @@ impl Runtime {
             let mut wake_n = 0;
             let mut inline_run = None;
             if ready_now {
+                let metrics = shared.config.metrics;
                 match shared.config.mode {
-                    ExecMode::Inline => inline_run = Some(make_run(st, tid)),
+                    // Inline runs the task right here: queue wait is
+                    // genuinely ~0, so skip the stamp (and its clock
+                    // read) entirely.
+                    ExecMode::Inline => inline_run = Some(make_run(st, tid, None)),
                     ExecMode::Threads(_) => {
-                        let run = make_run(st, tid);
+                        // Staged tasks are invisible to workers until
+                        // the flush below publishes them, so the flush
+                        // stamps the whole batch (one clock read per
+                        // batch, not per submission).
+                        let run = make_run(st, tid, None);
                         st.staged.push(run);
                         // "Idle" means a sleeper with no wakeup already
                         // in flight — a notified-but-not-yet-scheduled
@@ -748,7 +806,18 @@ impl Runtime {
                         let idle = shared.idle_hint.load(Ordering::Relaxed);
                         if idle || st.staged.len() >= STAGE_BATCH {
                             wake_n = st.staged.len();
-                            lock(&shared.injector).extend(st.staged.drain(..));
+                            let stamp = metrics.then(Instant::now);
+                            lock(&shared.injector).extend(st.staged.drain(..).map(|mut r| {
+                                r.ready_at = stamp;
+                                r
+                            }));
+                            if metrics {
+                                Counters::add(&shared.counters.injector_flushes, 1);
+                                Counters::add(
+                                    &shared.counters.injector_flushed_tasks,
+                                    wake_n as u64,
+                                );
+                            }
                         }
                     }
                 }
@@ -770,6 +839,11 @@ impl Runtime {
 /// irrelevant, batching the lock + wakeup traffic is everything).
 const STAGE_BATCH: usize = 32;
 
+/// Executor id recorded on [`TaskRecord::worker`] for tasks run on the
+/// driver thread (inline mode, `run_worklist`, or cooperative
+/// `help_drain`); pool workers use their index `0..n_workers`.
+const DRIVER: i64 = -1;
+
 /// Moves driver-staged ready tasks into the injector (see
 /// [`State::staged`]); returns how many were moved. Called by workers
 /// that ran dry and by a helping driver, so staged work can never stall
@@ -778,7 +852,16 @@ fn flush_staged(shared: &Shared) -> usize {
     let mut st = lock(&shared.state);
     let n = st.staged.len();
     if n > 0 {
-        lock(&shared.injector).extend(st.staged.drain(..));
+        let metrics = shared.config.metrics;
+        let stamp = metrics.then(Instant::now);
+        lock(&shared.injector).extend(st.staged.drain(..).map(|mut r| {
+            r.ready_at = stamp;
+            r
+        }));
+        if metrics {
+            Counters::add(&shared.counters.injector_flushes, 1);
+            Counters::add(&shared.counters.injector_flushed_tasks, n as u64);
+        }
     }
     n
 }
@@ -790,7 +873,7 @@ fn flush_staged(shared: &Shared) -> usize {
 fn run_worklist(shared: &Shared, first: ReadyRun) {
     let mut work = vec![first];
     while let Some(r) = work.pop() {
-        execute_one(shared, r, &mut work);
+        execute_one(shared, r, &mut work, DRIVER);
     }
 }
 
@@ -816,6 +899,9 @@ fn wake(shared: &Shared, n: usize) {
         w.publish_idle_hint(&shared.idle_hint);
         k
     };
+    if k > 0 && shared.config.metrics {
+        Counters::add(&shared.counters.wakeups, k as u64);
+    }
     for _ in 0..k {
         shared.wake_cv.notify_one();
     }
@@ -844,7 +930,7 @@ fn help_drain(shared: &Shared, newly: &mut Vec<ReadyRun>) -> bool {
         let mut cont = Some(first);
         while let Some(t) = cont.take() {
             newly.clear();
-            execute_one(shared, t, newly);
+            execute_one(shared, t, newly, DRIVER);
             if newly.len() > 1 {
                 let n = newly.len() - 1;
                 lock(&shared.injector).extend(newly.drain(1..));
@@ -883,10 +969,14 @@ fn pop_work(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Option<R
     if let Some(t) = adopt_batch(shared, me, scratch) {
         return Some(t);
     }
+    let metrics = shared.config.metrics;
     let n = shared.queues.len();
     for k in 1..n {
         let j = (me + k) % n;
         let mut q = lock(&shared.queues[j]);
+        if metrics {
+            Counters::bump(&shared.counters.shard(me as i64).steal_attempts, 1);
+        }
         // Steal the back (coldest) half of the victim's deque.
         let take = q.len() / 2;
         if take > 0 {
@@ -894,12 +984,22 @@ fn pop_work(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Option<R
             let start = q.len() - take;
             scratch.extend(q.drain(start..));
             drop(q);
+            if metrics {
+                let shard = shared.counters.shard(me as i64);
+                Counters::bump(&shard.steal_successes, 1);
+                Counters::bump(&shard.stolen_tasks, take as u64);
+            }
             if scratch.len() > 1 {
                 lock(&shared.queues[me]).extend(scratch.drain(1..));
             }
             return scratch.pop();
         }
         if let Some(t) = q.pop_back() {
+            if metrics {
+                let shard = shared.counters.shard(me as i64);
+                Counters::bump(&shard.steal_successes, 1);
+                Counters::bump(&shard.stolen_tasks, 1);
+            }
             return Some(t);
         }
     }
@@ -945,7 +1045,7 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
             let mut cont = Some(task);
             while let Some(t) = cont.take() {
                 newly.clear();
-                execute_one(&shared, t, &mut newly);
+                execute_one(&shared, t, &mut newly, me as i64);
                 if newly.len() > 1 {
                     let n = newly.len() - 1;
                     lock(&shared.queues[me]).extend(newly.drain(1..));
@@ -983,6 +1083,7 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
             w.publish_idle_hint(&shared.idle_hint);
             continue 'outer;
         }
+        let park_t0 = shared.config.metrics.then(Instant::now);
         let mut w = lock(&shared.wake);
         loop {
             if w.shutdown {
@@ -999,6 +1100,12 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
                 .wait(w)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+        drop(w);
+        if let Some(t0) = park_t0 {
+            let shard = shared.counters.shard(me as i64);
+            Counters::bump(&shard.parks, 1);
+            Counters::bump(&shard.idle_ns, t0.elapsed().as_nanos() as u64);
+        }
     }
 }
 
@@ -1008,23 +1115,50 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
 /// commit. Dependents that became ready are resolved under that same
 /// lock and appended to `newly_ready` (an out-param so callers reuse
 /// one buffer across many tasks).
-fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>) {
+fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, who: i64) {
     let ReadyRun {
         id: task,
         f,
         inputs,
+        ready_at,
     } = run;
     let ti = task.0 as usize;
+    let metrics = shared.config.metrics;
 
     let ctx = TaskCtx {
         nested_mode: shared.config.nested_mode,
+        metrics,
         child: Mutex::new(None),
     };
     let start = Instant::now();
+    // Workers own their shard (single writer -> cheap `bump`); driver
+    // executions can come from any user thread and need the RMW.
+    let count: fn(&AtomicU64, u64) = if who >= 0 {
+        Counters::bump
+    } else {
+        Counters::add
+    };
+    if metrics {
+        let shard = shared.counters.shard(who);
+        count(&shard.tasks, 1);
+        if let Some(t0) = ready_at {
+            let wait = start.saturating_duration_since(t0).as_nanos() as u64;
+            count(&shard.queue_wait_ns, wait);
+        }
+    }
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx, &inputs)));
-    let duration = start.elapsed().as_secs_f64();
+    let end = Instant::now();
+    let duration = end.saturating_duration_since(start).as_secs_f64();
+    if metrics {
+        count(&shared.counters.shard(who).run_ns, (duration * 1e9) as u64);
+    }
     drop(inputs); // release the input refcounts outside the lock
     let child_trace = lock(&ctx.child).take().map(|rt| Box::new(rt.trace()));
+    // Release stamp shared by every dependent this completion frees:
+    // reusing `end` (instead of a fresh clock read) keeps the metrics
+    // path at zero extra `Instant::now` calls per completion, at the
+    // cost of queue waits including the commit's lock acquisition.
+    let released_at = metrics.then_some(end);
 
     let notify_driver;
     {
@@ -1042,6 +1176,8 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>) 
                 );
                 let data = &mut st.data;
                 rec.duration_s = duration;
+                rec.start_s = start.saturating_duration_since(shared.epoch).as_secs_f64();
+                rec.worker = who;
                 rec.child = child_trace;
                 for ((d, bytes), (v, b)) in rec.outputs.iter_mut().zip(outs) {
                     *bytes = b;
@@ -1064,7 +1200,7 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>) 
                     e.remaining -= 1;
                     if e.remaining == 0 {
                         e.status = Status::Ready;
-                        newly_ready.push(make_run(st, dep));
+                        newly_ready.push(make_run(st, dep, released_at));
                     }
                 }
                 st.tasks[ti].dependents = deps;

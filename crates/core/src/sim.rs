@@ -151,6 +151,8 @@ pub struct ScheduleEntry {
     pub start_s: f64,
     /// Seconds spent in input transfers before compute.
     pub transfer_s: f64,
+    /// Bytes pulled from remote nodes for this task's inputs.
+    pub transfer_bytes: u64,
     /// Time the task completed.
     pub end_s: f64,
     /// Cores occupied.
@@ -169,6 +171,7 @@ impl ScheduleEntry {
             ("node".into(), Value::from(self.node)),
             ("start_s".into(), Value::from(self.start_s)),
             ("transfer_s".into(), Value::from(self.transfer_s)),
+            ("transfer_bytes".into(), Value::from(self.transfer_bytes)),
             ("end_s".into(), Value::from(self.end_s)),
             ("cores".into(), Value::from(self.cores)),
             ("gpus".into(), Value::from(self.gpus)),
@@ -391,12 +394,14 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
 
             // Transfers for remote inputs (each leaves a replica behind).
             let mut xfer = 0.0;
+            let mut xfer_bytes = 0u64;
             if opts.model_transfers && !r.is_marker() {
                 for (d, bytes) in &r.inputs {
                     let di = d.0 as usize;
                     if !replica_has(&replicas, words, di, node) {
                         xfer += cluster.latency_s + *bytes as f64 / cluster.bandwidth_bps;
                         report.transferred_bytes += *bytes as f64;
+                        xfer_bytes += *bytes as u64;
                         replica_set(&mut replicas, words, di, node);
                     }
                 }
@@ -419,6 +424,7 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
                     node,
                     start_s: now,
                     transfer_s: xfer,
+                    transfer_bytes: xfer_bytes,
                     end_s: finish,
                     cores: cores[i],
                     gpus: gpus[i],
@@ -570,6 +576,8 @@ mod tests {
             cores,
             gpus: 0,
             seq: id,
+            start_s: 0.0,
+            worker: -1,
             child: None,
         }
     }

@@ -39,6 +39,15 @@ pub struct TaskRecord {
     pub gpus: u32,
     /// Submission sequence number (a valid topological order).
     pub seq: u64,
+    /// Wall-clock start of the task body, in seconds since the
+    /// recording runtime's epoch (creation time). `0.0` for markers
+    /// and for tasks that never ran. Feeds the timeline exporter
+    /// ([`crate::obs::chrome_trace`]).
+    pub start_s: f64,
+    /// Executor that ran the task: a pool-worker index (`>= 0`), or
+    /// `-1` for a driver thread (inline mode, or a cooperative
+    /// `wait`/`barrier` help pass). Markers are `-1`.
+    pub worker: i64,
     /// Sub-trace recorded by a nested task, if any.
     pub child: Option<Box<Trace>>,
 }
@@ -73,6 +82,8 @@ impl TaskRecord {
             ("cores".into(), Value::from(self.cores)),
             ("gpus".into(), Value::from(self.gpus)),
             ("seq".into(), Value::from(self.seq)),
+            ("start_s".into(), Value::from(self.start_s)),
+            ("worker".into(), Value::from(self.worker as f64)),
             (
                 "child".into(),
                 match &self.child {
@@ -94,6 +105,9 @@ impl TaskRecord {
                 .ok_or_else(|| JsonError::msg(format!("{what} must be an array")))?
                 .iter()
                 .map(|pair| {
+                    let pair = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                        JsonError::msg(format!("{what} entries must be [id, bytes] pairs"))
+                    })?;
                     let id = u64_of(&pair[0], "data id")?;
                     let bytes = u64_of(&pair[1], "byte size")?;
                     Ok((DataId(id), bytes as usize))
@@ -128,6 +142,13 @@ impl TaskRecord {
             cores: u64_of(v.field("cores")?, "cores")? as u32,
             gpus: u64_of(v.field("gpus")?, "gpus")? as u32,
             seq: u64_of(v.field("seq")?, "seq")?,
+            // Optional for compatibility with traces archived before
+            // the observability fields existed.
+            start_s: v.get("start_s").and_then(Value::as_f64).unwrap_or(0.0),
+            worker: v
+                .get("worker")
+                .and_then(Value::as_f64)
+                .map_or(-1, |w| w as i64),
             child,
         })
     }
@@ -278,16 +299,18 @@ impl Trace {
         Ok(Trace { records })
     }
 
-    /// Writes the trace to a file as JSON.
-    pub fn save(&self, path: &str) -> std::io::Result<()> {
-        if let Some(dir) = std::path::Path::new(path).parent() {
+    /// Writes the trace to a file as JSON, creating parent directories.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         std::fs::write(path, self.to_json())
     }
 
     /// Loads a trace from a JSON file written by [`Self::save`].
-    pub fn load(path: &str) -> std::io::Result<Trace> {
+    /// Malformed JSON surfaces as [`std::io::ErrorKind::Other`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Trace> {
         let s = std::fs::read_to_string(path)?;
         Trace::from_json(&s).map_err(std::io::Error::other)
     }
@@ -308,6 +331,8 @@ mod tests {
             cores: 1,
             gpus: 0,
             seq: id,
+            start_s: 0.0,
+            worker: -1,
             child: None,
         }
     }
@@ -388,11 +413,75 @@ mod tests {
         let t = Trace {
             records: vec![rec(0, &[], 1.5), rec(1, &[0], 0.5)],
         };
-        let path = "/tmp/taskml_trace_test.json";
-        t.save(path).unwrap();
-        let back = Trace::load(path).unwrap();
+        // `impl AsRef<Path>` accepts owned paths and plain strs alike.
+        let path = std::path::PathBuf::from("/tmp/taskml_trace_test.json");
+        t.save(&path).unwrap();
+        let back = Trace::load("/tmp/taskml_trace_test.json").unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.records[0].duration_s, 1.5);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_not_found() {
+        let err = Trace::load("/tmp/taskml_no_such_trace_file.json").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn load_malformed_json_is_error_not_panic() {
+        let path = "/tmp/taskml_malformed_trace.json";
+        std::fs::write(path, "{ not json").unwrap();
+        let err = Trace::load(path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_data_ref_pair_is_error_not_panic() {
+        // A one-element `[id]` pair used to index out of bounds and
+        // panic; it must decode to a JsonError instead.
+        let t = Trace {
+            records: vec![rec(0, &[], 1.0)],
+        };
+        let good = t.to_value().compact();
+        let bad = good.replace("[[0,8]]", "[[0]]");
+        assert_ne!(good, bad, "fixture must contain the [id, bytes] pair");
+        let err = Trace::from_json(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("[id, bytes]"),
+            "unexpected error: {err}"
+        );
+        // Non-array pair entries are rejected too.
+        let bad2 = good.replace("[[0,8]]", "[7]");
+        let err2 = Trace::from_json(&bad2).unwrap_err();
+        assert!(err2.to_string().contains("[id, bytes]"));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_obs_fields_and_defaults_old_traces() {
+        let mut r = rec(0, &[], 1.0);
+        r.start_s = 3.25;
+        r.worker = 2;
+        let t = Trace { records: vec![r] };
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.records[0].start_s, 3.25);
+        assert_eq!(back.records[0].worker, 2);
+
+        // Traces archived before the obs fields existed still load:
+        // strip the new fields from the JSON tree and re-parse.
+        let mut v = Value::parse(&t.to_json()).unwrap();
+        if let Value::Object(fields) = &mut v {
+            if let Some((_, Value::Array(recs))) = fields.iter_mut().find(|(k, _)| k == "records") {
+                for r in recs {
+                    if let Value::Object(rf) = r {
+                        rf.retain(|(k, _)| k != "start_s" && k != "worker");
+                    }
+                }
+            }
+        }
+        let back = Trace::from_json(&v.pretty()).unwrap();
+        assert_eq!(back.records[0].start_s, 0.0);
+        assert_eq!(back.records[0].worker, -1);
     }
 }

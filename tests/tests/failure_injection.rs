@@ -62,6 +62,7 @@ fn nested_child_panic_reaches_parent_waiter() {
     let rt = Runtime::with_config(RuntimeConfig {
         mode: ExecMode::Threads(2),
         nested_mode: ExecMode::Inline,
+        metrics: true,
     });
     let a = rt.put(1u64);
     let out = rt.task("fold").run_nested1(a, |child, v| {

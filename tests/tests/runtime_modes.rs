@@ -66,6 +66,7 @@ fn threaded_nested_tasks() {
     let rt = Runtime::with_config(RuntimeConfig {
         mode: ExecMode::Threads(4),
         nested_mode: ExecMode::Threads(2),
+        metrics: true,
     });
     let data: Vec<_> = (0..6).map(|i| rt.put(i as f64)).collect();
     let outs: Vec<_> = data

@@ -37,6 +37,8 @@ fn random_trace(n: usize, edges_seed: u64, durations: &[f64], cores: &[u32]) -> 
             cores: cores[i % cores.len()],
             gpus: 0,
             seq: i as u64,
+            start_s: 0.0,
+            worker: -1,
             child: None,
         });
     }
@@ -137,6 +139,8 @@ proptest! {
                 cores: 1,
                 gpus: 0,
                 seq: i as u64,
+                start_s: 0.0,
+                worker: -1,
                 child: None,
             });
         }
