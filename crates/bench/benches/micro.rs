@@ -3,8 +3,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dislib::svm::{fit_svc, SvcParams};
 use linalg::fft::{fft_inplace, Complex};
-use linalg::stft::{spectrogram, SpectrogramConfig};
+use linalg::stft::{spectrogram, SpectrogramConfig, SpectrogramPlan};
 use linalg::{eigh, Kernel, Matrix};
+use nnet::Conv1d;
 use std::hint::black_box;
 use taskrt::sim::{simulate, ClusterSpec, SimOptions};
 use taskrt::Runtime;
@@ -36,6 +37,41 @@ fn bench_spectrogram(c: &mut Criterion) {
     c.bench_function("spectrogram_3000", |b| {
         b.iter(|| black_box(spectrogram(black_box(&sig), &cfg)))
     });
+    // The dataset-sweep shape: one plan reused across every signal.
+    c.bench_function("spectrogram_3000_plan_reuse", |b| {
+        let mut plan = SpectrogramPlan::new(&cfg);
+        b.iter(|| black_box(plan.compute(black_box(&sig))))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    // The perf binary's CNN-realistic per-sample shape.
+    let (in_ch, out_ch, len, k) = (16usize, 32usize, 256usize, 7usize);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut conv = Conv1d::new(in_ch, out_ch, k, 1, &mut rng);
+    let x: Vec<f32> = (0..in_ch * len)
+        .map(|_| rng.random::<f32>() * 2.0 - 1.0)
+        .collect();
+    let dout: Vec<f32> = (0..out_ch * conv.out_len(len))
+        .map(|_| rng.random::<f32>() * 2.0 - 1.0)
+        .collect();
+    let mut group = c.benchmark_group("conv1d_16x32_len256_k7");
+    group.bench_function("forward_im2col", |b| {
+        b.iter(|| black_box(conv.forward(black_box(&x), len)))
+    });
+    group.bench_function("forward_naive", |b| {
+        b.iter(|| black_box(conv.forward_naive(black_box(&x), len)))
+    });
+    group.bench_function("backward_im2col", |b| {
+        b.iter(|| black_box(conv.backward(black_box(&x), len, black_box(&dout))))
+    });
+    group.bench_function("backward_naive", |b| {
+        b.iter(|| black_box(conv.backward_naive(black_box(&x), len, black_box(&dout))))
+    });
+    group.finish();
 }
 
 fn bench_eigh(c: &mut Criterion) {
@@ -207,6 +243,7 @@ criterion_group!(
     benches,
     bench_fft,
     bench_spectrogram,
+    bench_conv,
     bench_eigh,
     bench_gemm,
     bench_scheduler_throughput,

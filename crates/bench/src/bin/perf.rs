@@ -1,7 +1,8 @@
-//! Hot-path throughput benchmark: scheduler, DES replay, blocked GEMM.
+//! Hot-path throughput benchmark: scheduler, DES replay, GEMM, and the
+//! application kernels (conv, STFT, RF split finding).
 //!
-//! Measures the three paths the performance overhaul targets and writes
-//! the numbers to `BENCH_perf.json` in the current directory:
+//! Measures the paths the performance overhauls target and writes the
+//! numbers to `BENCH_perf.json` in the current directory:
 //!
 //! * **scheduler** — a DAG of no-op tasks with random dependencies
 //!   driven through the new runtime (threaded and inline) and through
@@ -14,15 +15,31 @@
 //!   reported as task events/second.
 //! * **gemm** — dense [`linalg::Matrix::matmul`] at a fixed size,
 //!   reported as GFLOP/s.
+//! * **conv** — [`nnet::Conv1d`] forward/backward via im2col + GEMM
+//!   against the seed's scalar loops (`forward_naive` /
+//!   `backward_naive`), reported as samples/second per direction.
+//! * **stft** — [`linalg::stft`] spectrogram sweeps through a reused
+//!   [`linalg::SpectrogramPlan`] (plan-cached real FFT) against the
+//!   seed's per-window complex-FFT `spectrogram_legacy`, reported as
+//!   signals/second.
+//! * **rf_split** — [`dislib::rf::build_tree`] (pre-sorted split
+//!   finding) against [`dislib::rf::build_tree_legacy`] (per-node
+//!   re-sorting) on the same synthetic dataset, reported as
+//!   trees/second; the trees are asserted identical.
 //!
-//! Usage: `cargo run --release -p bench --bin perf -- [--scale small|full]`
-//! (`small` is the CI smoke setting: fewer repetitions, smaller GEMM).
+//! Usage: `cargo run --release -p bench --bin perf -- [--scale small|full]
+//! [--check]` (`small` is the CI smoke setting: fewer repetitions,
+//! smaller shapes; `--check` exits non-zero if any `speedup_*` field
+//! falls below 1.0).
 
 use bench::legacy::{AnyArc as LegacyAnyArc, LegacyRuntime, LegacyTaskFn};
 use bench::report::{write_artifact, Args};
+use dislib::rf::{build_tree, build_tree_legacy, RfParams};
+use linalg::stft::{spectrogram_legacy, SpectrogramConfig, SpectrogramPlan};
 use linalg::Matrix;
+use nnet::Conv1d;
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::{RngCore, RngExt, SeedableRng};
 use std::sync::Arc;
 use std::time::Instant;
 use taskrt::json::Value;
@@ -98,6 +115,26 @@ fn drive_legacy(rt: &LegacyRuntime, dag: &[Vec<usize>]) -> f64 {
 /// Best (minimum) elapsed time over `reps` runs of `f`.
 fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
     (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// Two overlapping quasi-Gaussian clusters (sum of four uniforms per
+/// coordinate), `2 * n_per` rows by `dims` columns, labels alternating.
+/// Overlap keeps nodes impure deep into the tree, which is the regime
+/// where split finding dominates RF training.
+fn synth_blobs(n_per: usize, dims: usize, gap: f64, seed: u64) -> (Matrix, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(2 * n_per, dims);
+    let mut y = Vec::with_capacity(2 * n_per);
+    for r in 0..2 * n_per {
+        let cls = (r % 2) as u8;
+        let center = if cls == 1 { gap } else { 0.0 };
+        for v in x.row_mut(r) {
+            let u: f64 = (0..4).map(|_| rng.random::<f64>()).sum::<f64>() - 2.0;
+            *v = center + u;
+        }
+        y.push(cls);
+    }
+    (x, y)
 }
 
 fn main() {
@@ -206,6 +243,159 @@ fn main() {
     let gflops = 2.0 * (n as f64).powi(3) / t_gemm / 1e9;
     println!("gemm: {n}x{n}x{n} in {t_gemm:.4}s -> {gflops:.2} GFLOP/s (checksum {sink:.3})");
 
+    // -- conv: im2col + GEMM vs scalar loops --------------------------
+    // The acceptance shape: a CNN-realistic mini-batch (the full-scale
+    // setting); `small` shrinks the batch only, keeping the per-sample
+    // shape so CI still exercises the same code paths.
+    let (c_batch, c_in, c_out, c_len, c_k) = if small {
+        (16usize, 16usize, 32usize, 256usize, 7usize)
+    } else {
+        (64, 16, 32, 256, 7)
+    };
+    let mut conv_rng = StdRng::seed_from_u64(11);
+    let mut conv = Conv1d::new(c_in, c_out, c_k, 1, &mut conv_rng);
+    let xs: Vec<Vec<f32>> = (0..c_batch)
+        .map(|_| {
+            (0..c_in * c_len)
+                .map(|_| conv_rng.random::<f32>() * 2.0 - 1.0)
+                .collect()
+        })
+        .collect();
+    let c_ol = conv.out_len(c_len);
+    let dout: Vec<f32> = (0..c_out * c_ol)
+        .map(|_| conv_rng.random::<f32>() * 2.0 - 1.0)
+        .collect();
+    let mut csink = 0.0f32;
+    let t_conv_f = best_of(reps, || {
+        let start = Instant::now();
+        for x in &xs {
+            csink += conv.forward(x, c_len)[0];
+        }
+        start.elapsed().as_secs_f64()
+    });
+    let t_conv_f_naive = best_of(reps, || {
+        let start = Instant::now();
+        for x in &xs {
+            csink += conv.forward_naive(x, c_len)[0];
+        }
+        start.elapsed().as_secs_f64()
+    });
+    let t_conv_b = best_of(reps, || {
+        conv.gw.fill(0.0);
+        conv.gb.fill(0.0);
+        let start = Instant::now();
+        for x in &xs {
+            csink += conv.backward(x, c_len, &dout)[0];
+        }
+        start.elapsed().as_secs_f64()
+    });
+    let t_conv_b_naive = best_of(reps, || {
+        conv.gw.fill(0.0);
+        conv.gb.fill(0.0);
+        let start = Instant::now();
+        for x in &xs {
+            csink += conv.backward_naive(x, c_len, &dout)[0];
+        }
+        start.elapsed().as_secs_f64()
+    });
+    let conv_f_sps = c_batch as f64 / t_conv_f;
+    let conv_f_naive_sps = c_batch as f64 / t_conv_f_naive;
+    let conv_b_sps = c_batch as f64 / t_conv_b;
+    let conv_b_naive_sps = c_batch as f64 / t_conv_b_naive;
+    let speedup_conv_f = conv_f_sps / conv_f_naive_sps;
+    let speedup_conv_b = conv_b_sps / conv_b_naive_sps;
+    println!(
+        "conv fwd ({c_batch}x{c_in}->{c_out} len {c_len} k {c_k}): im2col {conv_f_sps:.0} samples/s | naive {conv_f_naive_sps:.0} samples/s | speedup {speedup_conv_f:.2}x"
+    );
+    println!(
+        "conv bwd: im2col {conv_b_sps:.0} samples/s | naive {conv_b_naive_sps:.0} samples/s | speedup {speedup_conv_b:.2}x (checksum {csink:.3})"
+    );
+
+    // -- stft: plan-cached real FFT vs per-window complex FFT ---------
+    let (s_len, s_count) = if small {
+        (6_000usize, 8usize)
+    } else {
+        (18_300, 24) // the paper's zero-padded recording length
+    };
+    let s_cfg = SpectrogramConfig {
+        nperseg: 256,
+        noverlap: 128,
+        fs: 300.0,
+    };
+    let mut s_rng = StdRng::seed_from_u64(13);
+    let signals: Vec<Vec<f64>> = (0..s_count)
+        .map(|_| (0..s_len).map(|_| s_rng.random::<f64>() - 0.5).collect())
+        .collect();
+    let mut ssink = 0.0;
+    let t_stft_plan = best_of(reps, || {
+        let mut plan = SpectrogramPlan::new(&s_cfg);
+        let start = Instant::now();
+        for sig in &signals {
+            ssink += plan.compute(sig).get(0, 0);
+        }
+        start.elapsed().as_secs_f64()
+    });
+    let t_stft_legacy = best_of(reps, || {
+        let start = Instant::now();
+        for sig in &signals {
+            ssink += spectrogram_legacy(sig, &s_cfg).get(0, 0);
+        }
+        start.elapsed().as_secs_f64()
+    });
+    let stft_sps = s_count as f64 / t_stft_plan;
+    let stft_legacy_sps = s_count as f64 / t_stft_legacy;
+    let speedup_stft = stft_sps / stft_legacy_sps;
+    println!(
+        "stft ({s_count} signals x {s_len} samples, nperseg {}): plan {stft_sps:.1} signals/s | legacy {stft_legacy_sps:.1} signals/s | speedup {speedup_stft:.2}x (checksum {ssink:.3e})",
+        s_cfg.nperseg
+    );
+
+    // -- rf_split: pre-sorted split finding vs per-node re-sorting ----
+    let (rf_per, rf_dims, rf_trees) = if small {
+        (400usize, 10usize, 2u64)
+    } else {
+        (1500, 12, 4)
+    };
+    let (rx, ry) = synth_blobs(rf_per, rf_dims, 0.5, 17);
+    let rf_params = RfParams {
+        max_depth: 12,
+        min_samples_split: 2,
+        seed: 17,
+        ..Default::default()
+    };
+    let mut rf_nodes = 0usize;
+    let t_rf_fast = best_of(reps, || {
+        rf_nodes = 0;
+        let start = Instant::now();
+        for est in 0..rf_trees {
+            rf_nodes += build_tree(&rx, &ry, &rf_params, est).nodes.len();
+        }
+        start.elapsed().as_secs_f64()
+    });
+    let t_rf_legacy = best_of(reps, || {
+        let start = Instant::now();
+        for est in 0..rf_trees {
+            build_tree_legacy(&rx, &ry, &rf_params, est);
+        }
+        start.elapsed().as_secs_f64()
+    });
+    // The whole point of the fast splitter is that it changes nothing:
+    // same trees, just faster. Assert it on the benchmark data too.
+    for est in 0..rf_trees {
+        assert_eq!(
+            build_tree(&rx, &ry, &rf_params, est).nodes,
+            build_tree_legacy(&rx, &ry, &rf_params, est).nodes,
+            "fast and legacy split finders diverged (est {est})"
+        );
+    }
+    let rf_tps = rf_trees as f64 / t_rf_fast;
+    let rf_legacy_tps = rf_trees as f64 / t_rf_legacy;
+    let speedup_rf = rf_tps / rf_legacy_tps;
+    println!(
+        "rf_split ({} samples x {rf_dims} feats, {rf_trees} trees, {rf_nodes} nodes): presorted {rf_tps:.2} trees/s | legacy {rf_legacy_tps:.2} trees/s | speedup {speedup_rf:.2}x",
+        2 * rf_per
+    );
+
     // -- artifact -----------------------------------------------------
     let doc = Value::Object(vec![
         ("scale".into(), Value::String(scale)),
@@ -246,6 +436,77 @@ fn main() {
                 ("gflops".into(), Value::Number(gflops)),
             ]),
         ),
+        (
+            "conv".into(),
+            Value::Object(vec![
+                ("batch".into(), Value::Number(c_batch as f64)),
+                ("in_ch".into(), Value::Number(c_in as f64)),
+                ("out_ch".into(), Value::Number(c_out as f64)),
+                ("len".into(), Value::Number(c_len as f64)),
+                ("kernel".into(), Value::Number(c_k as f64)),
+                ("forward_samples_per_s".into(), Value::Number(conv_f_sps)),
+                (
+                    "forward_naive_samples_per_s".into(),
+                    Value::Number(conv_f_naive_sps),
+                ),
+                ("backward_samples_per_s".into(), Value::Number(conv_b_sps)),
+                (
+                    "backward_naive_samples_per_s".into(),
+                    Value::Number(conv_b_naive_sps),
+                ),
+                ("speedup_forward".into(), Value::Number(speedup_conv_f)),
+                ("speedup_backward".into(), Value::Number(speedup_conv_b)),
+            ]),
+        ),
+        (
+            "stft".into(),
+            Value::Object(vec![
+                ("signals".into(), Value::Number(s_count as f64)),
+                ("signal_len".into(), Value::Number(s_len as f64)),
+                ("nperseg".into(), Value::Number(s_cfg.nperseg as f64)),
+                ("plan_signals_per_s".into(), Value::Number(stft_sps)),
+                (
+                    "legacy_signals_per_s".into(),
+                    Value::Number(stft_legacy_sps),
+                ),
+                ("speedup_plan".into(), Value::Number(speedup_stft)),
+            ]),
+        ),
+        (
+            "rf_split".into(),
+            Value::Object(vec![
+                ("samples".into(), Value::Number(2.0 * rf_per as f64)),
+                ("features".into(), Value::Number(rf_dims as f64)),
+                ("trees".into(), Value::Number(rf_trees as f64)),
+                ("nodes".into(), Value::Number(rf_nodes as f64)),
+                ("presorted_trees_per_s".into(), Value::Number(rf_tps)),
+                ("legacy_trees_per_s".into(), Value::Number(rf_legacy_tps)),
+                ("speedup_presorted".into(), Value::Number(speedup_rf)),
+            ]),
+        ),
     ]);
     write_artifact("BENCH_perf.json", &doc.pretty()).expect("write BENCH_perf.json");
+
+    // -- gate (--check) -----------------------------------------------
+    if args.has("check") {
+        let gates = [
+            ("scheduler.speedup_threaded", speedup),
+            ("scheduler.speedup_inline", speedup_inline),
+            ("conv.speedup_forward", speedup_conv_f),
+            ("conv.speedup_backward", speedup_conv_b),
+            ("stft.speedup_plan", speedup_stft),
+            ("rf_split.speedup_presorted", speedup_rf),
+        ];
+        let mut ok = true;
+        for (name, v) in gates {
+            if v < 1.0 || v.is_nan() {
+                eprintln!("check FAILED: {name} = {v:.3} < 1.0");
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("check: all speedup_* fields >= 1.0");
+    }
 }

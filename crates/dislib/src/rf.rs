@@ -186,6 +186,12 @@ fn leaf_probs(counts: &[usize; 2]) -> [f64; 2] {
 
 /// Best (feature, threshold) among a random subset of `sqrt(n_features)`
 /// features, by weighted Gini; `None` if no split reduces impurity.
+///
+/// This is the seed's splitter: it re-gathers and re-sorts the node's
+/// `(value, label)` pairs for every tried feature of every node. Kept
+/// as the reference path for the perf harness A/B and the
+/// identical-tree parity tests; [`best_split_fast`] is the production
+/// path.
 fn best_split(
     x: &Matrix,
     y: &[u8],
@@ -246,6 +252,184 @@ fn best_split(
     Some((feature, threshold, li, ri))
 }
 
+/// Per-tree scratch for the pre-sorted split finder: the bootstrap
+/// rows, a lazily-built per-feature stable argsort of the bootstrap
+/// *positions*, and an epoch-stamped membership mark that filters a
+/// feature's tree-wide order down to the current node without sorting.
+struct SplitScratch {
+    /// Bootstrap sample rows; all position indices index into this.
+    rows: Vec<u32>,
+    /// `order[f]`: positions `0..rows.len()` stably sorted by
+    /// `x[rows[pos]][f]`, paired with the matching value sequence
+    /// (`sorted_vals[i]` = value of `order[i]`, so the filter sweep
+    /// reads both sequentially instead of re-gathering from the
+    /// matrix); built on first use of feature `f` and reused by every
+    /// later node of the tree that samples `f`.
+    order: Vec<Option<(Vec<u32>, Vec<f64>)>>,
+    /// `labels[pos]` = `y[rows[pos]]`, cached once per tree.
+    labels: Vec<u8>,
+    /// `mark[pos] == epoch` iff `pos` belongs to the node being split.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Gather buffer for the local-sort fallback on small nodes.
+    vals: Vec<(f64, u8)>,
+}
+
+impl SplitScratch {
+    fn new(rows: Vec<u32>, y: &[u8], n_feat: usize) -> Self {
+        let n = rows.len();
+        let labels = rows.iter().map(|&r| y[r as usize]).collect();
+        Self {
+            rows,
+            order: vec![None; n_feat],
+            labels,
+            mark: vec![0; n],
+            epoch: 0,
+            vals: Vec::new(),
+        }
+    }
+
+    /// Builds (once) the stable value-argsort of feature `f`.
+    fn ensure_order(&mut self, x: &Matrix, f: usize) {
+        if self.order[f].is_none() {
+            let rows = &self.rows;
+            let vals: Vec<f64> = rows.iter().map(|&r| x.get(r as usize, f)).collect();
+            let mut ord: Vec<u32> = (0..rows.len() as u32).collect();
+            // Stable: tied values keep bootstrap-position order. The
+            // sweep only aggregates label counts across a tie group, so
+            // within-tie order never affects the chosen split.
+            ord.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize]));
+            let sorted_vals = ord.iter().map(|&p| vals[p as usize]).collect();
+            self.order[f] = Some((ord, sorted_vals));
+        }
+    }
+}
+
+/// Streaming threshold sweep over `(value, label)` pairs arriving in
+/// ascending value order: evaluates a candidate threshold at every
+/// distinct-value boundary, exactly as the seed splitter's indexed loop
+/// does (same counts, same `0.5 * (prev + next)` thresholds, same
+/// strict-improvement tie-breaking), updating `best` in place.
+fn sweep_sorted(
+    iter: impl Iterator<Item = (f64, u8)>,
+    total: &[usize; 2],
+    f: u32,
+    best: &mut Option<(f64, u32, f64)>,
+) {
+    let mut left = [0usize; 2];
+    let mut prev: Option<f64> = None;
+    for (v, lab) in iter {
+        if let Some(pv) = prev {
+            if v != pv {
+                let right = [total[0] - left[0], total[1] - left[1]];
+                let nl = (left[0] + left[1]) as f64;
+                let nr = (right[0] + right[1]) as f64;
+                let score = (nl * gini(&left) + nr * gini(&right)) / (nl + nr);
+                let thr = 0.5 * (pv + v);
+                if best.is_none_or(|(s, _, _)| score < s) {
+                    *best = Some((score, f, thr));
+                }
+            }
+        }
+        left[lab as usize] += 1;
+        prev = Some(v);
+    }
+}
+
+fn class_counts_pos(y: &[u8], rows: &[u32], pos: &[u32]) -> [usize; 2] {
+    let mut c = [0usize; 2];
+    for &p in pos {
+        c[y[rows[p as usize] as usize] as usize] += 1;
+    }
+    c
+}
+
+/// The fast splitter: same split decisions as [`best_split`] (identical
+/// scores, thresholds, and tie-breaks, hence identical trees), but
+/// instead of re-sorting the node's samples per feature it filters the
+/// tree-wide pre-sorted order through the node-membership mark — O(n)
+/// per feature with no sort. Small nodes (where a full-bootstrap scan
+/// would cost more than sorting the handful of samples) fall back to
+/// the gather-and-sort sweep over a reused buffer. Operates on
+/// *positions* into `sc.rows`; returns position partitions.
+fn best_split_fast(
+    x: &Matrix,
+    y: &[u8],
+    sc: &mut SplitScratch,
+    pos: &[u32],
+    rng: &mut StdRng,
+) -> Option<(u32, f64, Vec<u32>, Vec<u32>)> {
+    let n_feat = x.cols();
+    let n_try = (n_feat as f64).sqrt().ceil() as usize;
+    let parent_counts = class_counts_pos(y, &sc.rows, pos);
+    let parent_gini = gini(&parent_counts);
+    if parent_gini == 0.0 {
+        return None;
+    }
+
+    // Filtering scans all `n` bootstrap positions; local sorting costs
+    // ~`m log m` comparator calls for the node's `m` samples. A filter
+    // step (sequential u32 compare) is several times cheaper than a
+    // sort comparison, hence the factor on the `m log m` side. Filter
+    // only while the node is a large enough fraction of the bootstrap
+    // to win.
+    let n = sc.rows.len();
+    let m = pos.len();
+    let use_filter = 4 * m * (usize::BITS - m.leading_zeros()) as usize >= n;
+    if use_filter {
+        if sc.epoch == u32::MAX {
+            sc.mark.fill(0);
+            sc.epoch = 0;
+        }
+        sc.epoch += 1;
+        for &p in pos {
+            sc.mark[p as usize] = sc.epoch;
+        }
+    }
+
+    let mut best: Option<(f64, u32, f64)> = None;
+    for _ in 0..n_try {
+        let f = rng.random_range(0..n_feat);
+        if use_filter {
+            sc.ensure_order(x, f);
+            let (ord, sv) = sc.order[f].as_ref().expect("order just built");
+            let (labels, mark, epoch) = (&sc.labels, &sc.mark, sc.epoch);
+            let node_sorted = ord
+                .iter()
+                .zip(sv)
+                .filter(|(&p, _)| mark[p as usize] == epoch)
+                .map(|(&p, &v)| (v, labels[p as usize]));
+            sweep_sorted(node_sorted, &parent_counts, f as u32, &mut best);
+        } else {
+            let (vals, rows) = (&mut sc.vals, &sc.rows);
+            vals.clear();
+            vals.extend(pos.iter().map(|&p| {
+                let r = rows[p as usize] as usize;
+                (x.get(r, f), y[r])
+            }));
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            sweep_sorted(vals.iter().copied(), &parent_counts, f as u32, &mut best);
+        }
+    }
+
+    let (score, feature, threshold) = best?;
+    if score >= parent_gini - 1e-12 {
+        return None;
+    }
+    let (mut li, mut ri) = (Vec::new(), Vec::new());
+    for &p in pos {
+        if x.get(sc.rows[p as usize] as usize, feature as usize) <= threshold {
+            li.push(p);
+        } else {
+            ri.push(p);
+        }
+    }
+    if li.is_empty() || ri.is_empty() {
+        return None;
+    }
+    Some((feature, threshold, li, ri))
+}
+
 /// Recursively grows a subtree into `arena`, returning its root index.
 #[allow(clippy::too_many_arguments)]
 fn grow(
@@ -292,13 +476,75 @@ fn grow(
     me
 }
 
+/// [`grow`] over bootstrap *positions* with the pre-sorted splitter;
+/// identical recursion structure, identical RNG consumption, identical
+/// resulting arena.
+#[allow(clippy::too_many_arguments)]
+fn grow_fast(
+    arena: &mut Vec<Node>,
+    x: &Matrix,
+    y: &[u8],
+    sc: &mut SplitScratch,
+    pos: &[u32],
+    depth: usize,
+    params: &RfParams,
+    rng: &mut StdRng,
+    stop_depth: Option<usize>,
+) -> u32 {
+    let counts = class_counts_pos(y, &sc.rows, pos);
+    let probs = leaf_probs(&counts);
+    let me = arena.len() as u32;
+    arena.push(Node {
+        feature: 0,
+        threshold: 0.0,
+        left: LEAF,
+        right: 0,
+        probs,
+    });
+
+    if let Some(sd) = stop_depth {
+        if depth == sd {
+            arena[me as usize].left = FRONTIER;
+            return me;
+        }
+    }
+    if depth >= params.max_depth || pos.len() < params.min_samples_split {
+        return me;
+    }
+    let Some((feature, threshold, li, ri)) = best_split_fast(x, y, sc, pos, rng) else {
+        return me;
+    };
+    let l = grow_fast(arena, x, y, sc, &li, depth + 1, params, rng, stop_depth);
+    let r = grow_fast(arena, x, y, sc, &ri, depth + 1, params, rng, stop_depth);
+    let n = &mut arena[me as usize];
+    n.feature = feature;
+    n.threshold = threshold;
+    n.left = l;
+    n.right = r;
+    me
+}
+
 /// Draws a bootstrap sample of `n` indices.
 fn bootstrap(n: usize, rng: &mut StdRng) -> Vec<u32> {
     (0..n).map(|_| rng.random_range(0..n) as u32).collect()
 }
 
-/// Builds one full tree locally (the `distr_depth == 0` path).
+/// Builds one full tree locally (the `distr_depth == 0` path), using
+/// the pre-sorted split finder.
 pub fn build_tree(x: &Matrix, y: &[u8], params: &RfParams, est_seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(est_seed));
+    let rows = bootstrap(x.rows(), &mut rng);
+    let pos: Vec<u32> = (0..rows.len() as u32).collect();
+    let mut sc = SplitScratch::new(rows, y, x.cols());
+    let mut arena = Vec::new();
+    grow_fast(&mut arena, x, y, &mut sc, &pos, 0, params, &mut rng, None);
+    Tree { nodes: arena }
+}
+
+/// [`build_tree`] via the seed's per-node re-sorting splitter. Kept for
+/// the perf harness A/B and the identical-tree parity tests; produces
+/// bit-identical trees to [`build_tree`].
+pub fn build_tree_legacy(x: &Matrix, y: &[u8], params: &RfParams, est_seed: u64) -> Tree {
     let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(est_seed));
     let idx = bootstrap(x.rows(), &mut rng);
     let mut arena = Vec::new();
@@ -310,18 +556,22 @@ pub fn build_tree(x: &Matrix, y: &[u8], params: &RfParams, est_seed: u64) -> Tre
 /// sample partition for each frontier slot.
 pub fn build_top(x: &Matrix, y: &[u8], params: &RfParams, est_seed: u64) -> TopSplit {
     let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(est_seed));
-    let idx = bootstrap(x.rows(), &mut rng);
+    let rows = bootstrap(x.rows(), &mut rng);
+    let pos: Vec<u32> = (0..rows.len() as u32).collect();
+    let mut sc = SplitScratch::new(rows, y, x.cols());
     let mut arena = Vec::new();
-    grow(
+    grow_fast(
         &mut arena,
         x,
         y,
-        &idx,
+        &mut sc,
+        &pos,
         0,
         params,
         &mut rng,
         Some(params.distr_depth),
     );
+    let idx = sc.rows;
     let mut tree = Tree { nodes: arena };
 
     // Route every bootstrap sample to its frontier slot.
@@ -385,11 +635,14 @@ pub fn build_subtree(
             probs,
         });
     } else {
-        grow(
+        let pos: Vec<u32> = (0..idx.len() as u32).collect();
+        let mut sc = SplitScratch::new(idx.clone(), y, x.cols());
+        grow_fast(
             &mut arena,
             x,
             y,
-            idx,
+            &mut sc,
+            &pos,
             params.distr_depth,
             params,
             &mut rng,
@@ -678,5 +931,80 @@ mod tests {
         assert_eq!(a.nodes, b.nodes);
         let c = build_tree(&x, &y, &params, 4);
         assert_ne!(a.nodes, c.nodes);
+    }
+
+    #[test]
+    fn fast_split_finder_matches_legacy_trees() {
+        // Overlapping clusters force impure nodes at many depths, and
+        // the high dimension exercises the lazy per-feature orders.
+        for (n, d, spread, seed) in [
+            (60usize, 2usize, 1.2, 40u64),
+            (150, 8, 0.8, 41),
+            (80, 5, 0.5, 42),
+        ] {
+            let (x, y) = blobs_nd(n, d, spread, seed);
+            for est in 0..4u64 {
+                let params = RfParams {
+                    max_depth: 10,
+                    min_samples_split: 2,
+                    seed,
+                    ..Default::default()
+                };
+                let fast = build_tree(&x, &y, &params, est);
+                let legacy = build_tree_legacy(&x, &y, &params, est);
+                assert_eq!(fast.nodes, legacy.nodes, "n={n} d={d} est={est}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_split_finder_matches_legacy_with_duplicate_values() {
+        // Quantized features create heavy value ties; the tie-group
+        // aggregation of the streaming sweep must match the legacy
+        // skip-equal-adjacent loop exactly.
+        let (mut x, y) = blobs_nd(100, 4, 1.0, 43);
+        for v in x.as_mut_slice() {
+            *v = (*v * 4.0).round() / 4.0;
+        }
+        let params = RfParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        for est in 0..4u64 {
+            let fast = build_tree(&x, &y, &params, est);
+            let legacy = build_tree_legacy(&x, &y, &params, est);
+            assert_eq!(fast.nodes, legacy.nodes, "est={est}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_fast_trees_identical_to_legacy(
+            n in 20usize..120,
+            d in 1usize..7,
+            seed in 0u64..1000,
+            est in 0u64..8,
+        ) {
+            let spread = 0.4 + (seed % 5) as f64 * 0.4;
+            let (mut x, y) = blobs_nd(n, d, spread, seed);
+            if seed % 2 == 0 {
+                for v in x.as_mut_slice() {
+                    *v = (*v * 8.0).round() / 8.0;
+                }
+            }
+            let params = RfParams {
+                max_depth: 12,
+                min_samples_split: 2,
+                seed,
+                ..Default::default()
+            };
+            let fast = build_tree(&x, &y, &params, est);
+            let legacy = build_tree_legacy(&x, &y, &params, est);
+            proptest::prop_assert_eq!(fast.nodes, legacy.nodes);
+        }
     }
 }

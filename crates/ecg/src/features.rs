@@ -11,7 +11,7 @@
 //!    one row of the design matrix handed to PCA and the classifiers.
 
 use crate::synth::Recording;
-use linalg::stft::{feature_count, spectrogram, SpectrogramConfig};
+use linalg::stft::{feature_count, SpectrogramConfig, SpectrogramPlan};
 use linalg::Matrix;
 
 /// Extends `signal` with zeros up to `len` samples. Signals already at
@@ -50,8 +50,20 @@ pub fn stft_features(
     cfg: &SpectrogramConfig,
     max_freq_hz: Option<f64>,
 ) -> Vec<f64> {
-    let sxx = spectrogram(signal, cfg);
-    let keep = kept_bins(cfg, max_freq_hz);
+    stft_features_with(&mut SpectrogramPlan::new(cfg), signal, max_freq_hz)
+}
+
+/// [`stft_features`] through a caller-held [`SpectrogramPlan`], so a
+/// dataset-wide sweep amortizes the FFT plan, Hann window, and scratch
+/// buffers across recordings (O(1) allocations per signal).
+pub fn stft_features_with(
+    plan: &mut SpectrogramPlan,
+    signal: &[f64],
+    max_freq_hz: Option<f64>,
+) -> Vec<f64> {
+    let cfg = *plan.config();
+    let sxx = plan.compute(signal);
+    let keep = kept_bins(&cfg, max_freq_hz);
     let cols = sxx.cols();
     let mut out = Vec::with_capacity(keep * cols);
     for bin in 0..keep {
@@ -82,9 +94,10 @@ pub fn build_design_matrix(
 
     let mut x = Matrix::zeros(recordings.len(), n_feat);
     let mut y = Vec::with_capacity(recordings.len());
+    let mut plan = SpectrogramPlan::new(cfg);
     for (i, rec) in recordings.iter().enumerate() {
         let padded = zero_pad(&rec.samples, max_len);
-        let feats = stft_features(&padded, cfg, max_freq_hz);
+        let feats = stft_features_with(&mut plan, &padded, max_freq_hz);
         debug_assert_eq!(feats.len(), n_feat);
         x.row_mut(i).copy_from_slice(&feats);
         y.push(rec.class.label());

@@ -4,6 +4,20 @@
 //! paper's pipeline. Only power-of-two lengths are handled by the core
 //! transform; [`crate::stft`] always pads windows to a power of two, the
 //! same strategy SciPy uses when `nfft` is rounded up.
+//!
+//! Two execution paths exist:
+//!
+//! * [`fft_inplace`] / [`ifft_inplace`] — the self-contained transform
+//!   that recomputes twiddle factors with a complex-multiply recurrence
+//!   on every call. Kept as the reference/legacy path.
+//! * [`FftPlan`] / [`RfftPlan`] — plan-then-execute, FFTW-style. A plan
+//!   precomputes the bit-reversal permutation and a twiddle table once;
+//!   executing it performs no trigonometry and no allocation. The real
+//!   plan additionally exploits conjugate symmetry by packing the real
+//!   signal into a half-length complex transform (half the butterflies
+//!   of the complex path) and untangling the spectrum afterwards.
+//!   [`crate::stft`] builds one plan per spectrogram and reuses it for
+//!   every window.
 
 /// A minimal complex number for the FFT; deliberately not a general
 /// complex-arithmetic type.
@@ -50,6 +64,11 @@ impl Complex {
     #[inline]
     fn sub(self, o: Complex) -> Complex {
         Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    #[inline]
+    fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
     }
 }
 
@@ -118,19 +137,242 @@ fn fft_dir(buf: &mut [Complex], inverse: bool) {
     }
 }
 
-/// FFT magnitude spectrum of a real signal: returns `n/2 + 1` one-sided
-/// magnitudes (DC through Nyquist). The input is zero-padded up to the
-/// next power of two.
-pub fn rfft_mag(signal: &[f64]) -> Vec<f64> {
+/// A precomputed plan for FFTs of one fixed power-of-two length:
+/// bit-reversal permutation plus a twiddle table (stage-concatenated,
+/// `n - 1` factors total). Executing a plan performs no trigonometry
+/// and no allocation, so one plan amortizes across every window of a
+/// spectrogram sweep.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed counterpart of each index (swap targets).
+    bitrev: Vec<u32>,
+    /// Forward twiddles `exp(-2*pi*i*j/len)`, concatenated per stage
+    /// (`len = 2, 4, ..., n`, `len/2` factors each).
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 1 && n.is_power_of_two(),
+            "fft length must be a power of two, got {n}"
+        );
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n)
+            .map(|i| {
+                if n == 1 {
+                    0
+                } else {
+                    (i as u32).reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            for j in 0..len / 2 {
+                let ang = -2.0 * std::f64::consts::PI * j as f64 / len as f64;
+                twiddles.push(Complex::new(ang.cos(), ang.sin()));
+            }
+            len <<= 1;
+        }
+        Self {
+            n,
+            bitrev,
+            twiddles,
+        }
+    }
+
+    /// Transform length the plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place forward FFT using the precomputed tables.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.execute(buf, false);
+    }
+
+    /// In-place inverse FFT (including the `1/N` normalization).
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the planned length.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.execute(buf, true);
+        let inv = 1.0 / self.n as f64;
+        for v in buf.iter_mut() {
+            v.re *= inv;
+            v.im *= inv;
+        }
+    }
+
+    fn execute(&self, buf: &mut [Complex], inverse: bool) {
+        assert_eq!(buf.len(), self.n, "buffer length differs from plan");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut stage = 0usize; // offset into the twiddle table
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let tw = &self.twiddles[stage..stage + half];
+            let mut i = 0;
+            while i < n {
+                for (j, &w) in tw.iter().enumerate() {
+                    let w = if inverse { w.conj() } else { w };
+                    let u = buf[i + j];
+                    let v = buf[i + j + half].mul(w);
+                    buf[i + j] = u.add(v);
+                    buf[i + j + half] = u.sub(v);
+                }
+                i += len;
+            }
+            stage += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// A precomputed plan for real-input FFTs of one fixed power-of-two
+/// length `n`: the real signal is packed into a half-length complex
+/// buffer (`z[j] = x[2j] + i*x[2j+1]`), transformed with a length-`n/2`
+/// [`FftPlan`], and the one-sided spectrum (`n/2 + 1` bins, DC through
+/// Nyquist) is recovered by the conjugate-symmetry untangling step —
+/// half the butterfly work of the complex path. The packing scratch
+/// lives inside the plan, so repeated [`RfftPlan::process`] calls
+/// allocate nothing.
+#[derive(Debug, Clone)]
+pub struct RfftPlan {
+    n: usize,
+    /// Half-length complex plan (absent for the degenerate `n <= 1`).
+    half: Option<FftPlan>,
+    /// Untangling twiddles `exp(-2*pi*i*k/n)` for `k in 0..=n/2`.
+    rtw: Vec<Complex>,
+    /// Packed half-length buffer, reused across calls.
+    scratch: Vec<Complex>,
+}
+
+impl RfftPlan {
+    /// Builds a plan for real transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 1 && n.is_power_of_two(),
+            "rfft length must be a power of two, got {n}"
+        );
+        let half = (n > 1).then(|| FftPlan::new(n / 2));
+        let rtw = (0..=n / 2)
+            .map(|k| {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Complex::new(ang.cos(), ang.sin())
+            })
+            .collect();
+        Self {
+            n,
+            half,
+            rtw,
+            scratch: vec![Complex::default(); n / 2],
+        }
+    }
+
+    /// Transform length the plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// Number of one-sided output bins (`n/2 + 1`).
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Computes the one-sided spectrum of `signal` into `out`.
+    ///
+    /// `signal` may be shorter than the planned length (the remainder is
+    /// treated as zeros — the STFT zero-padding case); `out` must hold
+    /// exactly [`Self::bins`] values.
+    ///
+    /// # Panics
+    /// Panics if `signal` is longer than the plan or `out` is missized.
+    pub fn process(&mut self, signal: &[f64], out: &mut [Complex]) {
+        assert!(signal.len() <= self.n, "signal longer than planned length");
+        assert_eq!(out.len(), self.bins(), "output must hold n/2 + 1 bins");
+        let Some(half) = &self.half else {
+            out[0] = Complex::new(signal.first().copied().unwrap_or(0.0), 0.0);
+            return;
+        };
+        let m = self.n / 2;
+        // Pack x[2j], x[2j+1] into one complex point each.
+        for (j, z) in self.scratch.iter_mut().enumerate() {
+            let re = signal.get(2 * j).copied().unwrap_or(0.0);
+            let im = signal.get(2 * j + 1).copied().unwrap_or(0.0);
+            *z = Complex::new(re, im);
+        }
+        half.forward(&mut self.scratch);
+        // Untangle: X[k] = E[k] + W^k * O[k] with
+        //   E[k] = (Z[k] + conj(Z[m-k])) / 2   (spectrum of even samples)
+        //   O[k] = (Z[k] - conj(Z[m-k])) / 2i  (spectrum of odd samples)
+        for (k, (o, &w)) in out.iter_mut().zip(&self.rtw).enumerate() {
+            let zk = self.scratch[k % m];
+            let zmk = self.scratch[(m - k % m) % m].conj();
+            let e = Complex::new(0.5 * (zk.re + zmk.re), 0.5 * (zk.im + zmk.im));
+            let d = zk.sub(zmk);
+            let odd = Complex::new(0.5 * d.im, -0.5 * d.re); // d / 2i
+            *o = e.add(w.mul(odd));
+        }
+    }
+}
+
+/// One-shot real-input FFT: zero-pads `signal` to the next power of two
+/// and returns the one-sided spectrum (`n/2 + 1` complex bins). Builds a
+/// throwaway [`RfftPlan`]; sweeps should hold a plan instead.
+pub fn rfft(signal: &[f64]) -> Vec<Complex> {
     if signal.is_empty() {
         return vec![];
     }
     let n = signal.len().next_power_of_two();
-    let mut buf: Vec<Complex> = Vec::with_capacity(n);
-    buf.extend(signal.iter().map(|&x| Complex::new(x, 0.0)));
-    buf.resize(n, Complex::default());
-    fft_inplace(&mut buf);
-    buf[..n / 2 + 1].iter().map(|c| c.abs()).collect()
+    let mut plan = RfftPlan::new(n);
+    let mut out = vec![Complex::default(); plan.bins()];
+    plan.process(signal, &mut out);
+    out
+}
+
+/// FFT magnitude spectrum of a real signal: returns `n/2 + 1` one-sided
+/// magnitudes (DC through Nyquist). The input is zero-padded up to the
+/// next power of two.
+pub fn rfft_mag(signal: &[f64]) -> Vec<f64> {
+    rfft(signal).into_iter().map(Complex::abs).collect()
 }
 
 #[cfg(test)]
@@ -210,6 +452,75 @@ mod tests {
         assert!(rfft_mag(&[]).is_empty());
     }
 
+    #[test]
+    fn plan_matches_legacy_fft() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.9).sin(), (i as f64 * 0.4).cos()))
+                .collect();
+            let plan = FftPlan::new(n);
+            let mut got = x.clone();
+            plan.forward(&mut got);
+            let mut want = x.clone();
+            fft_inplace(&mut want);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9);
+            }
+            plan.inverse(&mut got);
+            for (g, w) in got.iter().zip(&x) {
+                assert!((g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from plan")]
+    fn plan_rejects_wrong_length() {
+        let plan = FftPlan::new(8);
+        let mut buf = vec![Complex::default(); 4];
+        plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn rfft_matches_complex_fft_on_tones() {
+        for n in [2usize, 4, 16, 128] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.25).collect();
+            let got = rfft(&x);
+            let mut full: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            fft_inplace(&mut full);
+            assert_eq!(got.len(), n / 2 + 1);
+            for (g, w) in got.iter().zip(&full) {
+                assert!(
+                    (g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9,
+                    "n={n}: {g:?} vs {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_plan_zero_pads_short_signals() {
+        let mut plan = RfftPlan::new(8);
+        let mut out = vec![Complex::default(); plan.bins()];
+        plan.process(&[1.0, 2.0, 3.0], &mut out);
+        let mut full: Vec<Complex> = [1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+            .iter()
+            .map(|&v| Complex::new(v, 0.0))
+            .collect();
+        fft_inplace(&mut full);
+        for (g, w) in out.iter().zip(&full) {
+            assert!((g.re - w.re).abs() < 1e-12 && (g.im - w.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rfft_length_one() {
+        let mut plan = RfftPlan::new(1);
+        let mut out = vec![Complex::default(); 1];
+        plan.process(&[3.5], &mut out);
+        assert_eq!(out[0], Complex::new(3.5, 0.0));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -222,6 +533,22 @@ mod tests {
             for (a, b) in buf.iter().zip(&orig) {
                 prop_assert!((a.re - b.re).abs() < 1e-9);
                 prop_assert!((a.im - b.im).abs() < 1e-9);
+            }
+        }
+
+        /// The real plan must agree with the complex FFT on random real
+        /// signals (the satellite parity requirement).
+        #[test]
+        fn prop_rfft_matches_complex_path(
+            vals in proptest::collection::vec(-100.0f64..100.0, 64),
+        ) {
+            let got = rfft(&vals);
+            let mut full: Vec<Complex> =
+                vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            fft_inplace(&mut full);
+            for (g, w) in got.iter().zip(&full) {
+                prop_assert!((g.re - w.re).abs() < 1e-8);
+                prop_assert!((g.im - w.im).abs() < 1e-8);
             }
         }
 

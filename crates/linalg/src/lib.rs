@@ -10,11 +10,16 @@
 //! * [`eigh()`](eigh::eigh) — symmetric eigendecomposition via Householder
 //!   tridiagonalization followed by the implicit-shift QL iteration
 //!   (replaces `numpy.linalg.eigh`, used by the PCA covariance method).
-//! * [`fft`] — iterative radix-2 Cooley–Tukey FFT and real-input helpers
+//! * [`fft`] — iterative radix-2 Cooley–Tukey FFT, plus plan-cached
+//!   complex and real-input transforms ([`FftPlan`] / [`RfftPlan`])
 //!   (replaces the FFT underlying `scipy.signal.spectrogram`).
 //! * [`stft`] — Hann-windowed short-time Fourier transform /
-//!   spectrogram (replaces `scipy.signal.spectrogram`).
+//!   spectrogram (replaces `scipy.signal.spectrogram`); a
+//!   [`SpectrogramPlan`] amortizes the FFT plan, window, and scratch
+//!   across every window of a sweep.
 //! * [`kernels`] — pairwise distances and SVM kernel functions.
+//! * [`sgemm`] — blocked single-precision GEMM over raw `f32` slices,
+//!   the kernel behind the im2col convolution lowering in `nnet`.
 //!
 //! All routines are deterministic and allocation-conscious; hot loops are
 //! written so the compiler can vectorize them (see the workspace's
@@ -24,13 +29,15 @@ pub mod eigh;
 pub mod fft;
 pub mod kernels;
 pub mod matrix;
+pub mod sgemm;
 pub mod stft;
 
 pub use eigh::{eigh, EighResult};
-pub use fft::{fft_inplace, ifft_inplace, rfft_mag, Complex};
+pub use fft::{fft_inplace, ifft_inplace, rfft, rfft_mag, Complex, FftPlan, RfftPlan};
 pub use kernels::{euclidean_sq, Kernel};
 pub use matrix::{dot, pairwise_sq_dists, Matrix};
-pub use stft::{hann_window, spectrogram, SpectrogramConfig};
+pub use sgemm::{sgemm_nn, sgemm_nt, sgemm_tn};
+pub use stft::{hann_window, spectrogram, SpectrogramConfig, SpectrogramPlan};
 
 /// Machine-epsilon-scaled tolerance used by the iterative solvers.
 pub const EPS: f64 = f64::EPSILON;

@@ -1,0 +1,255 @@
+//! Single-precision (f32) GEMM kernels over raw slices.
+//!
+//! The neural-network layers keep their activations and weights in flat
+//! `Vec<f32>` buffers, so promoting through [`crate::Matrix`] (f64)
+//! would spend more time converting than multiplying. These kernels are
+//! the f32 twin of [`Matrix::matmul`](crate::Matrix::matmul): blocked
+//! over depth (`KC`) so the streamed right-operand panel stays
+//! cache-resident, register-tiled over [`MR`] output rows, with a
+//! contiguous AXPY inner loop the compiler vectorizes. All three
+//! variants **accumulate** into `out` (`out += op(a) * op(b)`), which is
+//! what the convolution backward pass needs for its gradient buffers;
+//! pass a zeroed `out` for a plain product.
+//!
+//! Per output element the contributions arrive in ascending-`k` order,
+//! matching the naive loops they replace, so [`sgemm_nn`] is bitwise
+//! identical to a scalar `ikj` triple loop.
+
+/// Depth blocking factor (f32: 256 elements = 1 KiB per panel row).
+const KC: usize = 256;
+/// Register tile height: output rows updated per pass.
+const MR: usize = 4;
+
+/// `out[m x n] += a[m x k] * b[k x n]` (all row-major).
+///
+/// # Panics
+/// Panics if any slice is shorter than its `m`/`k`/`n` shape implies.
+pub fn sgemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for k0 in (0..k).step_by(KC) {
+        let k1 = (k0 + KC).min(k);
+        for (ib, oc) in out[..m * n].chunks_mut(MR * n).enumerate() {
+            let i0 = ib * MR;
+            if oc.len() == MR * n {
+                let (o0, r) = oc.split_at_mut(n);
+                let (o1, r) = r.split_at_mut(n);
+                let (o2, o3) = r.split_at_mut(n);
+                for kk in k0..k1 {
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    let a0 = a[i0 * k + kk];
+                    let a1 = a[(i0 + 1) * k + kk];
+                    let a2 = a[(i0 + 2) * k + kk];
+                    let a3 = a[(i0 + 3) * k + kk];
+                    for (j, &bkj) in brow.iter().enumerate() {
+                        o0[j] += a0 * bkj;
+                        o1[j] += a1 * bkj;
+                        o2[j] += a2 * bkj;
+                        o3[j] += a3 * bkj;
+                    }
+                }
+            } else {
+                for (ri, o) in oc.chunks_mut(n).enumerate() {
+                    let i = i0 + ri;
+                    for kk in k0..k1 {
+                        let aik = a[i * k + kk];
+                        let brow = &b[kk * n..(kk + 1) * n];
+                        for (j, &bkj) in brow.iter().enumerate() {
+                            o[j] += aik * bkj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out[m x n] += a[m x k] * b[n x k]^T` — both operands row-major, so
+/// every output element is a dot product of two contiguous rows.
+///
+/// Uses four independent partial accumulators per dot product (fixed
+/// order, deterministic across calls).
+///
+/// # Panics
+/// Panics if any slice is shorter than its shape implies.
+pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, oj) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = [0.0f32; 4];
+            let ca = arow.chunks_exact(4);
+            let cb = brow.chunks_exact(4);
+            let (ra, rb) = (ca.remainder(), cb.remainder());
+            for (qa, qb) in ca.zip(cb) {
+                acc[0] += qa[0] * qb[0];
+                acc[1] += qa[1] * qb[1];
+                acc[2] += qa[2] * qb[2];
+                acc[3] += qa[3] * qb[3];
+            }
+            let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            for (x, y) in ra.iter().zip(rb) {
+                s += x * y;
+            }
+            *oj += s;
+        }
+    }
+}
+
+/// `out[m x n] += a[k x m]^T * b[k x n]` (all row-major) without
+/// materializing the transpose: each depth step is a rank-1 update
+/// streaming contiguous rows of `a` and `b`.
+///
+/// # Panics
+/// Panics if any slice is shorter than its shape implies.
+pub fn sgemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= k * m && b.len() >= k * n && out.len() >= m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    for k0 in (0..k).step_by(KC) {
+        let k1 = (k0 + KC).min(k);
+        for (ib, oc) in out[..m * n].chunks_mut(MR * n).enumerate() {
+            let i0 = ib * MR;
+            if oc.len() == MR * n {
+                let (o0, r) = oc.split_at_mut(n);
+                let (o1, r) = r.split_at_mut(n);
+                let (o2, o3) = r.split_at_mut(n);
+                for kk in k0..k1 {
+                    let arow = &a[kk * m..(kk + 1) * m];
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    let (a0, a1, a2, a3) = (arow[i0], arow[i0 + 1], arow[i0 + 2], arow[i0 + 3]);
+                    for (j, &bkj) in brow.iter().enumerate() {
+                        o0[j] += a0 * bkj;
+                        o1[j] += a1 * bkj;
+                        o2[j] += a2 * bkj;
+                        o3[j] += a3 * bkj;
+                    }
+                }
+            } else {
+                for (ri, o) in oc.chunks_mut(n).enumerate() {
+                    let i = i0 + ri;
+                    for kk in k0..k1 {
+                        let aki = a[kk * m + i];
+                        let brow = &b[kk * n..(kk + 1) * n];
+                        for (j, &bkj) in brow.iter().enumerate() {
+                            o[j] += aki * bkj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] += aik * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, seed: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32 + seed) * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn nn_bitwise_matches_naive_across_block_edges() {
+        // m=6 = one full MR=4 tile + 2 remainder rows, k=300 > KC=256.
+        let (m, k, n) = (6, 300, 37);
+        let a = fill(m * k, 1.0);
+        let b = fill(k * n, 2.0);
+        let mut got = vec![0.0f32; m * n];
+        sgemm_nn(m, k, n, &a, &b, &mut got);
+        assert_eq!(got, naive_nn(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let (m, k, n) = (5, 19, 7);
+        let a = fill(m * k, 3.0);
+        let bt = fill(n * k, 4.0); // n x k
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let mut got = vec![0.0f32; m * n];
+        sgemm_nt(m, k, n, &a, &bt, &mut got);
+        let want = naive_nn(m, k, n, &a, &b);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let (m, k, n) = (6, 301, 5);
+        let at = fill(k * m, 5.0); // k x m
+        let mut a = vec![0.0f32; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                a[i * k + kk] = at[kk * m + i];
+            }
+        }
+        let b = fill(k * n, 6.0);
+        let mut got = vec![0.0f32; m * n];
+        sgemm_tn(m, k, n, &at, &b, &mut got);
+        let want = naive_nn(m, k, n, &a, &b);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_out() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32, 4.0];
+        let mut out = vec![10.0f32];
+        sgemm_nn(1, 2, 1, &a, &b, &mut out);
+        assert_eq!(out, vec![10.0 + 11.0]);
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let mut out: Vec<f32> = vec![];
+        sgemm_nn(0, 3, 0, &[], &[], &mut out);
+        sgemm_tn(0, 0, 0, &[], &[], &mut out);
+        sgemm_nt(0, 0, 0, &[], &[], &mut out);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_nn_matches_naive(
+            m in 1usize..9, k in 1usize..40, n in 1usize..9,
+            seed in 0.0f32..10.0,
+        ) {
+            let a = fill(m * k, seed);
+            let b = fill(k * n, seed + 0.5);
+            let mut got = vec![0.0f32; m * n];
+            sgemm_nn(m, k, n, &a, &b, &mut got);
+            let want = naive_nn(m, k, n, &a, &b);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-4);
+            }
+        }
+    }
+}

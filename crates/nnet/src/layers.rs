@@ -6,10 +6,20 @@
 //! consumes the gradient w.r.t. its output and produces the gradient
 //! w.r.t. its input, accumulating parameter gradients internally.
 
+use linalg::{sgemm_nn, sgemm_nt, sgemm_tn};
 use rand::rngs::StdRng;
 use rand::RngExt;
 #[cfg(test)]
 use rand::SeedableRng;
+use std::cell::RefCell;
+
+thread_local! {
+    /// im2col patch-matrix scratch (`cols`, `dcols`), reused across
+    /// layers, samples, and mini-batches on the same thread so an
+    /// epoch's worth of convolutions performs O(1) buffer allocations.
+    static IM2COL_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// Shape of an activation buffer: `channels x length`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +98,84 @@ impl Conv1d {
         (in_len - self.kernel) / self.stride + 1
     }
 
-    fn forward(&self, x: &[f32], in_len: usize) -> Vec<f32> {
+    /// Gathers the receptive fields into the `(in_ch*kernel) x ol` patch
+    /// matrix: `cols[(i*kernel + k) * ol + t] = x[i*in_len + t*stride + k]`.
+    /// Row order matches the weight layout `[out][in][k]`, so a plain
+    /// row-major GEMM against `w` computes the convolution with the same
+    /// per-element summation order as the scalar loops.
+    fn im2col(&self, x: &[f32], in_len: usize, ol: usize, cols: &mut Vec<f32>) {
+        let ick = self.in_ch * self.kernel;
+        cols.clear();
+        cols.resize(ick * ol, 0.0);
+        for i in 0..self.in_ch {
+            for k in 0..self.kernel {
+                let row = &mut cols[(i * self.kernel + k) * ol..(i * self.kernel + k + 1) * ol];
+                let xbase = i * in_len + k;
+                if self.stride == 1 {
+                    row.copy_from_slice(&x[xbase..xbase + ol]);
+                } else {
+                    for (t, r) in row.iter_mut().enumerate() {
+                        *r = x[xbase + t * self.stride];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward pass, lowered to im2col + GEMM (the EDDL lowering):
+    /// `out[out_ch x ol] = w[out_ch x ick] * cols[ick x ol] + b`.
+    /// Bitwise identical to [`Self::forward_naive`] — the patch-matrix
+    /// row order and the blocked GEMM's ascending-`k` accumulation
+    /// reproduce the scalar loops' summation order exactly.
+    pub fn forward(&self, x: &[f32], in_len: usize) -> Vec<f32> {
+        let ol = self.out_len(in_len);
+        let ick = self.in_ch * self.kernel;
+        let mut out = vec![0.0f32; self.out_ch * ol];
+        for (orow, &bias) in out.chunks_mut(ol).zip(&self.b) {
+            orow.fill(bias);
+        }
+        IM2COL_SCRATCH.with(|s| {
+            let cols = &mut s.borrow_mut().0;
+            self.im2col(x, in_len, ol, cols);
+            sgemm_nn(self.out_ch, ick, ol, &self.w, cols, &mut out);
+        });
+        out
+    }
+
+    /// Backward pass, lowered to two GEMMs plus a col2im scatter:
+    /// `gw += dout * cols^T`, `dcols = w^T * dout`, `dx = col2im(dcols)`.
+    /// Matches [`Self::backward_naive`] to f32 rounding (the gradient
+    /// GEMMs reassociate the sums).
+    pub fn backward(&mut self, x: &[f32], in_len: usize, dout: &[f32]) -> Vec<f32> {
+        let ol = self.out_len(in_len);
+        let ick = self.in_ch * self.kernel;
+        let mut dx = vec![0.0f32; self.in_ch * in_len];
+        for (gb, orow) in self.gb.iter_mut().zip(dout.chunks(ol)) {
+            *gb += orow.iter().sum::<f32>();
+        }
+        IM2COL_SCRATCH.with(|s| {
+            let (cols, dcols) = &mut *s.borrow_mut();
+            self.im2col(x, in_len, ol, cols);
+            sgemm_nt(self.out_ch, ol, ick, dout, cols, &mut self.gw);
+            dcols.clear();
+            dcols.resize(ick * ol, 0.0);
+            sgemm_tn(ick, self.out_ch, ol, &self.w, dout, dcols);
+            for i in 0..self.in_ch {
+                for k in 0..self.kernel {
+                    let row = &dcols[(i * self.kernel + k) * ol..(i * self.kernel + k + 1) * ol];
+                    let xbase = i * in_len + k;
+                    for (t, &v) in row.iter().enumerate() {
+                        dx[xbase + t * self.stride] += v;
+                    }
+                }
+            }
+        });
+        dx
+    }
+
+    /// The seed's 4-deep scalar-loop forward pass, kept as the
+    /// reference path for parity tests and the perf harness A/B.
+    pub fn forward_naive(&self, x: &[f32], in_len: usize) -> Vec<f32> {
         let ol = self.out_len(in_len);
         let mut out = vec![0.0f32; self.out_ch * ol];
         for o in 0..self.out_ch {
@@ -108,7 +195,9 @@ impl Conv1d {
         out
     }
 
-    fn backward(&mut self, x: &[f32], in_len: usize, dout: &[f32]) -> Vec<f32> {
+    /// The seed's scalar-loop backward pass (reference path; see
+    /// [`Self::forward_naive`]).
+    pub fn backward_naive(&mut self, x: &[f32], in_len: usize, dout: &[f32]) -> Vec<f32> {
         let ol = self.out_len(in_len);
         let mut dx = vec![0.0f32; self.in_ch * in_len];
         for o in 0..self.out_ch {
@@ -441,6 +530,91 @@ mod tests {
             d.w[widx] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             assert!((numeric - analytic[widx]).abs() < 1e-2);
+        }
+    }
+
+    /// Random conv layer + input for the im2col parity tests.
+    fn random_conv(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        in_len: usize,
+        seed: u64,
+    ) -> (Conv1d, Vec<f32>) {
+        let mut r = StdRng::seed_from_u64(seed);
+        let c = Conv1d::new(in_ch, out_ch, kernel, stride, &mut r);
+        let x: Vec<f32> = (0..in_ch * in_len)
+            .map(|_| r.random::<f32>() * 2.0 - 1.0)
+            .collect();
+        (c, x)
+    }
+
+    #[test]
+    fn im2col_forward_bitwise_matches_naive() {
+        let (c, x) = random_conv(3, 5, 4, 2, 33, 7);
+        assert_eq!(c.forward(&x, 33), c.forward_naive(&x, 33));
+    }
+
+    #[test]
+    fn im2col_backward_matches_naive() {
+        let (c, x) = random_conv(2, 4, 5, 1, 24, 11);
+        let mut a = c.clone();
+        let mut b = c;
+        let ol = a.out_len(24);
+        let dout: Vec<f32> = (0..4 * ol).map(|i| ((i as f32) * 0.31).sin()).collect();
+        let dxa = a.backward(&x, 24, &dout);
+        let dxb = b.backward_naive(&x, 24, &dout);
+        for (p, q) in dxa.iter().zip(&dxb) {
+            assert!((p - q).abs() < 1e-5, "dx {p} vs {q}");
+        }
+        for (p, q) in a.gw.iter().zip(&b.gw) {
+            assert!((p - q).abs() < 1e-4 * q.abs().max(1.0), "gw {p} vs {q}");
+        }
+        for (p, q) in a.gb.iter().zip(&b.gb) {
+            assert!((p - q).abs() < 1e-4 * q.abs().max(1.0), "gb {p} vs {q}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// im2col conv must match the scalar loops on random shapes
+        /// (forward and both gradient passes) to 1e-5.
+        #[test]
+        fn prop_im2col_matches_naive(
+            in_ch in 1usize..4,
+            out_ch in 1usize..5,
+            kernel in 1usize..6,
+            stride in 1usize..4,
+            extra in 0usize..20,
+            seed in 0u64..1000,
+        ) {
+            let in_len = kernel + extra;
+            let (c, x) = random_conv(in_ch, out_ch, kernel, stride, in_len, seed);
+            let fwd = c.forward(&x, in_len);
+            let fwd_naive = c.forward_naive(&x, in_len);
+            for (p, q) in fwd.iter().zip(&fwd_naive) {
+                proptest::prop_assert!((p - q).abs() < 1e-5 * q.abs().max(1.0));
+            }
+
+            let mut a = c.clone();
+            let mut b = c;
+            let ol = a.out_len(in_len);
+            let dout: Vec<f32> = (0..out_ch * ol)
+                .map(|i| ((i as f32 + seed as f32) * 0.7).cos())
+                .collect();
+            let dxa = a.backward(&x, in_len, &dout);
+            let dxb = b.backward_naive(&x, in_len, &dout);
+            for (p, q) in dxa.iter().zip(&dxb) {
+                proptest::prop_assert!((p - q).abs() < 1e-5 * q.abs().max(1.0));
+            }
+            for (p, q) in a.gw.iter().zip(&b.gw) {
+                proptest::prop_assert!((p - q).abs() < 1e-5 * q.abs().max(1.0));
+            }
+            for (p, q) in a.gb.iter().zip(&b.gb) {
+                proptest::prop_assert!((p - q).abs() < 1e-5 * q.abs().max(1.0));
+            }
         }
     }
 
