@@ -222,6 +222,74 @@ fn bench_threaded_vs_inline(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_dataplane_inout(c: &mut Criterion) {
+    // The zero-copy data-plane comparison at criterion-friendly scale:
+    // a chain of elementwise ds-array ops run once through the
+    // clone-based task API and once through the INOUT (in-place) one.
+    use dsarray::DsArray;
+
+    let (rows, cols, rb, cb) = (256usize, 192usize, 64usize, 64usize);
+    let x = Matrix::from_fn(rows, cols, |r, q| ((r * cols + q) as f64 * 1e-3).sin());
+    let v: Vec<f64> = (0..cols).map(|q| 1.0 + (q % 5) as f64 * 0.5).collect();
+
+    let mut group = c.benchmark_group("dsarray_elementwise_256x192");
+    group.bench_function("clone", |b| {
+        b.iter(|| {
+            let rt = Runtime::new();
+            let a = DsArray::from_matrix(&rt, &x, rb, cb);
+            let a = a.map_blocks(&rt, "dp_scale", |m: &Matrix| {
+                let mut m = m.clone();
+                m.scale(1.0009);
+                m
+            });
+            let vh = rt.put(v.clone());
+            let a = a.sub_row_vector(&rt, vh);
+            let a = a.div_row_vector(&rt, vh);
+            black_box(a.collect(&rt).fro_norm())
+        })
+    });
+    group.bench_function("inout", |b| {
+        b.iter(|| {
+            let rt = Runtime::new();
+            let a = DsArray::from_matrix(&rt, &x, rb, cb);
+            let a = a.map_blocks_inplace(&rt, "dp_scale", |m: &mut Matrix| m.scale(1.0009));
+            let vh = rt.put(v.clone());
+            let a = a.sub_row_vector_inplace(&rt, vh);
+            let a = a.div_row_vector_inplace(&rt, vh);
+            black_box(a.collect(&rt).fro_norm())
+        })
+    });
+    group.finish();
+}
+
+fn bench_pool_covariance(c: &mut Criterion) {
+    // PCA covariance temporaries: X^T X allocates an output matrix per
+    // call. With a warmed pool the buffer is recycled across calls;
+    // clearing the pool each iteration forces a fresh allocation.
+    let n = 256usize;
+    let x = Matrix::from_fn(n, n, |r, q| ((r + 3 * q) % 11) as f64 * 0.125);
+
+    let mut group = c.benchmark_group("covariance_t_matmul_256");
+    group.sample_size(20);
+    group.bench_function("pool_fresh", |b| {
+        b.iter(|| {
+            linalg::pool::clear();
+            let g = x.t_matmul(&x);
+            black_box(g.fro_norm())
+        })
+    });
+    group.bench_function("pool_warm", |b| {
+        linalg::pool::clear();
+        b.iter(|| {
+            let g = x.t_matmul(&x);
+            let norm = g.fro_norm();
+            g.into_pool();
+            black_box(norm)
+        })
+    });
+    group.finish();
+}
+
 fn bench_des_replay(c: &mut Criterion) {
     // Record a moderately wide DAG once, then benchmark simulation.
     let rt = Runtime::new();
@@ -250,6 +318,8 @@ criterion_group!(
     bench_smo,
     bench_runtime_submission,
     bench_threaded_vs_inline,
+    bench_dataplane_inout,
+    bench_pool_covariance,
     bench_des_replay
 );
 criterion_main!(benches);

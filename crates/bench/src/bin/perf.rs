@@ -35,6 +35,7 @@
 use bench::legacy::{AnyArc as LegacyAnyArc, LegacyRuntime, LegacyTaskFn};
 use bench::report::{write_artifact, Args};
 use dislib::rf::{build_tree, build_tree_legacy, RfParams};
+use dsarray::DsArray;
 use linalg::stft::{spectrogram_legacy, SpectrogramConfig, SpectrogramPlan};
 use linalg::Matrix;
 use nnet::Conv1d;
@@ -76,7 +77,7 @@ fn unit() -> Arc<u8> {
     UNIT.get_or_init(|| Arc::new(0u8)).clone()
 }
 
-type NoopFn = Box<dyn FnOnce(&taskrt::TaskCtx, &[AnyArc]) -> Vec<(AnyArc, usize)> + Send>;
+type NoopFn = Box<dyn FnOnce(&taskrt::TaskCtx, &mut Vec<AnyArc>) -> Vec<(AnyArc, usize)> + Send>;
 
 fn noop_body() -> NoopFn {
     Box::new(|_ctx, _ins| vec![(unit() as AnyArc, 1)])
@@ -396,6 +397,94 @@ fn main() {
         2 * rf_per
     );
 
+    // -- dataplane: clone-based vs INOUT ds-array ops -----------------
+    // The scaler-shaped pipeline (scale, center, divide — all
+    // elementwise, repeated) over paper-scale blocks, run once through
+    // the clone-based block ops and once through the INOUT variants.
+    // The blocks are single-consumer, so the INOUT run should steal
+    // every version and clone nothing.
+    let (dp_rows, dp_cols, dp_rb, dp_cb) = if small {
+        (512usize, 384usize, 128usize, 128usize)
+    } else {
+        (3000, 1500, 500, 500) // paper block size: 500x500
+    };
+    let dp_chain = 3usize; // rounds of (scale, center, divide)
+    let dp_x = Matrix::from_fn(dp_rows, dp_cols, |r, c| ((r * dp_cols + c) as f64 * 1e-4).sin());
+    let dp_v: Vec<f64> = (0..dp_cols).map(|c| 1.0 + (c % 7) as f64 * 0.25).collect();
+
+    let run_dp_clone = |rt: &Runtime| -> Matrix {
+        let v = rt.put(dp_v.clone());
+        let mut a = DsArray::from_matrix_owned(rt, dp_x.clone(), dp_rb, dp_cb);
+        for _ in 0..dp_chain {
+            a = a
+                .map_blocks(rt, "dp_scale", |b| {
+                    let mut o = b.clone();
+                    o.scale(1.0009);
+                    o
+                })
+                .sub_row_vector(rt, v)
+                .div_row_vector(rt, v);
+        }
+        a.collect(rt)
+    };
+    let run_dp_inout = |rt: &Runtime| -> Matrix {
+        let v = rt.put(dp_v.clone());
+        let mut a = DsArray::from_matrix_owned(rt, dp_x.clone(), dp_rb, dp_cb);
+        for _ in 0..dp_chain {
+            a = a
+                .map_blocks_inplace(rt, "dp_scale", |b| b.scale(1.0009))
+                .sub_row_vector_inplace(rt, v)
+                .div_row_vector_inplace(rt, v);
+        }
+        a.collect(rt)
+    };
+    // Zero-copy must mean zero difference: same pipeline, same result.
+    assert_eq!(
+        run_dp_clone(&Runtime::new()),
+        run_dp_inout(&Runtime::new()),
+        "INOUT ds-array pipeline diverged from the clone-based one"
+    );
+    let mut dp_sink = 0.0;
+    let t_dp_clone = best_of(reps, || {
+        let rt = Runtime::new();
+        let start = Instant::now();
+        dp_sink += run_dp_clone(&rt).get(0, 0);
+        start.elapsed().as_secs_f64()
+    });
+    let mut dp_steals = 0u64;
+    let mut dp_copies = 0u64;
+    let t_dp_inout = best_of(reps, || {
+        let rt = Runtime::new();
+        let start = Instant::now();
+        dp_sink += run_dp_inout(&rt).get(0, 0);
+        let elapsed = start.elapsed().as_secs_f64();
+        let st = rt.stats();
+        dp_steals = st.inout_steals;
+        dp_copies = st.inout_copies;
+        elapsed
+    });
+    let dp_elems = (dp_chain * 3 * dp_rows * dp_cols) as f64;
+    let dp_clone_meps = dp_elems / t_dp_clone / 1e6;
+    let dp_inout_meps = dp_elems / t_dp_inout / 1e6;
+    let speedup_dp = dp_inout_meps / dp_clone_meps;
+    let dp_steal_rate = if dp_steals + dp_copies > 0 {
+        dp_steals as f64 / (dp_steals + dp_copies) as f64
+    } else {
+        0.0
+    };
+    // Blocks divide the shape evenly at both scales, so every stolen
+    // block version avoided exactly one block-sized clone.
+    let dp_bytes_stolen = dp_steals as f64 * (dp_rb * dp_cb * 8) as f64;
+    println!(
+        "dataplane ({dp_rows}x{dp_cols}, blocks {dp_rb}x{dp_cb}, {} elementwise ops): inout {dp_inout_meps:.0} Melem/s | clone {dp_clone_meps:.0} Melem/s | speedup {speedup_dp:.2}x",
+        dp_chain * 3
+    );
+    println!(
+        "dataplane inout params: {dp_steals} stolen / {dp_copies} copied ({:.0}% steal rate, {:.1} MB of clones avoided, checksum {dp_sink:.3})",
+        dp_steal_rate * 100.0,
+        dp_bytes_stolen / 1e6
+    );
+
     // -- artifact -----------------------------------------------------
     let doc = Value::Object(vec![
         ("scale".into(), Value::String(scale)),
@@ -473,6 +562,26 @@ fn main() {
             ]),
         ),
         (
+            "dataplane".into(),
+            Value::Object(vec![
+                ("rows".into(), Value::Number(dp_rows as f64)),
+                ("cols".into(), Value::Number(dp_cols as f64)),
+                ("block_rows".into(), Value::Number(dp_rb as f64)),
+                ("block_cols".into(), Value::Number(dp_cb as f64)),
+                (
+                    "elementwise_ops".into(),
+                    Value::Number((dp_chain * 3) as f64),
+                ),
+                ("clone_melems_per_s".into(), Value::Number(dp_clone_meps)),
+                ("inout_melems_per_s".into(), Value::Number(dp_inout_meps)),
+                ("speedup_inout".into(), Value::Number(speedup_dp)),
+                ("inout_steals".into(), Value::Number(dp_steals as f64)),
+                ("inout_copies".into(), Value::Number(dp_copies as f64)),
+                ("steal_rate".into(), Value::Number(dp_steal_rate)),
+                ("bytes_stolen".into(), Value::Number(dp_bytes_stolen)),
+            ]),
+        ),
+        (
             "rf_split".into(),
             Value::Object(vec![
                 ("samples".into(), Value::Number(2.0 * rf_per as f64)),
@@ -496,6 +605,7 @@ fn main() {
             ("conv.speedup_backward", speedup_conv_b),
             ("stft.speedup_plan", speedup_stft),
             ("rf_split.speedup_presorted", speedup_rf),
+            ("dataplane.speedup_inout", speedup_dp),
         ];
         let mut ok = true;
         for (name, v) in gates {
@@ -504,9 +614,15 @@ fn main() {
                 ok = false;
             }
         }
+        // A single-consumer pipeline that mostly copies means the steal
+        // path regressed even if throughput hasn't caught it yet.
+        if !(dp_steal_rate > 0.5) {
+            eprintln!("check FAILED: dataplane.steal_rate = {dp_steal_rate:.3} <= 0.5");
+            ok = false;
+        }
         if !ok {
             std::process::exit(1);
         }
-        println!("check: all speedup_* fields >= 1.0");
+        println!("check: all speedup_* fields >= 1.0 and steal rate > 50%");
     }
 }

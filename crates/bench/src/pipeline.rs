@@ -98,7 +98,10 @@ pub fn prepare(cfg: &PipelineConfig) -> Prepared {
     let raw_features = ds.x.cols();
 
     let rt = Runtime::new();
-    let dist = DsArray::from_matrix(&rt, &ds.x, cfg.block_rows, cfg.block_cols);
+    // The dataset matrix is only needed as blocks: hand it over to the
+    // ds-array (driver-side partition, no ds_load tasks, buffer
+    // recycled) instead of cloning it into the data store.
+    let dist = DsArray::from_matrix_owned(&rt, ds.x, cfg.block_rows, cfg.block_cols);
     let n_comp = cfg.n_components.min(raw_features);
     let pca = Pca::fit(&rt, &dist, Components::Count(n_comp));
     let projected = pca.transform(&rt, &dist);
@@ -138,10 +141,11 @@ pub fn run_csvm(prep: &Prepared, cfg: &PipelineConfig) -> AlgoResult {
     for (train_idx, test_idx) in kf.split(prep.xp.rows()) {
         let (xtr, ytr) = take(&prep.xp, &prep.y, &train_idx);
         let (xte, yte) = take(&prep.xp, &prep.y, &test_idx);
-        let dtr = DsArray::from_matrix(&rt, &xtr, cfg.block_rows, xtr.cols());
+        let (tr_cols, te_cols) = (xtr.cols(), xte.cols());
+        let dtr = DsArray::from_matrix_owned(&rt, xtr, cfg.block_rows, tr_cols);
         let ltr = DsLabels::from_slice(&rt, &ytr, cfg.block_rows);
         let model = CascadeSvm::fit(&rt, &dtr, &ltr, params);
-        let dte = DsArray::from_matrix(&rt, &xte, cfg.block_rows, xte.cols());
+        let dte = DsArray::from_matrix_owned(&rt, xte, cfg.block_rows, te_cols);
         let preds = model.predict(&rt, &dte);
         let mut all_pred = Vec::new();
         for p in preds {
@@ -170,11 +174,12 @@ pub fn run_knn(prep: &Prepared, cfg: &PipelineConfig) -> AlgoResult {
     for (train_idx, test_idx) in kf.split(prep.xp.rows()) {
         let (xtr, ytr) = take(&prep.xp, &prep.y, &train_idx);
         let (xte, yte) = take(&prep.xp, &prep.y, &test_idx);
-        let dtr = DsArray::from_matrix(&rt, &xtr, rb, xtr.cols());
+        let (tr_cols, te_cols) = (xtr.cols(), xte.cols());
+        let dtr = DsArray::from_matrix_owned(&rt, xtr, rb, tr_cols);
         let ltr = DsLabels::from_slice(&rt, &ytr, rb);
         let (scaler, scaled_tr) = StandardScaler::fit_transform(&rt, &dtr);
         let model = KnnClassifier::fit(&rt, &scaled_tr, &ltr, KnnParams::default());
-        let dte = DsArray::from_matrix(&rt, &xte, rb, xte.cols());
+        let dte = DsArray::from_matrix_owned(&rt, xte, rb, te_cols);
         let scaled_te = scaler.transform(&rt, &dte);
         let preds = model.predict(&rt, &scaled_te);
         let mut all_pred = Vec::new();

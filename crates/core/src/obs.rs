@@ -79,6 +79,10 @@ pub(crate) struct Counters {
     pub(crate) injector_flushed_tasks: AtomicU64,
     /// `notify_one` wake tokens granted to sleeping workers.
     pub(crate) wakeups: AtomicU64,
+    /// INOUT parameters handed to a task by move (buffer reused).
+    pub(crate) inout_steals: AtomicU64,
+    /// INOUT parameters that fell back to clone (input still shared).
+    pub(crate) inout_copies: AtomicU64,
 }
 
 impl Counters {
@@ -88,6 +92,8 @@ impl Counters {
             injector_flushes: AtomicU64::new(0),
             injector_flushed_tasks: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
+            inout_steals: AtomicU64::new(0),
+            inout_copies: AtomicU64::new(0),
         }
     }
 
@@ -131,6 +137,8 @@ impl Counters {
             injector_flushes: ld(&self.injector_flushes),
             injector_flushed_tasks: ld(&self.injector_flushed_tasks),
             wakeups: ld(&self.wakeups),
+            inout_steals: ld(&self.inout_steals),
+            inout_copies: ld(&self.inout_copies),
             worker_parks: workers.iter().map(|s| ld(&s.parks)).sum(),
             worker_idle_s: workers.iter().map(|s| ld(&s.idle_ns)).sum::<u64>() as f64 * 1e-9,
             driver_parks: ld(&self.shards[0].parks),
@@ -165,6 +173,13 @@ pub struct RuntimeStats {
     pub injector_flushed_tasks: u64,
     /// Wake tokens granted (`notify_one` calls issued).
     pub wakeups: u64,
+    /// INOUT parameters the runtime handed over by move: the executing
+    /// task was the last live consumer, so its closure mutated the
+    /// existing buffer instead of cloning it.
+    pub inout_steals: u64,
+    /// INOUT parameters that fell back to clone-on-shared (the input
+    /// still had another live consumer at dispatch).
+    pub inout_copies: u64,
     /// Worker condvar sleeps.
     pub worker_parks: u64,
     /// Total seconds workers were parked.
@@ -205,6 +220,17 @@ impl RuntimeStats {
         }
     }
 
+    /// Fraction of INOUT parameters handed over by move rather than
+    /// clone (0.0 when no INOUT task ran).
+    pub fn inout_steal_rate(&self) -> f64 {
+        let total = self.inout_steals + self.inout_copies;
+        if total == 0 {
+            0.0
+        } else {
+            self.inout_steals as f64 / total as f64
+        }
+    }
+
     /// Encodes the snapshot as a JSON tree.
     pub fn to_value(&self) -> Value {
         Value::Object(vec![
@@ -227,6 +253,12 @@ impl RuntimeStats {
                 Value::from(self.injector_flushed_tasks),
             ),
             ("wakeups".into(), Value::from(self.wakeups)),
+            ("inout_steals".into(), Value::from(self.inout_steals)),
+            ("inout_copies".into(), Value::from(self.inout_copies)),
+            (
+                "inout_steal_rate".into(),
+                Value::from(self.inout_steal_rate()),
+            ),
             ("worker_parks".into(), Value::from(self.worker_parks)),
             ("worker_idle_s".into(), Value::from(self.worker_idle_s)),
             ("driver_parks".into(), Value::from(self.driver_parks)),
@@ -266,6 +298,14 @@ impl RuntimeStats {
         )
         .unwrap();
         writeln!(out, "  wakeups            {:>12}", self.wakeups).unwrap();
+        writeln!(
+            out,
+            "  inout params       {:>12} stolen / {} copied ({:.1}% steal rate)",
+            self.inout_steals,
+            self.inout_copies,
+            self.inout_steal_rate() * 100.0
+        )
+        .unwrap();
         writeln!(
             out,
             "  worker parks       {:>12} ({:.4}s idle)",

@@ -13,6 +13,14 @@ use linalg::Matrix;
 /// A value that can be stored in the runtime's data store and moved
 /// between tasks.
 pub trait Payload: Send + Sync + 'static {
+    /// True when a value's serialized size is fully captured by
+    /// `size_of::<Self>()` — no heap indirection. Containers of FLAT
+    /// elements report their size in O(1); anything else (matrices,
+    /// nested vectors, models) must be summed element by element or
+    /// transfer sizes are underreported, which would skew the
+    /// simulator's RF-anomaly data-movement model.
+    const FLAT: bool = false;
+
     /// Approximate number of bytes a serialized copy of `self` would
     /// occupy on the wire. Used only by the simulator's transfer model;
     /// it does not need to be exact, just proportional.
@@ -23,7 +31,9 @@ pub trait Payload: Send + Sync + 'static {
 
 macro_rules! impl_payload_value {
     ($($t:ty),* $(,)?) => {
-        $(impl Payload for $t {})*
+        $(impl Payload for $t {
+            const FLAT: bool = true;
+        })*
     };
 }
 
@@ -50,15 +60,26 @@ impl Payload for String {
     }
 }
 
-impl<T: Send + Sync + 'static> Payload for Vec<T> {
+impl<T: Payload> Payload for Vec<T> {
     fn approx_bytes(&self) -> usize {
-        self.len() * std::mem::size_of::<T>() + std::mem::size_of::<Self>()
+        if T::FLAT {
+            self.len() * std::mem::size_of::<T>() + std::mem::size_of::<Self>()
+        } else {
+            // Nested containers (`Vec<Matrix>`, `Vec<Vec<T>>`, model
+            // lists): per-element `size_of` sees only the header, so
+            // sum the elements' own estimates.
+            self.iter().map(Payload::approx_bytes).sum::<usize>() + std::mem::size_of::<Self>()
+        }
     }
 }
 
-impl<T: Send + Sync + 'static> Payload for Box<[T]> {
+impl<T: Payload> Payload for Box<[T]> {
     fn approx_bytes(&self) -> usize {
-        self.len() * std::mem::size_of::<T>() + std::mem::size_of::<Self>()
+        if T::FLAT {
+            self.len() * std::mem::size_of::<T>() + std::mem::size_of::<Self>()
+        } else {
+            self.iter().map(Payload::approx_bytes).sum::<usize>() + std::mem::size_of::<Self>()
+        }
     }
 }
 
@@ -69,12 +90,14 @@ impl Payload for Matrix {
 }
 
 impl<A: Payload, B: Payload> Payload for (A, B) {
+    const FLAT: bool = A::FLAT && B::FLAT;
     fn approx_bytes(&self) -> usize {
         self.0.approx_bytes() + self.1.approx_bytes()
     }
 }
 
 impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    const FLAT: bool = A::FLAT && B::FLAT && C::FLAT;
     fn approx_bytes(&self) -> usize {
         self.0.approx_bytes() + self.1.approx_bytes() + self.2.approx_bytes()
     }
@@ -115,6 +138,31 @@ mod tests {
     fn tuple_size_is_sum() {
         let t = (vec![0u8; 10], vec![0.0f64; 10]);
         assert!(t.approx_bytes() >= 90);
+    }
+
+    #[test]
+    fn nested_vec_sums_element_sizes() {
+        // Two 10x10 matrices ≈ 1600 data bytes; the old per-element
+        // `size_of::<Matrix>()` saw only the two headers (~48B each).
+        let v = vec![Matrix::zeros(10, 10), Matrix::zeros(10, 10)];
+        assert!(v.approx_bytes() >= 1600, "got {}", v.approx_bytes());
+        let vv = vec![vec![0.0f64; 100]; 3];
+        assert!(vv.approx_bytes() >= 2400, "got {}", vv.approx_bytes());
+        // Boxed slices take the same path.
+        let b: Box<[Vec<f64>]> = vec![vec![0.0f64; 100]; 3].into_boxed_slice();
+        assert!(b.approx_bytes() >= 2400, "got {}", b.approx_bytes());
+    }
+
+    #[test]
+    fn flat_vec_is_o1_and_unchanged() {
+        let v = vec![0.0f64; 100];
+        assert_eq!(
+            v.approx_bytes(),
+            100 * 8 + std::mem::size_of::<Vec<f64>>()
+        );
+        // Tuples of flat components stay flat.
+        assert!(<(u32, f64)>::FLAT);
+        assert!(!<(u32, Vec<f64>)>::FLAT);
     }
 
     #[test]

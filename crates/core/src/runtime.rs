@@ -74,9 +74,10 @@ use std::time::Instant;
 /// Type-erased shared value.
 pub type AnyArc = Arc<dyn Any + Send + Sync>;
 
-/// Type-erased task body: receives the resolved inputs, returns the
-/// outputs with their approximate byte sizes.
-type TaskFn = Box<dyn FnOnce(&TaskCtx, &[AnyArc]) -> Vec<(AnyArc, usize)> + Send>;
+/// Type-erased task body: receives the resolved inputs (mutable so
+/// INOUT wrappers can take ownership of individual entries), returns
+/// the outputs with their approximate byte sizes.
+type TaskFn = Box<dyn FnOnce(&TaskCtx, &mut Vec<AnyArc>) -> Vec<(AnyArc, usize)> + Send>;
 
 /// Poison-tolerant lock: a panicking task body never leaves the
 /// scheduler unusable (task panics are caught, but driver-side panics
@@ -149,6 +150,9 @@ impl Default for RuntimeConfig {
 pub struct TaskCtx {
     nested_mode: ExecMode,
     metrics: bool,
+    /// Runtime counters for in-body instrumentation (INOUT steal/copy
+    /// accounting); `None` when metrics are off.
+    counters: Option<Arc<Counters>>,
     child: Mutex<Option<Runtime>>,
 }
 
@@ -167,11 +171,30 @@ impl TaskCtx {
         *lock(&self.child) = Some(rt.clone());
         rt
     }
+
+    /// Records which path an INOUT parameter resolution took (shared
+    /// low-frequency counters; a handful of updates per INOUT task).
+    fn count_inout(&self, stolen: bool) {
+        if let Some(c) = &self.counters {
+            let ctr = if stolen {
+                &c.inout_steals
+            } else {
+                &c.inout_copies
+            };
+            Counters::add(ctr, 1);
+        }
+    }
 }
 
 enum Slot {
     Pending,
     Ready(AnyArc, usize),
+    /// The value was handed over (by move) to an INOUT task — this
+    /// version of the datum no longer exists; the consuming task's
+    /// output is the successor version. Keeps the byte size so records
+    /// and the simulator still see transfer sizes. Reading a moved
+    /// datum is a contract violation and fails loudly.
+    Moved(usize),
 }
 
 /// Per-datum entry, indexed by `DataId`.
@@ -179,6 +202,13 @@ struct DataEntry {
     slot: Slot,
     /// Producing task, if any (`None` for `put` data).
     producer: Option<TaskId>,
+    /// Submitted-but-not-yet-dispatched tasks reading this datum. An
+    /// INOUT task may steal the buffer only when this is zero *and* the
+    /// store holds the only live `Arc` (no dispatched-but-running
+    /// reader, no driver-side `peek`/`wait` clone). Failure cascades
+    /// leak increments (their `make_run` never runs), which only makes
+    /// later consumers fall back to the copy path — conservative.
+    pending_reads: usize,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -199,6 +229,10 @@ enum Status {
 /// on the submission hot path).
 struct PendingJob {
     f: TaskFn,
+    /// Bit `i` set ⇒ input `i` has INOUT (consume) semantics: the
+    /// dispatcher may move the stored value into the task when it is
+    /// the last live consumer. Inputs beyond 64 are never consumed.
+    consume_mask: u64,
 }
 
 /// A task made fully self-contained at *release* time: the body plus
@@ -227,12 +261,42 @@ struct ReadyRun {
 fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>) -> ReadyRun {
     let ti = tid.0 as usize;
     let job = st.tasks[ti].job.take().expect("ready task has a job");
+    let consume_mask = job.consume_mask;
     let rec = &st.records[ti];
-    let mut inputs = Vec::with_capacity(rec.inputs.len());
+    // This task stops being a *pending* reader of its inputs here —
+    // before the steal checks below, so its own registration never
+    // blocks its own steal.
     for (d, _) in rec.inputs.iter() {
-        match &st.data[d.0 as usize].slot {
+        st.data[d.0 as usize].pending_reads -= 1;
+    }
+    let mut inputs = Vec::with_capacity(rec.inputs.len());
+    for (i, (d, _)) in rec.inputs.iter().enumerate() {
+        let entry = &mut st.data[d.0 as usize];
+        let consume = i < 64 && consume_mask >> i & 1 == 1;
+        // INOUT dispatch: hand the store's own reference to the task
+        // when no other live consumer exists. `pending_reads` covers
+        // readers submitted but not yet dispatched; the strong count
+        // covers dispatched-but-unfinished readers and driver-side
+        // `peek`/`wait` clones. The closure-side `Arc::try_unwrap`
+        // then sees a unique Arc and mutates the buffer in place.
+        if consume && entry.pending_reads == 0 {
+            if let Slot::Ready(v, b) = &entry.slot {
+                if Arc::strong_count(v) == 1 {
+                    let bytes = *b;
+                    match std::mem::replace(&mut entry.slot, Slot::Moved(bytes)) {
+                        Slot::Ready(v, _) => inputs.push(v),
+                        _ => unreachable!(),
+                    }
+                    continue;
+                }
+            }
+        }
+        match &entry.slot {
             Slot::Ready(v, _) => inputs.push(v.clone()),
             Slot::Pending => unreachable!("input {d:?} not ready for task {tid:?}"),
+            // Submission fails tasks reading consumed data in place,
+            // so a dispatched task can never see a moved IN input.
+            Slot::Moved(_) => unreachable!("input {d:?} consumed before task {tid:?} dispatched"),
         }
     }
     ReadyRun {
@@ -313,8 +377,9 @@ struct Shared {
     /// Creation time — the zero point of every recorded `start_s`.
     epoch: Instant,
     /// Observability counters (see [`crate::obs`]); updates gated by
-    /// `config.metrics`.
-    counters: Counters,
+    /// `config.metrics`. `Arc` so a [`TaskCtx`] can carry a reference
+    /// into task bodies for in-body (INOUT) accounting.
+    counters: Arc<Counters>,
 }
 
 struct Inner {
@@ -393,7 +458,7 @@ impl Runtime {
             wake_cv: Condvar::new(),
             idle_hint: AtomicBool::new(false),
             epoch: Instant::now(),
-            counters: Counters::new(n_workers),
+            counters: Arc::new(Counters::new(n_workers)),
         });
         let workers = (0..n_workers)
             .map(|i| {
@@ -419,6 +484,7 @@ impl Runtime {
         st.data.push(DataEntry {
             slot: Slot::Ready(Arc::new(value), bytes),
             producer: None,
+            pending_reads: 0,
         });
         Handle::new(id)
     }
@@ -493,6 +559,13 @@ impl Runtime {
                     let v = v.clone();
                     drop(st);
                     return v.downcast::<T>().expect("handle type mismatch");
+                }
+                if let Slot::Moved(_) = &st.data[di].slot {
+                    drop(st);
+                    panic!(
+                        "data {id:?} was consumed by an INOUT task; \
+                         use the handle returned by run*_inout instead"
+                    );
                 }
                 if idle {
                     st.waiters += 1;
@@ -669,6 +742,43 @@ impl Runtime {
         n_outputs: usize,
         f: TaskFn,
     ) -> Vec<DataId> {
+        self.submit_raw_consume(name, cores, gpus, inputs, 0, n_outputs, f)
+    }
+
+    /// [`Runtime::submit_raw`] with INOUT semantics on selected inputs:
+    /// bit `i` of `consume_mask` marks input `i` as consumable — the
+    /// dispatcher moves the stored value into the task when the task is
+    /// its last live consumer (see [`make_run`]), so the body can reuse
+    /// the buffer instead of cloning it. The consumed handle's datum is
+    /// retired ([`Slot::Moved`]); tasks submitted later that read it
+    /// fail loudly — the PyCOMPSs `direction=INOUT` contract where the
+    /// post-task version of the datum is the one to keep using.
+    pub fn submit_raw_consume(
+        &self,
+        name: String,
+        cores: u32,
+        gpus: u32,
+        inputs: Vec<DataId>,
+        mut consume_mask: u64,
+        n_outputs: usize,
+        f: TaskFn,
+    ) -> Vec<DataId> {
+        // A datum passed twice to the same task must never be consumed:
+        // stealing one occurrence would leave the other dangling. Clear
+        // every consume bit of any duplicated id (inputs are short —
+        // the quadratic scan only runs for consuming submissions).
+        if consume_mask != 0 {
+            for i in 0..inputs.len().min(64) {
+                if consume_mask >> i & 1 == 1
+                    && inputs
+                        .iter()
+                        .enumerate()
+                        .any(|(j, d)| j != i && *d == inputs[i])
+                {
+                    consume_mask &= !(1u64 << i);
+                }
+            }
+        }
         let shared = &self.inner.shared;
         let (outputs, inline_run, wake_n) = {
             let mut st = lock(&shared.state);
@@ -680,16 +790,22 @@ impl Runtime {
                 st.data.push(DataEntry {
                     slot: Slot::Pending,
                     producer: Some(tid),
+                    pending_reads: 0,
                 });
                 outputs.push(id);
             }
 
             let seq = st.records.len() as u64;
+            let mut consumed_input = None;
             let input_bytes: Vec<(DataId, usize)> = inputs
                 .iter()
                 .map(|d| {
                     let b = match &st.data[d.0 as usize].slot {
                         Slot::Ready(_, b) => *b,
+                        Slot::Moved(b) => {
+                            consumed_input = Some(*d);
+                            *b
+                        }
                         Slot::Pending => 0, // filled in at completion
                     };
                     (*d, b)
@@ -736,7 +852,25 @@ impl Runtime {
             });
             st.since_barrier.push(tid);
 
-            let ready_now = if let Some(msg) = inherited_failure {
+            let ready_now = if let Some(d) = consumed_input {
+                // Reading a datum an INOUT task already consumed is a
+                // contract violation; fail in place, loudly, instead of
+                // handing out a stale or missing value.
+                st.tasks.push(TaskEntry {
+                    status: Status::Failed,
+                    remaining: 0,
+                    dependents: Vec::new(),
+                    job: None,
+                    failure: Some(
+                        format!(
+                            "input {d:?} was already consumed by an INOUT task; \
+                             use the handle returned by run*_inout instead"
+                        )
+                        .into(),
+                    ),
+                });
+                false
+            } else if let Some(msg) = inherited_failure {
                 // A dependency already failed; its cascade ran before we
                 // existed, so fail in place (waiters see it immediately).
                 st.tasks.push(TaskEntry {
@@ -752,7 +886,7 @@ impl Runtime {
                     status: Status::Ready,
                     remaining: 0,
                     dependents: Vec::new(),
-                    job: Some(PendingJob { f }),
+                    job: Some(PendingJob { f, consume_mask }),
                     failure: None,
                 });
                 true
@@ -761,7 +895,7 @@ impl Runtime {
                     status: Status::Waiting,
                     remaining,
                     dependents: Vec::new(),
-                    job: Some(PendingJob { f }),
+                    job: Some(PendingJob { f, consume_mask }),
                     failure: None,
                 });
                 let deps = &st.records[tid.0 as usize].deps;
@@ -773,6 +907,16 @@ impl Runtime {
                 }
                 false
             };
+            // Tasks holding a job are pending readers of their inputs
+            // until `make_run` resolves them (see `DataEntry::
+            // pending_reads`); failed-in-place tasks never dispatch.
+            if st.tasks[tid.0 as usize].job.is_some() {
+                let ins = &st.records[tid.0 as usize].inputs;
+                let data = &mut st.data;
+                for (d, _) in ins {
+                    data[d.0 as usize].pending_reads += 1;
+                }
+            }
 
             // Dispatch, still under the state lock. Inline: resolve now
             // and run after unlocking. Threaded: stage the resolved run
@@ -1119,7 +1263,7 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
     let ReadyRun {
         id: task,
         f,
-        inputs,
+        mut inputs,
         ready_at,
     } = run;
     let ti = task.0 as usize;
@@ -1128,6 +1272,7 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
     let ctx = TaskCtx {
         nested_mode: shared.config.nested_mode,
         metrics,
+        counters: metrics.then(|| Arc::clone(&shared.counters)),
         child: Mutex::new(None),
     };
     let start = Instant::now();
@@ -1146,7 +1291,7 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
             count(&shard.queue_wait_ns, wait);
         }
     }
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx, &inputs)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx, &mut inputs)));
     let end = Instant::now();
     let duration = end.saturating_duration_since(start).as_secs_f64();
     if metrics {
@@ -1184,8 +1329,11 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                     data[d.0 as usize].slot = Slot::Ready(v, b);
                 }
                 for (d, bytes) in rec.inputs.iter_mut() {
-                    if let Slot::Ready(_, b) = &data[d.0 as usize].slot {
-                        *bytes = *b;
+                    match &data[d.0 as usize].slot {
+                        // `Moved`: this task's own INOUT steal retired
+                        // the slot; the size survives in the tombstone.
+                        Slot::Ready(_, b) | Slot::Moved(b) => *bytes = *b,
+                        Slot::Pending => {}
                     }
                 }
                 st.tasks[ti].status = Status::Done;
@@ -1252,6 +1400,36 @@ fn one<R: Payload>(r: R) -> Vec<(AnyArc, usize)> {
     vec![(Arc::new(r) as AnyArc, b)]
 }
 
+/// Placeholder left in the input vector when [`take_arg`] moves an
+/// entry out; shared so consuming a parameter costs no allocation.
+fn unit_any() -> AnyArc {
+    static UNIT: std::sync::OnceLock<AnyArc> = std::sync::OnceLock::new();
+    UNIT.get_or_init(|| Arc::new(()) as AnyArc).clone()
+}
+
+/// Takes ownership of INOUT input `i`: when the dispatcher determined
+/// this task is the datum's last live consumer it handed over a unique
+/// `Arc`, so the value moves out without touching the payload bytes;
+/// otherwise the value is cloned — results are identical either way.
+/// The path taken is recorded in the `inout_steals`/`inout_copies`
+/// counters.
+fn take_arg<A: Payload + Clone>(ctx: &TaskCtx, ins: &mut [AnyArc], i: usize) -> A {
+    let any = std::mem::replace(&mut ins[i], unit_any());
+    let arc = any
+        .downcast::<A>()
+        .unwrap_or_else(|_| panic!("task input {i} type mismatch"));
+    match Arc::try_unwrap(arc) {
+        Ok(v) => {
+            ctx.count_inout(true);
+            v
+        }
+        Err(shared) => {
+            ctx.count_inout(false);
+            (*shared).clone()
+        }
+    }
+}
+
 impl<'rt> TaskBuilder<'rt> {
     /// Declares the number of cores the task occupies (paper: CSVM tasks
     /// use 8 cores, KNN tasks 4). Only affects the simulator.
@@ -1298,6 +1476,67 @@ impl<'rt> TaskBuilder<'rt> {
             vec![a.id],
             1,
             Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0)))),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Submits a one-input task with PyCOMPSs `direction=INOUT`
+    /// semantics on the parameter: the body mutates the value in place
+    /// and the returned handle is the **successor version** of `a`.
+    ///
+    /// When this task is the last live consumer of `a` at dispatch, the
+    /// runtime moves the stored value into the body — no copy of the
+    /// payload is made (counted as an `inout_steal` in
+    /// [`crate::RuntimeStats`]). If the datum is still shared (another
+    /// task reads it, or the driver holds a `wait`/`peek` reference)
+    /// the body transparently runs on a clone (`inout_copy`) — the
+    /// result is identical either way.
+    ///
+    /// The input handle `a` is *consumed*: submitting a later task that
+    /// reads `a` after the steal ran fails that task loudly. Keep using
+    /// the returned handle.
+    pub fn run1_inout<A, F>(self, a: Handle<A>, f: F) -> Handle<A>
+    where
+        A: Payload + Clone,
+        F: FnOnce(&mut A) + Send + 'static,
+    {
+        let ids = self.rt.submit_raw_consume(
+            self.name,
+            self.cores,
+            self.gpus,
+            vec![a.id],
+            0b1,
+            1,
+            Box::new(move |ctx, ins| {
+                let mut v: A = take_arg(ctx, ins, 0);
+                f(&mut v);
+                one(v)
+            }),
+        );
+        Handle::new(ids[0])
+    }
+
+    /// Two-input variant of [`TaskBuilder::run1_inout`]: the first
+    /// parameter is INOUT (mutated in place, consumed), the second is a
+    /// plain read-only input.
+    pub fn run2_inout<A, B, F>(self, a: Handle<A>, b: Handle<B>, f: F) -> Handle<A>
+    where
+        A: Payload + Clone,
+        B: Payload,
+        F: FnOnce(&mut A, &B) + Send + 'static,
+    {
+        let ids = self.rt.submit_raw_consume(
+            self.name,
+            self.cores,
+            self.gpus,
+            vec![a.id, b.id],
+            0b1,
+            1,
+            Box::new(move |ctx, ins| {
+                let mut v: A = take_arg(ctx, ins, 0);
+                f(&mut v, arg::<B>(ins, 1));
+                one(v)
+            }),
         );
         Handle::new(ids[0])
     }
@@ -1726,6 +1965,177 @@ mod tests {
         }
         for w in &weaks {
             assert!(w.upgrade().is_none(), "a runtime leaked worker threads");
+        }
+    }
+
+    #[test]
+    fn inout_exclusive_handle_steals_and_matches_clone_path() {
+        // Same pipeline twice: clone-based run1 vs run1_inout on an
+        // exclusively-owned handle. Results must be bitwise identical
+        // and the INOUT run must take the steal path.
+        let rt = Runtime::new();
+        let a = rt.put(vec![1.0f64, 2.5, -3.0]);
+        let b = rt.task("scale").run1(a, |v| {
+            let mut out = v.clone();
+            out.iter_mut().for_each(|x| *x *= 2.0);
+            out
+        });
+        let expect = rt.peek(b);
+
+        let a2 = rt.put(vec![1.0f64, 2.5, -3.0]);
+        let b2 = rt
+            .task("scale_inout")
+            .run1_inout(a2, |v| v.iter_mut().for_each(|x| *x *= 2.0));
+        assert_eq!(*rt.peek(b2), *expect);
+        let stats = rt.stats();
+        assert_eq!(stats.inout_steals, 1);
+        assert_eq!(stats.inout_copies, 0);
+    }
+
+    #[test]
+    fn inout_shared_handle_falls_back_to_copy() {
+        // The driver holds a live reference (peek) to the input, so the
+        // INOUT task must clone — and the original value must survive.
+        let rt = Runtime::new();
+        let a = rt.put(vec![1u64, 2, 3]);
+        let held = rt.peek(a); // driver-side Arc keeps the datum shared
+        let b = rt
+            .task("bump")
+            .run1_inout(a, |v| v.iter_mut().for_each(|x| *x += 10));
+        assert_eq!(*rt.peek(b), vec![11, 12, 13]);
+        assert_eq!(*held, vec![1, 2, 3]);
+        let stats = rt.stats();
+        assert_eq!(stats.inout_steals, 0);
+        assert_eq!(stats.inout_copies, 1);
+    }
+
+    #[test]
+    fn inout_with_second_pending_consumer_never_steals() {
+        // A reader of `src` is pinned in the Waiting state (its second
+        // input is gated on a channel) while the INOUT task dispatches:
+        // the pending-reader count must force the copy fallback, and
+        // the reader must still see the original value afterwards.
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let rt = Runtime::threaded(2);
+        let a = rt.put(vec![7.0f64; 64]);
+        let src = rt.task("mk").run1(a, |v| v.clone()); // task 0
+        let gate = rt.task("gate").run0(move || {
+            // task 1
+            rx.recv().expect("gate release");
+            0u8
+        });
+        let read = rt
+            .task("sum") // task 2
+            .run2(src, gate, |v, _| v.iter().sum::<f64>());
+        let consumed = rt
+            .task("neg") // task 3
+            .run1_inout(src, |v| v.iter_mut().for_each(|x| *x = -*x));
+        // Wait for the INOUT task without `peek` (a peeking driver
+        // could adopt the gate task and block in `recv`); poll the
+        // scheduler state directly instead.
+        let neg_done = || lock(&rt.inner.shared.state).tasks[3].status == Status::Done;
+        while !neg_done() {
+            std::thread::yield_now();
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.inout_steals, 0);
+        assert_eq!(stats.inout_copies, 1);
+        tx.send(()).expect("release gate");
+        assert_eq!(*rt.peek(read), 7.0 * 64.0);
+        assert_eq!(*rt.peek(consumed), vec![-7.0; 64]);
+    }
+
+    #[test]
+    fn inout_chain_steals_every_link() {
+        // A single-consumer pipeline: each link owns its input
+        // exclusively, so every dispatch takes the move path.
+        let rt = Runtime::new();
+        let mut h = rt.task("mk").run0(|| vec![0u64; 8]);
+        for _ in 0..10 {
+            h = rt
+                .task("inc")
+                .run1_inout(h, |v| v.iter_mut().for_each(|x| *x += 1));
+        }
+        assert_eq!(*rt.peek(h), vec![10u64; 8]);
+        let stats = rt.stats();
+        assert_eq!(stats.inout_steals, 10);
+        assert_eq!(stats.inout_copies, 0);
+        assert!((stats.inout_steal_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run2_inout_mutates_first_reads_second() {
+        let rt = Runtime::new();
+        let w = rt.put(vec![1.0f64, 2.0]);
+        let g = rt.put(vec![0.5f64, 0.25]);
+        let w2 = rt.task("apply").run2_inout(w, g, |w, g| {
+            w.iter_mut().zip(g).for_each(|(a, b)| *a -= b);
+        });
+        assert_eq!(*rt.peek(w2), vec![0.5, 1.75]);
+        // The read-only input survives for later use.
+        assert_eq!(*rt.peek(g), vec![0.5, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed by an INOUT task")]
+    fn reading_consumed_handle_fails_loudly() {
+        let rt = Runtime::new();
+        let a = rt.task("mk").run0(|| vec![1u64, 2]);
+        let _b = rt
+            .task("take")
+            .run1_inout(a, |v| v.iter_mut().for_each(|x| *x += 1));
+        // Inline mode: the steal already happened; this read must fail.
+        let late = rt.task("reader").run1(a, |v| v.len() as u64);
+        let _ = rt.peek(late);
+    }
+
+    #[test]
+    fn inout_same_handle_twice_is_safe() {
+        // Passing one datum as both the INOUT and the IN parameter must
+        // not steal (the mask is sanitized for duplicates).
+        let rt = Runtime::new();
+        let a = rt.task("mk").run0(|| vec![1.0f64, 2.0]);
+        let b = rt.task("addself").run2_inout(a, a, |x, y| {
+            for (u, v) in x.iter_mut().zip(y) {
+                *u += v;
+            }
+        });
+        assert_eq!(*rt.peek(b), vec![2.0, 4.0]);
+        assert_eq!(rt.stats().inout_steals, 0);
+    }
+
+    #[test]
+    fn inout_threaded_parity_with_clone_path() {
+        // The same randomized op chain on inline clone-path handles and
+        // on threaded INOUT handles must agree bit-for-bit.
+        let ops: Vec<u64> = (0..50).map(|i| (i * 2654435761) % 3).collect();
+        let reference = {
+            let rt = Runtime::new();
+            let mut h = rt.task("mk").run0(|| vec![0.1f64; 256]);
+            for &op in &ops {
+                h = rt.task("op").run1(h, move |v| {
+                    let mut out = v.clone();
+                    apply_op(&mut out, op);
+                    out
+                });
+            }
+            rt.peek(h)
+        };
+        let rt = Runtime::threaded(4);
+        let mut h = rt.task("mk").run0(|| vec![0.1f64; 256]);
+        for &op in &ops {
+            h = rt.task("op").run1_inout(h, move |v| apply_op(v, op));
+        }
+        assert_eq!(*rt.peek(h), *reference);
+        let stats = rt.stats();
+        assert_eq!(stats.inout_steals + stats.inout_copies, 50);
+    }
+
+    fn apply_op(v: &mut [f64], op: u64) {
+        match op {
+            0 => v.iter_mut().for_each(|x| *x = *x * 1.5 + 0.25),
+            1 => v.iter_mut().for_each(|x| *x = -*x),
+            _ => v.iter_mut().for_each(|x| *x = x.sin()),
         }
     }
 

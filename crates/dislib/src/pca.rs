@@ -52,11 +52,13 @@ impl Pca {
         // Center, then phase 2 (map-reduce): X_c^T X_c.
         let centered = x.sub_row_vector(rt, mean);
         let gram = centered.gram(rt);
-        let cov = rt.task("pca_cov_scale").run1(gram, move |g: &Matrix| {
-            let mut c = g.clone();
-            c.scale(1.0 / (n as f64 - 1.0));
-            c
-        });
+        // The gram handle has no other consumer, so the INOUT scale
+        // steals it and rescales in place — no covariance-sized clone.
+        let cov = rt
+            .task("pca_cov_scale")
+            .run1_inout(gram, move |g: &mut Matrix| {
+                g.scale(1.0 / (n as f64 - 1.0));
+            });
 
         // Single eigendecomposition task (as in dislib).
         let eig = rt.task("pca_eigh").run1(cov, move |c: &Matrix| {

@@ -48,8 +48,13 @@ impl StandardScaler {
 
     /// Applies `(x - mean) / std` block-wise; constant columns are left
     /// centered but unscaled.
+    ///
+    /// The centered intermediate is consumed by the scaling step with
+    /// `direction=INOUT` — its blocks are single-consumer by
+    /// construction, so the division always happens in place.
     pub fn transform(&self, rt: &Runtime, x: &DsArray) -> DsArray {
-        x.sub_row_vector(rt, self.mean).div_row_vector(rt, self.std)
+        x.sub_row_vector(rt, self.mean)
+            .div_row_vector_inplace(rt, self.std)
     }
 
     /// Fit + transform in one call.

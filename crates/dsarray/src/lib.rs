@@ -64,6 +64,45 @@ where
     level[0]
 }
 
+/// In-place variant of [`tree_reduce`]: the left operand of every merge
+/// is passed with PyCOMPSs `direction=INOUT` semantics
+/// ([`taskrt::TaskBuilder::run2_inout`]), so interior reduction nodes
+/// mutate their left input instead of cloning it. With single-consumer
+/// intermediates (always true inside the cascade) every merge steals its
+/// accumulator and the reduction allocates nothing beyond the leaves.
+///
+/// # Panics
+/// Panics on an empty input.
+pub fn tree_reduce_inout<T>(
+    rt: &Runtime,
+    name: &str,
+    items: &[Handle<T>],
+    f: impl Fn(&mut T, &T) + Send + Sync + 'static,
+) -> Handle<T>
+where
+    T: taskrt::Payload + Clone,
+{
+    assert!(!items.is_empty(), "tree_reduce on empty input");
+    let f = Arc::new(f);
+    let mut level: Vec<Handle<T>> = items.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let f = f.clone();
+                next.push(
+                    rt.task(name)
+                        .run2_inout(pair[0], pair[1], move |a, b| f(a, b)),
+                );
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
 /// A dense 2-D array partitioned into a regular grid of blocks, each a
 /// [`Matrix`] living in the task runtime's data store.
 #[derive(Clone)]
@@ -105,6 +144,48 @@ impl DsArray {
             }
             grid.push(row);
         }
+        DsArray {
+            rows,
+            cols,
+            rb_size,
+            cb_size,
+            grid,
+        }
+    }
+
+    /// Consuming variant of [`DsArray::from_matrix`]: takes ownership of
+    /// `m`, partitions it **driver-side** (no `ds_load` tasks, no
+    /// retained full copy in the data store), and recycles the source
+    /// buffer through the [`linalg::pool`] once the blocks are cut.
+    /// Block contents are identical to `from_matrix`'s.
+    ///
+    /// # Panics
+    /// Panics if `m` is empty or the block sizes are zero.
+    pub fn from_matrix_owned(rt: &Runtime, m: Matrix, rb_size: usize, cb_size: usize) -> Self {
+        assert!(
+            m.rows() > 0 && m.cols() > 0,
+            "cannot distribute an empty matrix"
+        );
+        assert!(rb_size > 0 && cb_size > 0, "block sizes must be positive");
+        let (rows, cols) = m.shape();
+        let n_rb = rows.div_ceil(rb_size);
+        let n_cb = cols.div_ceil(cb_size);
+        let mut grid = Vec::with_capacity(n_rb);
+        for rb in 0..n_rb {
+            let mut row = Vec::with_capacity(n_cb);
+            let (r0, r1) = (rb * rb_size, ((rb + 1) * rb_size).min(rows));
+            for cb in 0..n_cb {
+                let (c0, c1) = (cb * cb_size, ((cb + 1) * cb_size).min(cols));
+                let block = if n_cb == 1 {
+                    m.slice_rows(r0, r1)
+                } else {
+                    m.slice_rows(r0, r1).slice_cols(c0, c1)
+                };
+                row.push(rt.put(block));
+            }
+            grid.push(row);
+        }
+        m.into_pool();
         DsArray {
             rows,
             cols,
@@ -196,9 +277,26 @@ impl DsArray {
     }
 
     /// Gathers the whole array back into one local matrix (synchronizes).
+    ///
+    /// One `ds_gather` task copies every block straight into a single
+    /// preallocated `rows x cols` matrix — the tree of `vstack`
+    /// intermediates (each copying the full prefix again) is gone, so
+    /// gathering moves each element exactly once.
     pub fn collect(&self, rt: &Runtime) -> Matrix {
-        let bands = self.row_bands(rt);
-        let whole = tree_reduce(rt, "ds_gather", &bands, |a, b| a.vstack(b));
+        let blocks: Vec<Handle<Matrix>> = self.grid.iter().flatten().copied().collect();
+        let (rows, cols) = (self.rows, self.cols);
+        let (rb_size, cb_size) = (self.rb_size, self.cb_size);
+        let n_cb = self.n_col_blocks();
+        let whole = rt.task("ds_gather").run_many(&blocks, move |bs| {
+            let mut out = Matrix::from_pool(rows, cols);
+            for (i, b) in bs.iter().enumerate() {
+                let (r0, c0) = ((i / n_cb) * rb_size, (i % n_cb) * cb_size);
+                for r in 0..b.rows() {
+                    out.row_mut(r0 + r)[c0..c0 + b.cols()].copy_from_slice(b.row(r));
+                }
+            }
+            out
+        });
         (*rt.wait(whole)).clone()
     }
 
@@ -230,6 +328,40 @@ impl DsArray {
         DsArray { grid, ..*self }
     }
 
+    /// Consuming, in-place variant of [`DsArray::map_blocks`]: every
+    /// block is submitted with `direction=INOUT`, so when this array is
+    /// the block's only consumer the mutation happens directly on the
+    /// stored matrix with zero copies. `f` must preserve block shape.
+    pub fn map_blocks_inplace(
+        self,
+        rt: &Runtime,
+        name: &str,
+        f: impl Fn(&mut Matrix) + Send + Sync + 'static,
+    ) -> DsArray {
+        let f = Arc::new(f);
+        let grid = self
+            .grid
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&b| {
+                        let f = f.clone();
+                        rt.task(name).run1_inout(b, move |m: &mut Matrix| {
+                            let shape = m.shape();
+                            f(m);
+                            assert_eq!(
+                                m.shape(),
+                                shape,
+                                "map_blocks_inplace must preserve shape"
+                            );
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        DsArray { grid, ..self }
+    }
+
     /// Per-column sums via one partial task per block followed by a tree
     /// reduction (dislib's first PCA map-reduce phase).
     pub fn col_sums(&self, rt: &Runtime) -> Handle<Vec<f64>> {
@@ -252,8 +384,10 @@ impl DsArray {
                 }));
             }
         }
-        tree_reduce(rt, "ds_colsum_reduce", &partials, |a, b| {
-            a.iter().zip(b).map(|(x, y)| x + y).collect()
+        tree_reduce_inout(rt, "ds_colsum_reduce", &partials, |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
         })
     }
 
@@ -266,11 +400,7 @@ impl DsArray {
             .into_iter()
             .map(|band| rt.task("ds_gram").run1(band, |m: &Matrix| m.t_matmul(m)))
             .collect();
-        tree_reduce(rt, "ds_gram_reduce", &partials, |a, b| {
-            let mut s = a.clone();
-            s.add_assign(b);
-            s
-        })
+        tree_reduce_inout(rt, "ds_gram_reduce", &partials, |a, b| a.add_assign(b))
     }
 
     /// Multiplies every row band by a replicated dense matrix `w`
@@ -326,6 +456,35 @@ impl DsArray {
         DsArray { grid, ..*self }
     }
 
+    /// Consuming, in-place variant of [`DsArray::sub_row_vector`]: the
+    /// block parameter is INOUT, so centering a freshly-produced array
+    /// (the common scaler/PCA pipeline shape) mutates blocks in place
+    /// instead of cloning each one.
+    pub fn sub_row_vector_inplace(self, rt: &Runtime, v: Handle<Vec<f64>>) -> DsArray {
+        let cb_size = self.cb_size;
+        let grid = self
+            .grid
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(cb, &b)| {
+                        let c0 = cb * cb_size;
+                        rt.task("ds_center")
+                            .run2_inout(b, v, move |m: &mut Matrix, v: &Vec<f64>| {
+                                for r in 0..m.rows() {
+                                    for (j, x) in m.row_mut(r).iter_mut().enumerate() {
+                                        *x -= v[c0 + j];
+                                    }
+                                }
+                            })
+                    })
+                    .collect()
+            })
+            .collect();
+        DsArray { grid, ..self }
+    }
+
     /// Divides every column by the matching entry of `v` (unit-variance
     /// scaling); entries `<= eps` divide by 1 instead (constant columns).
     pub fn div_row_vector(&self, rt: &Runtime, v: Handle<Vec<f64>>) -> DsArray {
@@ -356,6 +515,36 @@ impl DsArray {
             })
             .collect();
         DsArray { grid, ..*self }
+    }
+
+    /// Consuming, in-place variant of [`DsArray::div_row_vector`]; same
+    /// constant-column guard, INOUT block parameter.
+    pub fn div_row_vector_inplace(self, rt: &Runtime, v: Handle<Vec<f64>>) -> DsArray {
+        let cb_size = self.cb_size;
+        let grid = self
+            .grid
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(cb, &b)| {
+                        let c0 = cb * cb_size;
+                        rt.task("ds_scale")
+                            .run2_inout(b, v, move |m: &mut Matrix, v: &Vec<f64>| {
+                                for r in 0..m.rows() {
+                                    for (j, x) in m.row_mut(r).iter_mut().enumerate() {
+                                        let s = v[c0 + j];
+                                        if s > f64::EPSILON {
+                                            *x /= s;
+                                        }
+                                    }
+                                }
+                            })
+                    })
+                    .collect()
+            })
+            .collect();
+        DsArray { grid, ..self }
     }
 }
 
@@ -562,5 +751,136 @@ mod tests {
     fn from_matrix_rejects_empty() {
         let rt = Runtime::new();
         let _ = DsArray::from_matrix(&rt, &Matrix::zeros(0, 0), 2, 2);
+    }
+
+    #[test]
+    fn from_matrix_owned_matches_from_matrix() {
+        let rt = Runtime::new();
+        let m = demo_matrix(23, 7);
+        let a = DsArray::from_matrix(&rt, &m, 5, 3);
+        let b = DsArray::from_matrix_owned(&rt, m.clone(), 5, 3);
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.n_row_blocks(), b.n_row_blocks());
+        for rb in 0..a.n_row_blocks() {
+            for cb in 0..a.n_col_blocks() {
+                assert_eq!(*rt.peek(a.block(rb, cb)), *rt.peek(b.block(rb, cb)));
+            }
+        }
+        assert_eq!(b.collect(&rt), m);
+        // Driver-side partitioning submits no ds_load tasks.
+        let hist = rt.trace().task_histogram();
+        assert_eq!(hist["ds_load"], 15); // only from_matrix's 5x3 grid
+    }
+
+    #[test]
+    fn tree_reduce_inout_matches_and_steals() {
+        let rt = Runtime::new();
+        let items: Vec<Handle<f64>> = (1..=9).map(|i| rt.put(i as f64)).collect();
+        let total = tree_reduce_inout(&rt, "add", &items, |a, b| *a += b);
+        assert_eq!(*rt.peek(total), 45.0);
+        assert_eq!(rt.trace().task_histogram()["add"], 8);
+        // Interior accumulators are single-consumer, so the cascade's
+        // non-leaf merges all steal.
+        assert!(rt.stats().inout_steals > 0);
+    }
+
+    #[test]
+    fn inplace_ops_match_clone_based() {
+        let rt = Runtime::new();
+        let m = demo_matrix(11, 5);
+        let means = rt.put(m.col_means());
+        let stds = rt.put(m.col_stds(&m.col_means()));
+
+        let reference = DsArray::from_matrix(&rt, &m, 4, 2)
+            .sub_row_vector(&rt, means)
+            .div_row_vector(&rt, stds)
+            .map_blocks(&rt, "dbl", |b| {
+                let mut out = b.clone();
+                out.scale(2.0);
+                out
+            })
+            .collect(&rt);
+
+        let inplace = DsArray::from_matrix_owned(&rt, m, 4, 2)
+            .sub_row_vector_inplace(&rt, means)
+            .div_row_vector_inplace(&rt, stds)
+            .map_blocks_inplace(&rt, "dbl", |b| b.scale(2.0))
+            .collect(&rt);
+
+        assert_eq!(inplace, reference);
+    }
+
+    #[test]
+    fn inplace_pipeline_steals_every_block_version() {
+        // from_matrix_owned blocks have no other consumer, so a chain
+        // of in-place ops should steal at every link.
+        let rt = Runtime::new();
+        let m = demo_matrix(12, 6);
+        let v = rt.put(vec![1.0; 6]);
+        let ds = DsArray::from_matrix_owned(&rt, m, 4, 3)
+            .sub_row_vector_inplace(&rt, v)
+            .map_blocks_inplace(&rt, "neg", |b| b.scale(-1.0));
+        let _ = ds.collect(&rt);
+        let st = rt.stats();
+        assert_eq!(st.inout_copies, 0, "single-consumer chain must not copy");
+        assert_eq!(st.inout_steals, 12); // 6 blocks x 2 in-place ops
+        assert!(st.inout_steal_rate() > 0.99);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        /// Random chains of ds-array ops: the INOUT path must be
+        /// indistinguishable from the clone-based one.
+        #[test]
+        fn prop_inplace_chain_matches_clone_chain(
+            rows in 1usize..18,
+            cols in 1usize..9,
+            rb in 1usize..6,
+            cb in 1usize..4,
+            ops in proptest::collection::vec(0u8..4, 1..6),
+        ) {
+            let rt = Runtime::new();
+            let m = Matrix::from_fn(rows, cols, |r, c| ((r * 13 + c * 7) as f64 * 0.31).sin());
+            let v = rt.put((0..cols).map(|c| 0.5 + c as f64).collect::<Vec<f64>>());
+
+            let mut a = DsArray::from_matrix(&rt, &m, rb, cb);
+            let mut b = DsArray::from_matrix_owned(&rt, m, rb, cb);
+            for &op in &ops {
+                match op {
+                    0 => {
+                        a = a.map_blocks(&rt, "scale", |x| {
+                            let mut o = x.clone();
+                            o.scale(1.25);
+                            o
+                        });
+                        b = b.map_blocks_inplace(&rt, "scale", |x| x.scale(1.25));
+                    }
+                    1 => {
+                        a = a.sub_row_vector(&rt, v);
+                        b = b.sub_row_vector_inplace(&rt, v);
+                    }
+                    2 => {
+                        a = a.div_row_vector(&rt, v);
+                        b = b.div_row_vector_inplace(&rt, v);
+                    }
+                    _ => {
+                        a = a.map_blocks(&rt, "sq", |x| {
+                            let mut o = x.clone();
+                            for val in o.as_mut_slice() {
+                                *val *= *val;
+                            }
+                            o
+                        });
+                        b = b.map_blocks_inplace(&rt, "sq", |x| {
+                            for val in x.as_mut_slice() {
+                                *val *= *val;
+                            }
+                        });
+                    }
+                }
+            }
+            proptest::prop_assert_eq!(a.collect(&rt), b.collect(&rt));
+        }
     }
 }

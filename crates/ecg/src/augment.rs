@@ -63,6 +63,26 @@ pub fn shuffle_patches(rec: &Recording, seed: u64) -> Recording {
     }
 }
 
+/// In-place variant of [`shuffle_patches`]: replaces the recording's
+/// signal with the shuffled permutation, drawing the output buffer from
+/// (and recycling the old buffer into) the thread-local
+/// [`linalg::pool`]. Produces exactly the same permutation as
+/// `shuffle_patches` for a given seed — the Fisher–Yates pass depends
+/// only on the patch count and the seed.
+pub fn shuffle_patches_inplace(rec: &mut Recording, seed: u64) {
+    let peaks = detect_r_peaks(&rec.samples, rec.fs, &RPeakConfig::default());
+    let cuts = patch_boundaries(rec.samples.len(), &peaks);
+    let mut order: Vec<usize> = (0..cuts.len() - 1).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut out = linalg::pool::acquire_capacity(rec.samples.len());
+    for &p in &order {
+        out.extend_from_slice(&rec.samples[cuts[p]..cuts[p + 1]]);
+    }
+    let old = std::mem::replace(&mut rec.samples, out);
+    linalg::pool::release(old);
+}
+
 /// Balances the minority class by patch-shuffling augmentation: new
 /// synthetic recordings are appended until both classes have equal
 /// counts (paper: AF 771 → 5154). Source recordings are picked
@@ -154,6 +174,21 @@ mod tests {
             shuffle_patches(&rec, 7).samples,
             shuffle_patches(&rec, 7).samples
         );
+    }
+
+    #[test]
+    fn inplace_shuffle_matches_allocating_shuffle() {
+        let rec = generate(&cfg(), Class::Af, 21);
+        let expect = shuffle_patches(&rec, 5);
+        let mut got = rec.clone();
+        shuffle_patches_inplace(&mut got, 5);
+        assert_eq!(got.samples, expect.samples);
+        assert_eq!(got.class, expect.class);
+        // Repeated in-place augmentation recycles sample buffers.
+        let (h0, _, _) = linalg::pool::stats();
+        shuffle_patches_inplace(&mut got, 6);
+        let (h1, _, _) = linalg::pool::stats();
+        assert!(h1 > h0, "second shuffle should hit the pooled buffer");
     }
 
     #[test]

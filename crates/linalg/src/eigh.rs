@@ -43,7 +43,15 @@ pub fn eigh(a: &Matrix) -> EighResult {
             vectors: Matrix::zeros(0, 0),
         };
     }
-    let mut v = Matrix::from_fn(n, n, |r, c| 0.5 * (a.get(r, c) + a.get(c, r)));
+    // Symmetrized working copy from the buffer pool: PCA calls eigh
+    // once per fitted model but repeated fits (CV folds, benches)
+    // recycle this n*n scratch.
+    let mut v = Matrix::from_pool(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            v.set(r, c, 0.5 * (a.get(r, c) + a.get(c, r)));
+        }
+    }
     let mut d = vec![0.0; n];
     let mut e = vec![0.0; n];
     tred2(&mut v, &mut d, &mut e);
@@ -247,13 +255,14 @@ fn sort_ascending(v: &mut Matrix, d: &mut [f64]) {
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite eigenvalues"));
     let old_d = d.to_vec();
-    let old_v = v.clone();
+    let old_v = std::mem::replace(v, Matrix::from_pool(n, n));
     for (new_col, &old_col) in order.iter().enumerate() {
         d[new_col] = old_d[old_col];
         for r in 0..n {
             v.set(r, new_col, old_v.get(r, old_col));
         }
     }
+    old_v.into_pool();
 }
 
 #[cfg(test)]

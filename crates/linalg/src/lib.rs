@@ -20,6 +20,9 @@
 //! * [`kernels`] — pairwise distances and SVM kernel functions.
 //! * [`sgemm`] — blocked single-precision GEMM over raw `f32` slices,
 //!   the kernel behind the im2col convolution lowering in `nnet`.
+//! * [`pool`] — thread-local recycling pool for `Vec<f64>` storage;
+//!   GEMM outputs and eigensolver scratch come from
+//!   [`Matrix::from_pool`] and return via [`Matrix::into_pool`].
 //!
 //! All routines are deterministic and allocation-conscious; hot loops are
 //! written so the compiler can vectorize them (see the workspace's
@@ -29,6 +32,7 @@ pub mod eigh;
 pub mod fft;
 pub mod kernels;
 pub mod matrix;
+pub mod pool;
 pub mod sgemm;
 pub mod stft;
 

@@ -102,6 +102,25 @@ impl Matrix {
         }
     }
 
+    /// Creates a zero-filled `rows x cols` matrix whose storage comes
+    /// from the thread-local [`crate::pool`] when a recycled buffer of
+    /// sufficient capacity is available. Bitwise identical to
+    /// [`Matrix::zeros`]; only the allocation source differs.
+    pub fn from_pool(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: crate::pool::acquire(rows * cols),
+        }
+    }
+
+    /// Consumes the matrix, handing its storage back to the
+    /// thread-local [`crate::pool`] for reuse by a later
+    /// [`Matrix::from_pool`].
+    pub fn into_pool(self) {
+        crate::pool::release(self.data);
+    }
+
     /// Creates a matrix from a row-major data vector.
     ///
     /// # Panics
@@ -243,7 +262,7 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (kdim, n) = (self.cols, rhs.cols);
-        let mut out = Matrix::zeros(self.rows, n);
+        let mut out = Matrix::from_pool(self.rows, n);
         if n == 0 || kdim == 0 {
             return out;
         }
@@ -304,7 +323,7 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (m, n) = (self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
+        let mut out = Matrix::from_pool(m, n);
         if m == 0 || n == 0 {
             return out;
         }
@@ -356,7 +375,7 @@ impl Matrix {
             "matmul_nt dimension mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        let mut out = Matrix::from_pool(self.rows, rhs.rows);
         for i in 0..self.rows {
             let a = self.row(i);
             let o = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
@@ -584,6 +603,24 @@ mod tests {
         let got = a.matmul_nt(&b);
         let expect = a.matmul(&b.transpose());
         assert!(expect.max_abs_diff(&got) < 1e-12);
+    }
+
+    #[test]
+    fn pooled_matmul_bitwise_stable_across_reuse() {
+        // Run the same product twice, recycling the first output's
+        // storage in between: the pooled second run must be bitwise
+        // identical (acquire zero-fills, so dirty buffers can't leak).
+        let a = Matrix::from_fn(9, 40, |r, c| ((r * 40 + c) as f64 * 0.003).sin());
+        let b = Matrix::from_fn(40, 17, |r, c| ((r + 5 * c) as f64 * 0.009).cos());
+        let first = a.matmul(&b);
+        let reference = matmul_naive(&a, &b);
+        assert_eq!(first, reference);
+        first.into_pool();
+        let (hits0, _, _) = crate::pool::stats();
+        let second = a.matmul(&b);
+        let (hits1, _, _) = crate::pool::stats();
+        assert!(hits1 > hits0, "second matmul should reuse the pooled buffer");
+        assert_eq!(second, reference);
     }
 
     #[test]

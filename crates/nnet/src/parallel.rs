@@ -196,15 +196,19 @@ pub fn train_epoch_gradsync(
                 }
                 (acc, count)
             });
-        model =
-            rt.task("cnn_apply")
-                .run2(model, merged, move |net: &Network, g: &(Vec<f32>, u64)| {
-                    let mut out = net.clone();
-                    if g.1 > 0 {
-                        out.apply_gradients(&g.0, tp.lr, tp.momentum, g.1 as usize);
-                    }
-                    out
-                });
+        // INOUT weight application: the previous model version's only
+        // remaining consumer is this step (the batch's cnn_grad tasks
+        // read it first), so the update usually mutates the stored
+        // network directly instead of cloning the full weight set.
+        model = rt.task("cnn_apply").run2_inout(
+            model,
+            merged,
+            move |net: &mut Network, g: &(Vec<f32>, u64)| {
+                if g.1 > 0 {
+                    net.apply_gradients(&g.0, tp.lr, tp.momentum, g.1 as usize);
+                }
+            },
+        );
     }
     let _ = epoch;
     model
