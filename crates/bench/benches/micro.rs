@@ -146,7 +146,7 @@ fn bench_scheduler_throughput(c: &mut Criterion) {
                 0,
                 inputs,
                 1,
-                Box::new(move |_ctx, _ins| vec![(u as AnyArc, 1)]),
+                Box::new(move |_ctx, _ins| vec![(u.clone() as AnyArc, 1)]),
             );
             outs.push(ids[0]);
         }

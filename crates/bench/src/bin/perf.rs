@@ -77,7 +77,7 @@ fn unit() -> Arc<u8> {
     UNIT.get_or_init(|| Arc::new(0u8)).clone()
 }
 
-type NoopFn = Box<dyn FnOnce(&taskrt::TaskCtx, &mut Vec<AnyArc>) -> Vec<(AnyArc, usize)> + Send>;
+type NoopFn = Box<dyn FnMut(&taskrt::TaskCtx, &mut Vec<AnyArc>) -> Vec<(AnyArc, usize)> + Send>;
 
 fn noop_body() -> NoopFn {
     Box::new(|_ctx, _ins| vec![(unit() as AnyArc, 1)])
@@ -409,7 +409,9 @@ fn main() {
         (3000, 1500, 500, 500) // paper block size: 500x500
     };
     let dp_chain = 3usize; // rounds of (scale, center, divide)
-    let dp_x = Matrix::from_fn(dp_rows, dp_cols, |r, c| ((r * dp_cols + c) as f64 * 1e-4).sin());
+    let dp_x = Matrix::from_fn(dp_rows, dp_cols, |r, c| {
+        ((r * dp_cols + c) as f64 * 1e-4).sin()
+    });
     let dp_v: Vec<f64> = (0..dp_cols).map(|c| 1.0 + (c % 7) as f64 * 0.25).collect();
 
     let run_dp_clone = |rt: &Runtime| -> Matrix {
@@ -616,7 +618,7 @@ fn main() {
         }
         // A single-consumer pipeline that mostly copies means the steal
         // path regressed even if throughput hasn't caught it yet.
-        if !(dp_steal_rate > 0.5) {
+        if dp_steal_rate <= 0.5 || dp_steal_rate.is_nan() {
             eprintln!("check FAILED: dataplane.steal_rate = {dp_steal_rate:.3} <= 0.5");
             ok = false;
         }

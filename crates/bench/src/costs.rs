@@ -200,6 +200,7 @@ mod tests {
             start_s: 0.0,
             worker: -1,
             child: None,
+            attempts: vec![],
         }
     }
 

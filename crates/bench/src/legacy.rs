@@ -186,6 +186,7 @@ impl LegacyRuntime {
                 start_s: 0.0,
                 worker: -1,
                 child: None,
+                attempts: vec![],
             });
 
             let unfinished = deps.iter().filter(|d| !st.done.contains(d)).count();

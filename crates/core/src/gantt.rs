@@ -87,6 +87,7 @@ mod tests {
             gpus_per_node: 0,
             bandwidth_bps: 1e9,
             latency_s: 0.0,
+            failures: vec![],
         };
         (simulate(&trace, &cluster, &SimOptions::default()), 2)
     }
@@ -143,6 +144,8 @@ mod tests {
             utilization: 0.0,
             tasks: 0,
             busy_by_kind: Default::default(),
+            lost_tasks: 0,
+            reexecutions: 0,
             schedule: vec![],
         };
         let g = ascii_gantt(&rep, 1, 10);

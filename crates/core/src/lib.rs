@@ -29,6 +29,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`runtime`] | [`Runtime`], [`TaskBuilder`], execution modes, nesting |
+//! | [`fault`] | [`OnFailure`] / [`RetryPolicy`] policies, [`FaultPlan`] injection |
 //! | [`handle`] | [`Handle`], [`DataId`], [`TaskId`] |
 //! | [`payload`] | the [`Payload`] trait (what can flow between tasks) |
 //! | [`trace`] | [`Trace`] / [`TaskRecord`] — the replayable artifact |
@@ -47,6 +48,7 @@
 //! `cargo run -p bench --bin perf` for the measured throughput.
 
 pub mod dot;
+pub mod fault;
 pub mod gantt;
 pub mod handle;
 pub mod json;
@@ -56,6 +58,7 @@ pub mod runtime;
 pub mod sim;
 pub mod trace;
 
+pub use fault::{FaultMode, FaultPlan, OnFailure, RetryPolicy, TaskFault};
 pub use handle::{DataId, Handle, TaskId};
 pub use obs::{Profile, RuntimeStats, SimProfile};
 pub use payload::Payload;

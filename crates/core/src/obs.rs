@@ -83,6 +83,16 @@ pub(crate) struct Counters {
     pub(crate) inout_steals: AtomicU64,
     /// INOUT parameters that fell back to clone (input still shared).
     pub(crate) inout_copies: AtomicU64,
+    // Fault-handling counters: only touched when a task attempt fails,
+    // so they stay shared (no hot-path cost on healthy workflows).
+    /// Failed attempts that were resubmitted under [`crate::OnFailure::Retry`].
+    pub(crate) retries: AtomicU64,
+    /// Tasks that exhausted their retry budget and failed for good.
+    pub(crate) giveups: AtomicU64,
+    /// Outputs poisoned by [`crate::OnFailure::Ignore`] tasks.
+    pub(crate) poisoned: AtomicU64,
+    /// Tasks cancelled by a failed predecessor's policy.
+    pub(crate) cancelled: AtomicU64,
 }
 
 impl Counters {
@@ -94,6 +104,10 @@ impl Counters {
             wakeups: AtomicU64::new(0),
             inout_steals: AtomicU64::new(0),
             inout_copies: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            giveups: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
         }
     }
 
@@ -139,6 +153,10 @@ impl Counters {
             wakeups: ld(&self.wakeups),
             inout_steals: ld(&self.inout_steals),
             inout_copies: ld(&self.inout_copies),
+            retries: ld(&self.retries),
+            giveups: ld(&self.giveups),
+            poisoned: ld(&self.poisoned),
+            cancelled: ld(&self.cancelled),
             worker_parks: workers.iter().map(|s| ld(&s.parks)).sum(),
             worker_idle_s: workers.iter().map(|s| ld(&s.idle_ns)).sum::<u64>() as f64 * 1e-9,
             driver_parks: ld(&self.shards[0].parks),
@@ -180,6 +198,16 @@ pub struct RuntimeStats {
     /// INOUT parameters that fell back to clone-on-shared (the input
     /// still had another live consumer at dispatch).
     pub inout_copies: u64,
+    /// Failed attempts resubmitted under [`crate::OnFailure::Retry`].
+    pub retries: u64,
+    /// Tasks that exhausted their retry budget and failed for good.
+    pub giveups: u64,
+    /// Outputs poisoned by [`crate::OnFailure::Ignore`] tasks.
+    pub poisoned: u64,
+    /// Tasks cancelled because a failed predecessor's policy removed
+    /// them from the schedule ([`crate::OnFailure::Ignore`] or
+    /// [`crate::OnFailure::CancelSuccessors`]).
+    pub cancelled: u64,
     /// Worker condvar sleeps.
     pub worker_parks: u64,
     /// Total seconds workers were parked.
@@ -259,6 +287,10 @@ impl RuntimeStats {
                 "inout_steal_rate".into(),
                 Value::from(self.inout_steal_rate()),
             ),
+            ("retries".into(), Value::from(self.retries)),
+            ("giveups".into(), Value::from(self.giveups)),
+            ("poisoned".into(), Value::from(self.poisoned)),
+            ("cancelled".into(), Value::from(self.cancelled)),
             ("worker_parks".into(), Value::from(self.worker_parks)),
             ("worker_idle_s".into(), Value::from(self.worker_idle_s)),
             ("driver_parks".into(), Value::from(self.driver_parks)),
@@ -306,6 +338,14 @@ impl RuntimeStats {
             self.inout_steal_rate() * 100.0
         )
         .unwrap();
+        if self.retries + self.giveups + self.poisoned + self.cancelled > 0 {
+            writeln!(
+                out,
+                "  faults             {:>12} retries / {} giveups / {} poisoned / {} cancelled",
+                self.retries, self.giveups, self.poisoned, self.cancelled
+            )
+            .unwrap();
+        }
         writeln!(
             out,
             "  worker parks       {:>12} ({:.4}s idle)",
@@ -383,6 +423,32 @@ pub fn chrome_trace(trace: &Trace) -> String {
         let tid = (r.worker + 1).max(0) as u64;
         let bytes_in: usize = r.inputs.iter().map(|(_, b)| b).sum();
         let bytes_out: usize = r.outputs.iter().map(|(_, b)| b).sum();
+        // Failed attempts render as their own slices ahead of the final
+        // one, so retries are visible as repeated bars on the timeline.
+        // (The record's own slice below covers the last attempt.)
+        for (i, a) in r.attempts.iter().enumerate() {
+            let Some(err) = &a.error else { continue };
+            events.push(ev(vec![
+                (
+                    "name".into(),
+                    Value::from(format!("{} (attempt {})", r.name, i + 1)),
+                ),
+                ("cat".into(), Value::from("attempt")),
+                ("ph".into(), Value::from("X")),
+                ("ts".into(), Value::from(a.start_s * 1e6)),
+                ("dur".into(), Value::from(a.duration_s * 1e6)),
+                ("pid".into(), Value::from(0u64)),
+                ("tid".into(), Value::from(tid)),
+                (
+                    "args".into(),
+                    Value::Object(vec![
+                        ("task".into(), Value::from(r.id.0)),
+                        ("attempt".into(), Value::from(i + 1)),
+                        ("error".into(), Value::from(err.as_str())),
+                    ]),
+                ),
+            ]));
+        }
         events.push(ev(vec![
             ("name".into(), Value::from(r.name.as_str())),
             ("cat".into(), Value::from("task")),
@@ -851,6 +917,7 @@ mod tests {
             start_s: 0.0,
             worker: -1,
             child: None,
+            attempts: vec![],
         }
     }
 
@@ -921,6 +988,7 @@ mod tests {
             gpus_per_node: 0,
             bandwidth_bps: 1e3, // slow link: transfers are visible
             latency_s: 0.0,
+            failures: vec![],
         };
         let rep = simulate(&t, &cluster, &SimOptions::default());
         let json = chrome_trace_schedule(&rep);
@@ -943,6 +1011,7 @@ mod tests {
             gpus_per_node: 0,
             bandwidth_bps: 1e9,
             latency_s: 0.0,
+            failures: vec![],
         };
         let rep = simulate(&t, &cluster, &SimOptions::default());
         let sp = SimProfile::from_report(&rep, 2);

@@ -154,12 +154,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn flat_vec_is_o1_and_unchanged() {
         let v = vec![0.0f64; 100];
-        assert_eq!(
-            v.approx_bytes(),
-            100 * 8 + std::mem::size_of::<Vec<f64>>()
-        );
+        assert_eq!(v.approx_bytes(), 100 * 8 + std::mem::size_of::<Vec<f64>>());
         // Tuples of flat components stay flat.
         assert!(<(u32, f64)>::FLAT);
         assert!(!<(u32, Vec<f64>)>::FLAT);

@@ -60,24 +60,26 @@
 //!   shutdown and joins every worker; no threads outlive the runtime
 //!   (observable via [`live_worker_threads`]).
 
+use crate::fault::{FaultMode, FaultPlan, OnFailure, RetryPolicy, TaskFault, INJECTED_PANIC};
 use crate::handle::{DataId, Handle, TaskId};
 use crate::obs::{Counters, RuntimeStats};
 use crate::payload::Payload;
-use crate::trace::{TaskRecord, Trace, BARRIER_TASK, SPLIT_TASK, SYNC_TASK};
+use crate::trace::{AttemptRecord, TaskRecord, Trace, BARRIER_TASK, SPLIT_TASK, SYNC_TASK};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Type-erased shared value.
 pub type AnyArc = Arc<dyn Any + Send + Sync>;
 
 /// Type-erased task body: receives the resolved inputs (mutable so
 /// INOUT wrappers can take ownership of individual entries), returns
-/// the outputs with their approximate byte sizes.
-type TaskFn = Box<dyn FnOnce(&TaskCtx, &mut Vec<AnyArc>) -> Vec<(AnyArc, usize)> + Send>;
+/// the outputs with their approximate byte sizes. `FnMut` rather than
+/// `FnOnce` so a retryable task's body can be invoked once per attempt.
+type TaskFn = Box<dyn FnMut(&TaskCtx, &mut Vec<AnyArc>) -> Vec<(AnyArc, usize)> + Send>;
 
 /// Poison-tolerant lock: a panicking task body never leaves the
 /// scheduler unusable (task panics are caught, but driver-side panics
@@ -195,6 +197,11 @@ enum Slot {
     /// and the simulator still see transfer sizes. Reading a moved
     /// datum is a contract violation and fails loudly.
     Moved(usize),
+    /// The value will never materialize: its producer failed under
+    /// [`OnFailure::Ignore`] or was cancelled. `barrier` tolerates
+    /// poisoned data; `wait`/`peek` on it panics with the recorded
+    /// reason.
+    Poisoned(Arc<str>),
 }
 
 /// Per-datum entry, indexed by `DataId`.
@@ -217,10 +224,15 @@ enum Status {
     Waiting,
     /// All dependencies done; queued (or about to be) for execution.
     Ready,
-    /// Completed successfully.
+    /// Completed successfully (or failed under [`OnFailure::Ignore`],
+    /// in which case the outputs are poisoned).
     Done,
     /// Panicked, or depends (transitively) on a task that did.
     Failed,
+    /// Never ran: an upstream task failed under [`OnFailure::Ignore`]
+    /// or [`OnFailure::CancelSuccessors`]. Terminal for `barrier`;
+    /// outputs are poisoned.
+    Cancelled,
 }
 
 /// A staged task body, held while the task waits on dependencies.
@@ -233,6 +245,8 @@ struct PendingJob {
     /// dispatcher may move the stored value into the task when it is
     /// the last live consumer. Inputs beyond 64 are never consumed.
     consume_mask: u64,
+    /// Failure policy + retry parameters declared at submission.
+    fault: TaskFault,
 }
 
 /// A task made fully self-contained at *release* time: the body plus
@@ -250,6 +264,12 @@ struct ReadyRun {
     /// share the flush instant) or at the releasing predecessor's
     /// completion; `None` when metrics are off or the task runs inline.
     ready_at: Option<Instant>,
+    /// Failure policy carried from submission to the executor.
+    fault: TaskFault,
+    /// Task kind name, cloned at release *only* when a [`FaultPlan`]
+    /// is installed (injection decisions match on the kind); `None`
+    /// keeps the no-chaos hot path allocation-free.
+    name: Option<String>,
 }
 
 /// Extracts the body of ready task `tid` and resolves its inputs (all
@@ -258,10 +278,18 @@ struct ReadyRun {
 /// *outside* the lock (one clock read covers every task released in the
 /// same batch) so instrumentation never lengthens the serialized
 /// critical section. `None` when metrics are off.
-fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>) -> ReadyRun {
+fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>, inject: bool) -> ReadyRun {
     let ti = tid.0 as usize;
     let job = st.tasks[ti].job.take().expect("ready task has a job");
-    let consume_mask = job.consume_mask;
+    // A retryable task must keep its inputs pristine across attempts:
+    // a stolen buffer mutated by a half-finished failed attempt cannot
+    // be replayed, so steals are disabled and the body falls back to
+    // the (result-identical) clone path.
+    let consume_mask = if job.fault.retryable() {
+        0
+    } else {
+        job.consume_mask
+    };
     let rec = &st.records[ti];
     // This task stops being a *pending* reader of its inputs here —
     // before the steal checks below, so its own registration never
@@ -297,6 +325,11 @@ fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>) -> ReadyRun 
             // Submission fails tasks reading consumed data in place,
             // so a dispatched task can never see a moved IN input.
             Slot::Moved(_) => unreachable!("input {d:?} consumed before task {tid:?} dispatched"),
+            // Submission cancels tasks reading poisoned data in place,
+            // so a dispatched task can never see a poisoned input.
+            Slot::Poisoned(_) => {
+                unreachable!("input {d:?} poisoned before task {tid:?} dispatched")
+            }
         }
     }
     ReadyRun {
@@ -304,6 +337,8 @@ fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>) -> ReadyRun 
         f: job.f,
         inputs,
         ready_at,
+        fault: job.fault,
+        name: inject.then(|| st.records[ti].name.clone()),
     }
 }
 
@@ -318,6 +353,10 @@ struct TaskEntry {
     job: Option<PendingJob>,
     /// Failure message (shared across the transitive failure cone).
     failure: Option<Arc<str>>,
+    /// Declared failure policy; decides whether a recorded failure is
+    /// fatal to `barrier` ([`OnFailure::Fail`]/[`OnFailure::Retry`])
+    /// or tolerated ([`OnFailure::CancelSuccessors`]).
+    on_failure: OnFailure,
 }
 
 struct State {
@@ -374,6 +413,11 @@ struct Shared {
     /// Mirror of `sleepers > tokens`, maintained under the wake lock;
     /// lets `submit_raw` decide stage-vs-flush without that lock.
     idle_hint: AtomicBool,
+    /// Installed fault-injection plan (chaos harness), if any.
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
+    /// Mirror of `fault_plan.is_some()`: a relaxed load keeps the
+    /// no-chaos dispatch path free of the plan lock.
+    fault_active: AtomicBool,
     /// Creation time — the zero point of every recorded `start_s`.
     epoch: Instant,
     /// Observability counters (see [`crate::obs`]); updates gated by
@@ -457,6 +501,8 @@ impl Runtime {
             }),
             wake_cv: Condvar::new(),
             idle_hint: AtomicBool::new(false),
+            fault_plan: Mutex::new(None),
+            fault_active: AtomicBool::new(false),
             epoch: Instant::now(),
             counters: Arc::new(Counters::new(n_workers)),
         });
@@ -500,7 +546,20 @@ impl Runtime {
             name: name.to_string(),
             cores: 1,
             gpus: 0,
+            fault: TaskFault::default(),
         }
+    }
+
+    /// Installs (or clears, with `None`) a deterministic fault-injection
+    /// plan: every subsequent attempt of a matching task consults the
+    /// plan before running its body (see [`FaultPlan`]). Chaos-testing
+    /// hook — with no plan installed the dispatch path only pays one
+    /// relaxed atomic load.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let shared = &self.inner.shared;
+        let mut slot = lock(&shared.fault_plan);
+        shared.fault_active.store(plan.is_some(), Ordering::Relaxed);
+        *slot = plan.map(Arc::new);
     }
 
     /// Blocks until the value behind `h` is computed, returning it.
@@ -567,6 +626,11 @@ impl Runtime {
                          use the handle returned by run*_inout instead"
                     );
                 }
+                if let Slot::Poisoned(msg) = &st.data[di].slot {
+                    let msg = msg.clone();
+                    drop(st);
+                    panic!("data {id:?} is poisoned: {msg}");
+                }
                 if idle {
                     st.waiters += 1;
                     let park_t0 = shared.config.metrics.then(Instant::now);
@@ -610,16 +674,31 @@ impl Runtime {
             {
                 let mut st = lock(&shared.state);
                 for &t in &pending {
-                    if let Some(msg) = &st.tasks[t.0 as usize].failure {
+                    let e = &st.tasks[t.0 as usize];
+                    // Non-fatal policies (CancelSuccessors) record a
+                    // failure but let the barrier pass; only Fail/Retry
+                    // failures abort the workflow here.
+                    if !matches!(e.on_failure, OnFailure::Fail | OnFailure::Retry) {
+                        continue;
+                    }
+                    if let Some(msg) = &e.failure {
                         let msg = msg.clone();
+                        let rec = &st.records[t.0 as usize];
+                        let name = rec.name.clone();
+                        let attempts = rec.attempts.len().max(1);
                         drop(st);
-                        panic!("task {t:?} failed before barrier: {msg}");
+                        panic!(
+                            "task '{name}' ({t:?}) failed before barrier \
+                             after {attempts} attempt(s): {msg}"
+                        );
                     }
                 }
-                if pending
-                    .iter()
-                    .all(|&t| st.tasks[t.0 as usize].status == Status::Done)
-                {
+                if pending.iter().all(|&t| {
+                    matches!(
+                        st.tasks[t.0 as usize].status,
+                        Status::Done | Status::Failed | Status::Cancelled
+                    )
+                }) {
                     return;
                 }
                 if idle {
@@ -720,6 +799,7 @@ impl Runtime {
             start_s: 0.0,
             worker: -1,
             child: None,
+            attempts: vec![],
         });
         st.tasks.push(TaskEntry {
             status: Status::Done,
@@ -727,6 +807,7 @@ impl Runtime {
             dependents: Vec::new(),
             job: None,
             failure: None,
+            on_failure: OnFailure::Fail,
         });
         id
     }
@@ -753,7 +834,34 @@ impl Runtime {
     /// retired ([`Slot::Moved`]); tasks submitted later that read it
     /// fail loudly — the PyCOMPSs `direction=INOUT` contract where the
     /// post-task version of the datum is the one to keep using.
+    #[allow(clippy::too_many_arguments)]
     pub fn submit_raw_consume(
+        &self,
+        name: String,
+        cores: u32,
+        gpus: u32,
+        inputs: Vec<DataId>,
+        consume_mask: u64,
+        n_outputs: usize,
+        f: TaskFn,
+    ) -> Vec<DataId> {
+        self.submit_with(
+            name,
+            cores,
+            gpus,
+            inputs,
+            consume_mask,
+            n_outputs,
+            TaskFault::default(),
+            f,
+        )
+    }
+
+    /// [`Runtime::submit_raw_consume`] with an explicit failure policy
+    /// (see [`TaskFault`]); the typed path is [`TaskBuilder::retry`] /
+    /// [`TaskBuilder::on_failure`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_with(
         &self,
         name: String,
         cores: u32,
@@ -761,6 +869,7 @@ impl Runtime {
         inputs: Vec<DataId>,
         mut consume_mask: u64,
         n_outputs: usize,
+        fault: TaskFault,
         f: TaskFn,
     ) -> Vec<DataId> {
         // A datum passed twice to the same task must never be consumed:
@@ -797,6 +906,7 @@ impl Runtime {
 
             let seq = st.records.len() as u64;
             let mut consumed_input = None;
+            let mut poisoned_input: Option<Arc<str>> = None;
             let input_bytes: Vec<(DataId, usize)> = inputs
                 .iter()
                 .map(|d| {
@@ -807,6 +917,10 @@ impl Runtime {
                             *b
                         }
                         Slot::Pending => 0, // filled in at completion
+                        Slot::Poisoned(m) => {
+                            poisoned_input = Some(m.clone());
+                            0
+                        }
                     };
                     (*d, b)
                 })
@@ -849,6 +963,7 @@ impl Runtime {
                 start_s: 0.0,
                 worker: -1,
                 child: None,
+                attempts: vec![],
             });
             st.since_barrier.push(tid);
 
@@ -868,7 +983,27 @@ impl Runtime {
                         )
                         .into(),
                     ),
+                    on_failure: fault.on_failure,
                 });
+                false
+            } else if let Some(msg) = poisoned_input {
+                // An upstream failure was ignored (or cancelled its
+                // successors): this task can never run. Cancel in place
+                // and poison its outputs so the silence propagates.
+                st.tasks.push(TaskEntry {
+                    status: Status::Cancelled,
+                    remaining: 0,
+                    dependents: Vec::new(),
+                    job: None,
+                    failure: None,
+                    on_failure: fault.on_failure,
+                });
+                for &d in &outputs {
+                    st.data[d.0 as usize].slot = Slot::Poisoned(msg.clone());
+                }
+                if shared.config.metrics {
+                    Counters::add(&shared.counters.cancelled, 1);
+                }
                 false
             } else if let Some(msg) = inherited_failure {
                 // A dependency already failed; its cascade ran before we
@@ -879,6 +1014,7 @@ impl Runtime {
                     dependents: Vec::new(),
                     job: None,
                     failure: Some(msg),
+                    on_failure: fault.on_failure,
                 });
                 false
             } else if remaining == 0 {
@@ -886,8 +1022,13 @@ impl Runtime {
                     status: Status::Ready,
                     remaining: 0,
                     dependents: Vec::new(),
-                    job: Some(PendingJob { f, consume_mask }),
+                    job: Some(PendingJob {
+                        f,
+                        consume_mask,
+                        fault,
+                    }),
                     failure: None,
+                    on_failure: fault.on_failure,
                 });
                 true
             } else {
@@ -895,8 +1036,13 @@ impl Runtime {
                     status: Status::Waiting,
                     remaining,
                     dependents: Vec::new(),
-                    job: Some(PendingJob { f, consume_mask }),
+                    job: Some(PendingJob {
+                        f,
+                        consume_mask,
+                        fault,
+                    }),
                     failure: None,
+                    on_failure: fault.on_failure,
                 });
                 let deps = &st.records[tid.0 as usize].deps;
                 let tasks = &mut st.tasks;
@@ -929,17 +1075,18 @@ impl Runtime {
             let mut inline_run = None;
             if ready_now {
                 let metrics = shared.config.metrics;
+                let inject = shared.fault_active.load(Ordering::Relaxed);
                 match shared.config.mode {
                     // Inline runs the task right here: queue wait is
                     // genuinely ~0, so skip the stamp (and its clock
                     // read) entirely.
-                    ExecMode::Inline => inline_run = Some(make_run(st, tid, None)),
+                    ExecMode::Inline => inline_run = Some(make_run(st, tid, None, inject)),
                     ExecMode::Threads(_) => {
                         // Staged tasks are invisible to workers until
                         // the flush below publishes them, so the flush
                         // stamps the whole batch (one clock read per
                         // batch, not per submission).
-                        let run = make_run(st, tid, None);
+                        let run = make_run(st, tid, None, inject);
                         st.staged.push(run);
                         // "Idle" means a sleeper with no wakeup already
                         // in flight — a notified-but-not-yet-scheduled
@@ -1262,20 +1409,15 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
 fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, who: i64) {
     let ReadyRun {
         id: task,
-        f,
-        mut inputs,
+        mut f,
+        inputs,
         ready_at,
+        fault,
+        name,
     } = run;
     let ti = task.0 as usize;
     let metrics = shared.config.metrics;
 
-    let ctx = TaskCtx {
-        nested_mode: shared.config.nested_mode,
-        metrics,
-        counters: metrics.then(|| Arc::clone(&shared.counters)),
-        child: Mutex::new(None),
-    };
-    let start = Instant::now();
     // Workers own their shard (single writer -> cheap `bump`); driver
     // executions can come from any user thread and need the RMW.
     let count: fn(&AtomicU64, u64) = if who >= 0 {
@@ -1283,34 +1425,128 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
     } else {
         Counters::add
     };
-    if metrics {
-        let shard = shared.counters.shard(who);
-        count(&shard.tasks, 1);
-        if let Some(t0) = ready_at {
-            let wait = start.saturating_duration_since(t0).as_nanos() as u64;
-            count(&shard.queue_wait_ns, wait);
+    // The injection plan is consulted only when a name was carried
+    // (i.e. a plan was active at release) — the common path never
+    // touches the plan lock.
+    let plan: Option<Arc<FaultPlan>> = if name.is_some() {
+        lock(&shared.fault_plan).clone()
+    } else {
+        None
+    };
+    let max_attempts = fault.max_attempts();
+    // Retryable tasks run every attempt on a private clone of the input
+    // vector (cheap `Arc` clones): a failed attempt may have taken
+    // entries out via `take_arg`, and the next attempt needs them
+    // pristine. Single-attempt tasks hand the vector over directly.
+    let keep_inputs = max_attempts > 1;
+    let mut inputs = inputs;
+    let mut attempts: Vec<AttemptRecord> = Vec::new();
+    let outcome = loop {
+        let attempt_no = attempts.len() as u32 + 1;
+        let ctx = TaskCtx {
+            nested_mode: shared.config.nested_mode,
+            metrics,
+            counters: metrics.then(|| Arc::clone(&shared.counters)),
+            child: Mutex::new(None),
+        };
+        let mut ins = if keep_inputs {
+            inputs.clone()
+        } else {
+            std::mem::take(&mut inputs)
+        };
+        let injected = match (&plan, &name) {
+            (Some(p), Some(n)) => p.decide(n, task.0, attempt_no),
+            _ => None,
+        };
+        let start = Instant::now();
+        if metrics && attempt_no == 1 {
+            let shard = shared.counters.shard(who);
+            count(&shard.tasks, 1);
+            if let Some(t0) = ready_at {
+                let wait = start.saturating_duration_since(t0).as_nanos() as u64;
+                count(&shard.queue_wait_ns, wait);
+            }
         }
-    }
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&ctx, &mut inputs)));
-    let end = Instant::now();
-    let duration = end.saturating_duration_since(start).as_secs_f64();
-    if metrics {
-        count(&shared.counters.shard(who).run_ns, (duration * 1e9) as u64);
-    }
-    drop(inputs); // release the input refcounts outside the lock
-    let child_trace = lock(&ctx.child).take().map(|rt| Box::new(rt.trace()));
-    // Release stamp shared by every dependent this completion frees:
-    // reusing `end` (instead of a fresh clock read) keeps the metrics
-    // path at zero extra `Instant::now` calls per completion, at the
-    // cost of queue waits including the commit's lock acquisition.
-    let released_at = metrics.then_some(end);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match injected {
+                Some(FaultMode::Panic) => panic!("{INJECTED_PANIC} (attempt {attempt_no})"),
+                Some(FaultMode::Stall(s)) => std::thread::sleep(Duration::from_secs_f64(s)),
+                None => {}
+            }
+            f(&ctx, &mut ins)
+        }));
+        let end = Instant::now();
+        let duration = end.saturating_duration_since(start).as_secs_f64();
+        if metrics {
+            count(&shared.counters.shard(who).run_ns, (duration * 1e9) as u64);
+        }
+        drop(ins); // release the attempt's input refcounts outside the lock
+        let start_s = start.saturating_duration_since(shared.epoch).as_secs_f64();
+        // Cooperative per-attempt timeout: a body cannot be preempted,
+        // so an overrunning attempt finishes but its result is
+        // discarded and the attempt counts as failed.
+        let timeout = fault.retry.attempt_timeout_s;
+        let result: Result<_, Box<dyn Any + Send>> = match result {
+            Ok(_)
+                if fault.on_failure == OnFailure::Retry && timeout > 0.0 && duration > timeout =>
+            {
+                Err(Box::new(format!(
+                    "attempt timed out after {duration:.3}s (limit {timeout}s)"
+                )))
+            }
+            r => r,
+        };
+        match result {
+            Ok(outs) => {
+                if !attempts.is_empty() {
+                    // Only faulted tasks carry attempt records; the
+                    // final (successful) attempt completes the story.
+                    attempts.push(AttemptRecord {
+                        start_s,
+                        duration_s: duration,
+                        error: None,
+                    });
+                }
+                break Ok((outs, ctx, start, end, duration));
+            }
+            Err(e) => {
+                attempts.push(AttemptRecord {
+                    start_s,
+                    duration_s: duration,
+                    error: Some(panic_message(&*e)),
+                });
+                if attempts.len() as u32 >= max_attempts {
+                    break Err((start, end, duration));
+                }
+                if metrics {
+                    Counters::add(&shared.counters.retries, 1);
+                }
+                // Deterministic exponential backoff; sleeps on the
+                // executing worker — retry delays are expected to be
+                // short relative to task runtimes, and parking the
+                // task elsewhere would lose the continuation slot.
+                let delay = fault.retry.backoff_s(task.0, attempts.len() as u32);
+                if delay > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(delay));
+                }
+            }
+        }
+    };
+    drop(inputs); // release the pristine originals (retry path) outside the lock
 
     let notify_driver;
     {
         let mut st = lock(&shared.state);
         let st = &mut *st; // split field borrows below
-        match result {
-            Ok(outs) => {
+        match outcome {
+            Ok((outs, ctx, start, end, duration)) => {
+                let child_trace = lock(&ctx.child).take().map(|rt| Box::new(rt.trace()));
+                // Release stamp shared by every dependent this
+                // completion frees: reusing `end` (instead of a fresh
+                // clock read) keeps the metrics path at zero extra
+                // `Instant::now` calls per completion, at the cost of
+                // queue waits including the commit's lock acquisition.
+                let released_at = metrics.then_some(end);
                 // Fill sizes and duration in place on the record (no
                 // reallocation on the completion hot path).
                 let rec = &mut st.records[ti];
@@ -1324,6 +1560,7 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                 rec.start_s = start.saturating_duration_since(shared.epoch).as_secs_f64();
                 rec.worker = who;
                 rec.child = child_trace;
+                rec.attempts = attempts;
                 for ((d, bytes), (v, b)) in rec.outputs.iter_mut().zip(outs) {
                     *bytes = b;
                     data[d.0 as usize].slot = Slot::Ready(v, b);
@@ -1333,7 +1570,7 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                         // `Moved`: this task's own INOUT steal retired
                         // the slot; the size survives in the tombstone.
                         Slot::Ready(_, b) | Slot::Moved(b) => *bytes = *b,
-                        Slot::Pending => {}
+                        Slot::Pending | Slot::Poisoned(_) => {}
                     }
                 }
                 st.tasks[ti].status = Status::Done;
@@ -1342,35 +1579,80 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                 // list is detached while iterating (releasing `dep`
                 // needs `&mut` into the same `tasks` vec) and its
                 // allocation handed back afterwards rather than freed.
+                let inject = shared.fault_active.load(Ordering::Relaxed);
                 let mut deps = std::mem::take(&mut st.tasks[ti].dependents);
                 for dep in deps.drain(..) {
                     let e = &mut st.tasks[dep.0 as usize];
+                    if e.status != Status::Waiting {
+                        continue; // cancelled under us by a failure cone
+                    }
                     e.remaining -= 1;
                     if e.remaining == 0 {
                         e.status = Status::Ready;
-                        newly_ready.push(make_run(st, dep, released_at));
+                        newly_ready.push(make_run(st, dep, released_at, inject));
                     }
                 }
                 st.tasks[ti].dependents = deps;
             }
-            Err(e) => {
-                let msg = e
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| e.downcast_ref::<String>().cloned())
+            Err((start, _end, duration)) => {
+                let n = attempts.len();
+                let msg = attempts
+                    .last()
+                    .and_then(|a| a.error.clone())
                     .unwrap_or_else(|| "task panicked".to_string());
                 let name = st.records[ti].name.clone();
-                let full: Arc<str> = format!("task '{name}' panicked: {msg}").into();
-                // Propagate failure to all transitive dependents so that
-                // waiters on any downstream output wake up and report
-                // instead of deadlocking.
-                let mut frontier = vec![task];
-                while let Some(t) = frontier.pop() {
-                    let e = &mut st.tasks[t.0 as usize];
-                    e.status = Status::Failed;
-                    e.failure = Some(full.clone());
-                    e.job = None;
-                    frontier.append(&mut e.dependents);
+                let full: Arc<str> = if n > 1 {
+                    format!("task '{name}' panicked after {n} attempts: {msg}").into()
+                } else {
+                    format!("task '{name}' panicked: {msg}").into()
+                };
+                let rec = &mut st.records[ti];
+                rec.duration_s = duration;
+                rec.start_s = start.saturating_duration_since(shared.epoch).as_secs_f64();
+                rec.worker = who;
+                rec.attempts = attempts;
+                match fault.on_failure {
+                    OnFailure::Fail | OnFailure::Retry => {
+                        if metrics && fault.on_failure == OnFailure::Retry {
+                            Counters::add(&shared.counters.giveups, 1);
+                        }
+                        // Propagate failure to all transitive dependents
+                        // so that waiters on any downstream output wake
+                        // up and report instead of deadlocking.
+                        let mut frontier = vec![task];
+                        while let Some(t) = frontier.pop() {
+                            let e = &mut st.tasks[t.0 as usize];
+                            e.status = Status::Failed;
+                            e.failure = Some(full.clone());
+                            e.job = None;
+                            frontier.append(&mut e.dependents);
+                        }
+                    }
+                    OnFailure::Ignore => {
+                        // The failure is swallowed: the task counts as
+                        // completed, but its outputs are poisoned and
+                        // everything downstream is cancelled silently.
+                        st.tasks[ti].status = Status::Done;
+                        for (d, _) in &st.records[ti].outputs {
+                            st.data[d.0 as usize].slot = Slot::Poisoned(full.clone());
+                        }
+                        let cancelled = cancel_dependents(st, ti, &full);
+                        if metrics {
+                            Counters::add(&shared.counters.poisoned, 1);
+                            Counters::add(&shared.counters.cancelled, cancelled);
+                        }
+                    }
+                    OnFailure::CancelSuccessors => {
+                        // The failure stays visible on this task (wait
+                        // on its outputs panics, barrier tolerates it),
+                        // while dependents are cancelled, not failed.
+                        st.tasks[ti].status = Status::Failed;
+                        st.tasks[ti].failure = Some(full.clone());
+                        let cancelled = cancel_dependents(st, ti, &full);
+                        if metrics {
+                            Counters::add(&shared.counters.cancelled, cancelled);
+                        }
+                    }
                 }
             }
         }
@@ -1381,12 +1663,49 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
     }
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(e: &(dyn Any + Send)) -> String {
+    e.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| e.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "task panicked".to_string())
+}
+
+/// Cancels every transitive dependent of `origin` that has not yet run:
+/// status [`Status::Cancelled`], body dropped, outputs poisoned with
+/// `reason` (so later submissions reading them cancel in place too).
+/// Dropped bodies leak their `pending_reads` registrations — harmless:
+/// later INOUT consumers just fall back to the copy path. Returns how
+/// many tasks were cancelled.
+fn cancel_dependents(st: &mut State, origin: usize, reason: &Arc<str>) -> u64 {
+    let mut n = 0;
+    let mut frontier = std::mem::take(&mut st.tasks[origin].dependents);
+    while let Some(t) = frontier.pop() {
+        let idx = t.0 as usize;
+        {
+            let e = &mut st.tasks[idx];
+            if !matches!(e.status, Status::Waiting | Status::Ready) {
+                continue; // finished, failed, or already cancelled
+            }
+            e.status = Status::Cancelled;
+            e.job = None;
+            frontier.append(&mut e.dependents);
+        }
+        for (d, _) in &st.records[idx].outputs {
+            st.data[d.0 as usize].slot = Slot::Poisoned(reason.clone());
+        }
+        n += 1;
+    }
+    n
+}
+
 /// Fluent builder for a task submission; created by [`Runtime::task`].
 pub struct TaskBuilder<'rt> {
     rt: &'rt Runtime,
     name: String,
     cores: u32,
     gpus: u32,
+    fault: TaskFault,
 }
 
 fn arg<T: Payload>(ins: &[AnyArc], i: usize) -> &T {
@@ -1445,36 +1764,61 @@ impl<'rt> TaskBuilder<'rt> {
         self
     }
 
+    /// Makes the task retryable under the given policy (implies
+    /// [`OnFailure::Retry`]): a panicking or timed-out attempt is
+    /// re-run, up to `policy.max_attempts` total, with deterministic
+    /// exponential backoff between attempts. The COMPSs
+    /// `on_failure=RETRY` equivalent.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.fault = TaskFault {
+            on_failure: OnFailure::Retry,
+            retry: policy,
+        };
+        self
+    }
+
+    /// Sets the failure policy (COMPSs `on_failure` equivalent). For
+    /// [`OnFailure::Retry`] prefer [`TaskBuilder::retry`], which also
+    /// carries the attempt budget.
+    pub fn on_failure(mut self, policy: OnFailure) -> Self {
+        self.fault.on_failure = policy;
+        self
+    }
+
     /// Submits a source task with no inputs.
-    pub fn run0<R, F>(self, f: F) -> Handle<R>
+    pub fn run0<R, F>(self, mut f: F) -> Handle<R>
     where
         R: Payload,
-        F: FnOnce() -> R + Send + 'static,
+        F: FnMut() -> R + Send + 'static,
     {
-        let ids = self.rt.submit_raw(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             vec![],
+            0,
             1,
+            self.fault,
             Box::new(move |_ctx, _ins| one(f())),
         );
         Handle::new(ids[0])
     }
 
     /// Submits a one-input task.
-    pub fn run1<A, R, F>(self, a: Handle<A>, f: F) -> Handle<R>
+    pub fn run1<A, R, F>(self, a: Handle<A>, mut f: F) -> Handle<R>
     where
         A: Payload,
         R: Payload,
-        F: FnOnce(&A) -> R + Send + 'static,
+        F: FnMut(&A) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_raw(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             vec![a.id],
+            0,
             1,
+            self.fault,
             Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0)))),
         );
         Handle::new(ids[0])
@@ -1495,18 +1839,19 @@ impl<'rt> TaskBuilder<'rt> {
     /// The input handle `a` is *consumed*: submitting a later task that
     /// reads `a` after the steal ran fails that task loudly. Keep using
     /// the returned handle.
-    pub fn run1_inout<A, F>(self, a: Handle<A>, f: F) -> Handle<A>
+    pub fn run1_inout<A, F>(self, a: Handle<A>, mut f: F) -> Handle<A>
     where
         A: Payload + Clone,
-        F: FnOnce(&mut A) + Send + 'static,
+        F: FnMut(&mut A) + Send + 'static,
     {
-        let ids = self.rt.submit_raw_consume(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             vec![a.id],
             0b1,
             1,
+            self.fault,
             Box::new(move |ctx, ins| {
                 let mut v: A = take_arg(ctx, ins, 0);
                 f(&mut v);
@@ -1519,19 +1864,20 @@ impl<'rt> TaskBuilder<'rt> {
     /// Two-input variant of [`TaskBuilder::run1_inout`]: the first
     /// parameter is INOUT (mutated in place, consumed), the second is a
     /// plain read-only input.
-    pub fn run2_inout<A, B, F>(self, a: Handle<A>, b: Handle<B>, f: F) -> Handle<A>
+    pub fn run2_inout<A, B, F>(self, a: Handle<A>, b: Handle<B>, mut f: F) -> Handle<A>
     where
         A: Payload + Clone,
         B: Payload,
-        F: FnOnce(&mut A, &B) + Send + 'static,
+        F: FnMut(&mut A, &B) + Send + 'static,
     {
-        let ids = self.rt.submit_raw_consume(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             vec![a.id, b.id],
             0b1,
             1,
+            self.fault,
             Box::new(move |ctx, ins| {
                 let mut v: A = take_arg(ctx, ins, 0);
                 f(&mut v, arg::<B>(ins, 1));
@@ -1542,39 +1888,49 @@ impl<'rt> TaskBuilder<'rt> {
     }
 
     /// Submits a two-input task.
-    pub fn run2<A, B, R, F>(self, a: Handle<A>, b: Handle<B>, f: F) -> Handle<R>
+    pub fn run2<A, B, R, F>(self, a: Handle<A>, b: Handle<B>, mut f: F) -> Handle<R>
     where
         A: Payload,
         B: Payload,
         R: Payload,
-        F: FnOnce(&A, &B) -> R + Send + 'static,
+        F: FnMut(&A, &B) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_raw(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             vec![a.id, b.id],
+            0,
             1,
+            self.fault,
             Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0), arg::<B>(ins, 1)))),
         );
         Handle::new(ids[0])
     }
 
     /// Submits a three-input task.
-    pub fn run3<A, B, C, R, F>(self, a: Handle<A>, b: Handle<B>, c: Handle<C>, f: F) -> Handle<R>
+    pub fn run3<A, B, C, R, F>(
+        self,
+        a: Handle<A>,
+        b: Handle<B>,
+        c: Handle<C>,
+        mut f: F,
+    ) -> Handle<R>
     where
         A: Payload,
         B: Payload,
         C: Payload,
         R: Payload,
-        F: FnOnce(&A, &B, &C) -> R + Send + 'static,
+        F: FnMut(&A, &B, &C) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_raw(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             vec![a.id, b.id, c.id],
+            0,
             1,
+            self.fault,
             Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0), arg::<B>(ins, 1), arg::<C>(ins, 2)))),
         );
         Handle::new(ids[0])
@@ -1587,7 +1943,7 @@ impl<'rt> TaskBuilder<'rt> {
         b: Handle<B>,
         c: Handle<C>,
         d: Handle<D>,
-        f: F,
+        mut f: F,
     ) -> Handle<R>
     where
         A: Payload,
@@ -1595,14 +1951,16 @@ impl<'rt> TaskBuilder<'rt> {
         C: Payload,
         D: Payload,
         R: Payload,
-        F: FnOnce(&A, &B, &C, &D) -> R + Send + 'static,
+        F: FnMut(&A, &B, &C, &D) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_raw(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             vec![a.id, b.id, c.id, d.id],
+            0,
             1,
+            self.fault,
             Box::new(move |_ctx, ins| {
                 one(f(
                     arg::<A>(ins, 0),
@@ -1616,18 +1974,20 @@ impl<'rt> TaskBuilder<'rt> {
     }
 
     /// Submits a reduction-style task over a homogeneous list of inputs.
-    pub fn run_many<A, R, F>(self, items: &[Handle<A>], f: F) -> Handle<R>
+    pub fn run_many<A, R, F>(self, items: &[Handle<A>], mut f: F) -> Handle<R>
     where
         A: Payload,
         R: Payload,
-        F: FnOnce(&[&A]) -> R + Send + 'static,
+        F: FnMut(&[&A]) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_raw(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             items.iter().map(|h| h.id).collect(),
+            0,
             1,
+            self.fault,
             Box::new(move |_ctx, ins| {
                 let refs: Vec<&A> = (0..ins.len()).map(|i| arg::<A>(ins, i)).collect();
                 one(f(&refs))
@@ -1638,21 +1998,28 @@ impl<'rt> TaskBuilder<'rt> {
 
     /// Submits a task over one fixed input plus a homogeneous list
     /// (e.g. "combine this model with these partial results").
-    pub fn run_with_many<B, A, R, F>(self, fixed: Handle<B>, items: &[Handle<A>], f: F) -> Handle<R>
+    pub fn run_with_many<B, A, R, F>(
+        self,
+        fixed: Handle<B>,
+        items: &[Handle<A>],
+        mut f: F,
+    ) -> Handle<R>
     where
         A: Payload,
         B: Payload,
         R: Payload,
-        F: FnOnce(&B, &[&A]) -> R + Send + 'static,
+        F: FnMut(&B, &[&A]) -> R + Send + 'static,
     {
         let mut inputs = vec![fixed.id];
         inputs.extend(items.iter().map(|h| h.id));
-        let ids = self.rt.submit_raw(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             inputs,
+            0,
             1,
+            self.fault,
             Box::new(move |_ctx, ins| {
                 let b = arg::<B>(ins, 0);
                 let refs: Vec<&A> = (1..ins.len()).map(|i| arg::<A>(ins, i)).collect();
@@ -1666,18 +2033,20 @@ impl<'rt> TaskBuilder<'rt> {
     /// and may submit (and wait on) its own sub-tasks. The child trace
     /// is attached to this task's record; the simulator schedules it on
     /// the resources granted to this task (paper §III-D, Fig. 10).
-    pub fn run_nested1<A, R, F>(self, a: Handle<A>, f: F) -> Handle<R>
+    pub fn run_nested1<A, R, F>(self, a: Handle<A>, mut f: F) -> Handle<R>
     where
         A: Payload,
         R: Payload,
-        F: FnOnce(&Runtime, &A) -> R + Send + 'static,
+        F: FnMut(&Runtime, &A) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_raw(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             vec![a.id],
+            0,
             1,
+            self.fault,
             Box::new(move |ctx, ins| {
                 let child = ctx.nested_runtime();
                 one(f(&child, arg::<A>(ins, 0)))
@@ -1687,19 +2056,21 @@ impl<'rt> TaskBuilder<'rt> {
     }
 
     /// Nested task with two inputs.
-    pub fn run_nested2<A, B, R, F>(self, a: Handle<A>, b: Handle<B>, f: F) -> Handle<R>
+    pub fn run_nested2<A, B, R, F>(self, a: Handle<A>, b: Handle<B>, mut f: F) -> Handle<R>
     where
         A: Payload,
         B: Payload,
         R: Payload,
-        F: FnOnce(&Runtime, &A, &B) -> R + Send + 'static,
+        F: FnMut(&Runtime, &A, &B) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_raw(
+        let ids = self.rt.submit_with(
             self.name,
             self.cores,
             self.gpus,
             vec![a.id, b.id],
+            0,
             1,
+            self.fault,
             Box::new(move |ctx, ins| {
                 let child = ctx.nested_runtime();
                 one(f(&child, arg::<A>(ins, 0), arg::<B>(ins, 1)))

@@ -23,8 +23,23 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
-/// Description of a simulated cluster.
+/// A scheduled node outage in a simulated cluster. At `fail_at_s` the
+/// node vanishes: every task running on it is killed and requeued, and
+/// every data replica it held is lost (external input data on node 0 is
+/// durable master storage and survives). With `recover_at_s` the node
+/// rejoins empty — capacity returns, memory does not.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeEvent {
+    /// Node index that fails.
+    pub node: usize,
+    /// Simulated time of the failure, seconds.
+    pub fail_at_s: f64,
+    /// Optional time the node rejoins (with empty memory).
+    pub recover_at_s: Option<f64>,
+}
+
+/// Description of a simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     /// Number of compute nodes.
     pub nodes: usize,
@@ -36,6 +51,9 @@ pub struct ClusterSpec {
     pub bandwidth_bps: f64,
     /// Per-transfer latency in seconds.
     pub latency_s: f64,
+    /// Scheduled node failures (empty = perfectly healthy cluster,
+    /// the pre-fault-model behaviour).
+    pub failures: Vec<NodeEvent>,
 }
 
 impl ClusterSpec {
@@ -49,6 +67,7 @@ impl ClusterSpec {
             gpus_per_node: 0,
             bandwidth_bps: 1.25e9, // 10 Gbit/s
             latency_s: 50e-6,
+            failures: Vec::new(),
         }
     }
 
@@ -61,12 +80,39 @@ impl ClusterSpec {
             gpus_per_node: 4,
             bandwidth_bps: 1.25e9,
             latency_s: 50e-6,
+            failures: Vec::new(),
         }
     }
 
     /// Same cluster with a different node count (for scalability sweeps).
     pub fn with_nodes(mut self, nodes: usize) -> Self {
         self.nodes = nodes;
+        self
+    }
+
+    /// Adds a permanent node failure at `fail_at_s`.
+    pub fn with_failure(mut self, node: usize, fail_at_s: f64) -> Self {
+        self.failures.push(NodeEvent {
+            node,
+            fail_at_s,
+            recover_at_s: None,
+        });
+        self
+    }
+
+    /// Adds a node failure at `fail_at_s` with the node rejoining
+    /// (empty) at `recover_at_s`.
+    pub fn with_failure_and_recovery(
+        mut self,
+        node: usize,
+        fail_at_s: f64,
+        recover_at_s: f64,
+    ) -> Self {
+        self.failures.push(NodeEvent {
+            node,
+            fail_at_s,
+            recover_at_s: Some(recover_at_s),
+        });
         self
     }
 
@@ -159,6 +205,12 @@ pub struct ScheduleEntry {
     pub cores: u32,
     /// GPUs occupied.
     pub gpus: u32,
+    /// Execution attempt this entry records (1 = first run; higher
+    /// after node-failure re-executions).
+    pub attempt: u32,
+    /// True when the run was killed by a node failure before finishing
+    /// (`end_s` is then the failure time, not a completion).
+    pub lost: bool,
 }
 
 impl ScheduleEntry {
@@ -175,6 +227,8 @@ impl ScheduleEntry {
             ("end_s".into(), Value::from(self.end_s)),
             ("cores".into(), Value::from(self.cores)),
             ("gpus".into(), Value::from(self.gpus)),
+            ("attempt".into(), Value::from(self.attempt)),
+            ("lost".into(), Value::from(self.lost)),
         ])
     }
 }
@@ -196,8 +250,14 @@ pub struct SimReport {
     pub tasks: usize,
     /// Busy seconds per task kind.
     pub busy_by_kind: BTreeMap<String, f64>,
+    /// In-flight task runs killed by a node failure.
+    pub lost_tasks: usize,
+    /// Completed tasks re-executed because a failure destroyed their
+    /// only output replica (lineage rollback).
+    pub reexecutions: usize,
     /// The full placement decisions, ordered by start time (markers
-    /// excluded).
+    /// excluded). With node failures a task can appear more than once —
+    /// killed runs carry [`ScheduleEntry::lost`].
     pub schedule: Vec<ScheduleEntry>,
 }
 
@@ -320,9 +380,37 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
         }
     }
 
-    let mut task_node = vec![0usize; n];
+    // Producer record of each datum (for lineage rollback).
+    let mut producer_of: Vec<Option<usize>> = vec![None; n_data];
+    for (i, r) in trace.records.iter().enumerate() {
+        for (d, _) in &r.outputs {
+            producer_of[d.0 as usize] = Some(i);
+        }
+    }
+
     let mut free_cores: Vec<i64> = vec![cluster.cores_per_node as i64; cluster.nodes];
     let mut free_gpus: Vec<i64> = vec![cluster.gpus_per_node as i64; cluster.nodes];
+    let mut node_up = vec![true; cluster.nodes];
+
+    // Per-task scheduling state. `attempt` stamps completion events so
+    // a failure that kills a run invalidates its pending event.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Stat {
+        Waiting,
+        Ready,
+        Running,
+        Done,
+    }
+    struct RunInfo {
+        node: usize,
+        start_s: f64,
+        xfer_s: f64,
+        run_s: f64,
+        sched: Option<usize>,
+    }
+    let mut state = vec![Stat::Waiting; n];
+    let mut attempt = vec![0u32; n];
+    let mut running: Vec<Option<RunInfo>> = (0..n).map(|_| None).collect();
 
     // Ready list ordered by submission sequence (FIFO task order).
     let mut ready: Vec<(u64, usize)> = (0..n)
@@ -330,11 +418,21 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
         .map(|i| (trace.records[i].seq, i))
         .collect();
     ready.sort_unstable();
+    for &(_, i) in &ready {
+        state[i] = Stat::Ready;
+    }
 
+    // Event ranks order equal-time events: completions first, then
+    // failures, then recoveries.
+    const DONE: u8 = 0;
+    const FAIL: u8 = 1;
+    const RECOVER: u8 = 2;
     #[derive(PartialEq)]
     struct Ev {
         time: f64,
+        rank: u8,
         idx: usize,
+        attempt: u32,
     }
     impl Eq for Ev {}
     impl PartialOrd for Ev {
@@ -346,11 +444,31 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             self.time
                 .total_cmp(&other.time)
+                .then(self.rank.cmp(&other.rank))
                 .then(self.idx.cmp(&other.idx))
         }
     }
 
     let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    for f in &cluster.failures {
+        assert!(f.node < cluster.nodes, "failure event on nonexistent node");
+        heap.push(Reverse(Ev {
+            time: f.fail_at_s,
+            rank: FAIL,
+            idx: f.node,
+            attempt: 0,
+        }));
+        if let Some(rt) = f.recover_at_s {
+            assert!(rt >= f.fail_at_s, "recovery before failure");
+            heap.push(Reverse(Ev {
+                time: rt,
+                rank: RECOVER,
+                idx: f.node,
+                attempt: 0,
+            }));
+        }
+    }
+
     let mut now = 0.0f64;
     let mut done = 0usize;
     let mut rr_next = 0usize;
@@ -363,6 +481,8 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
         utilization: 0.0,
         tasks: n,
         busy_by_kind: BTreeMap::new(),
+        lost_tasks: 0,
+        reexecutions: 0,
         schedule: Vec::new(),
     };
 
@@ -377,6 +497,7 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
                 gpus[i],
                 &free_cores,
                 &free_gpus,
+                &node_up,
                 &replicas,
                 words,
                 opts.policy,
@@ -388,7 +509,7 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
                     continue;
                 }
             };
-            task_node[i] = node;
+            state[i] = Stat::Running;
             free_cores[node] -= cores[i] as i64;
             free_gpus[node] -= gpus[i] as i64;
 
@@ -413,11 +534,15 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
             let finish = now + xfer + run_s;
             heap.push(Reverse(Ev {
                 time: finish,
+                rank: DONE,
                 idx: i,
+                attempt: attempt[i],
             }));
             report.busy_core_s += run_s * cores[i] as f64;
             busy_of_kind[kind_of[i]] += run_s;
+            let mut sched = None;
             if !r.is_marker() {
+                sched = Some(report.schedule.len());
                 report.schedule.push(ScheduleEntry {
                     task: r.id,
                     name: r.name.clone(),
@@ -428,8 +553,17 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
                     end_s: finish,
                     cores: cores[i],
                     gpus: gpus[i],
+                    attempt: attempt[i] + 1,
+                    lost: false,
                 });
             }
+            running[i] = Some(RunInfo {
+                node,
+                start_s: now,
+                xfer_s: xfer,
+                run_s,
+                sched,
+            });
         }
         ready = still_ready;
 
@@ -437,35 +571,149 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
             break;
         }
 
-        // Drain the batch of completions sharing the earliest time.
-        let Reverse(Ev { time, idx }) = heap
+        let Reverse(ev) = heap
             .pop()
             .expect("simulation stalled: ready tasks cannot be placed and nothing is running");
-        now = now.max(time);
-        let mut batch = vec![idx];
-        while let Some(Reverse(ev)) = heap.peek() {
-            if ev.time != time {
-                break;
-            }
-            batch.push(heap.pop().unwrap().0.idx);
-        }
-        let mut newly: Vec<(u64, usize)> = Vec::new();
-        for idx in batch {
-            done += 1;
-            free_cores[task_node[idx]] += cores[idx] as i64;
-            free_gpus[task_node[idx]] += gpus[idx] as i64;
-            for (d, _) in &trace.records[idx].outputs {
-                replica_set(&mut replicas, words, d.0 as usize, task_node[idx]);
-            }
-            for &dep in &dependents[idx] {
-                indeg[dep] -= 1;
-                if indeg[dep] == 0 {
-                    newly.push((trace.records[dep].seq, dep));
+        now = now.max(ev.time);
+        match ev.rank {
+            DONE => {
+                // Drain the batch of completions sharing this time.
+                let mut batch = vec![(ev.idx, ev.attempt)];
+                while let Some(Reverse(p)) = heap.peek() {
+                    if p.time != ev.time || p.rank != DONE {
+                        break;
+                    }
+                    let p = heap.pop().unwrap().0;
+                    batch.push((p.idx, p.attempt));
                 }
+                let mut newly: Vec<(u64, usize)> = Vec::new();
+                for (idx, att) in batch {
+                    // A failure between dispatch and completion bumped
+                    // the task's attempt: this event is stale.
+                    if state[idx] != Stat::Running || attempt[idx] != att {
+                        continue;
+                    }
+                    let info = running[idx].take().expect("running task has run info");
+                    state[idx] = Stat::Done;
+                    done += 1;
+                    free_cores[info.node] += cores[idx] as i64;
+                    free_gpus[info.node] += gpus[idx] as i64;
+                    for (d, _) in &trace.records[idx].outputs {
+                        replica_set(&mut replicas, words, d.0 as usize, info.node);
+                    }
+                    for &dep in &dependents[idx] {
+                        if state[dep] != Stat::Waiting {
+                            continue;
+                        }
+                        indeg[dep] -= 1;
+                        if indeg[dep] == 0 {
+                            state[dep] = Stat::Ready;
+                            newly.push((trace.records[dep].seq, dep));
+                        }
+                    }
+                }
+                newly.sort_unstable();
+                merge_ready(&mut ready, newly);
+            }
+            FAIL => {
+                let nd = ev.idx;
+                if !node_up[nd] {
+                    continue;
+                }
+                node_up[nd] = false;
+
+                // Kill the node's in-flight runs: requeue the task,
+                // refund the unexecuted tail, truncate its timeline bar.
+                for i in 0..n {
+                    if state[i] != Stat::Running {
+                        continue;
+                    }
+                    let on_nd = running[i].as_ref().map(|ri| ri.node) == Some(nd);
+                    if !on_nd {
+                        continue;
+                    }
+                    let info = running[i].take().unwrap();
+                    state[i] = Stat::Waiting;
+                    attempt[i] += 1;
+                    free_cores[nd] += cores[i] as i64;
+                    free_gpus[nd] += gpus[i] as i64;
+                    let executed = (now - info.start_s - info.xfer_s).clamp(0.0, info.run_s);
+                    report.busy_core_s -= (info.run_s - executed) * cores[i] as f64;
+                    busy_of_kind[kind_of[i]] -= info.run_s - executed;
+                    report.lost_tasks += 1;
+                    if let Some(si) = info.sched {
+                        report.schedule[si].end_s = now;
+                        report.schedule[si].lost = true;
+                    }
+                }
+
+                // The node's memory is gone: drop its replicas of
+                // produced data. External inputs live on the master's
+                // durable storage and survive a node-0 failure.
+                for (d, &p) in produced.iter().enumerate() {
+                    if p {
+                        replicas[d * words + nd / 64] &= !(1u64 << (nd % 64));
+                    }
+                }
+
+                // Lineage rollback: any datum still needed by a pending
+                // task whose only replica died must be re-produced, and
+                // the producer's own lost inputs recurse.
+                let zero_replicas = |replicas: &[u64], d: usize| {
+                    replicas[d * words..(d + 1) * words].iter().all(|&w| w == 0)
+                };
+                let mut redo: Vec<usize> = (0..n)
+                    .filter(|&i| matches!(state[i], Stat::Waiting | Stat::Ready))
+                    .collect();
+                while let Some(i) = redo.pop() {
+                    for (d, _) in &trace.records[i].inputs {
+                        let di = d.0 as usize;
+                        if !zero_replicas(&replicas, di) {
+                            continue;
+                        }
+                        let Some(p) = producer_of[di] else { continue };
+                        if state[p] != Stat::Done {
+                            continue;
+                        }
+                        state[p] = Stat::Waiting;
+                        attempt[p] += 1;
+                        done -= 1;
+                        report.reexecutions += 1;
+                        redo.push(p);
+                    }
+                }
+
+                // Re-derive the dependency frontier for every pending
+                // task (O(V+E); failures are rare events).
+                ready.clear();
+                for i in 0..n {
+                    if !matches!(state[i], Stat::Waiting | Stat::Ready) {
+                        continue;
+                    }
+                    let mut k = 0usize;
+                    for d in &trace.records[i].deps {
+                        if let Some(&j) = index.get(d) {
+                            if state[j] != Stat::Done {
+                                k += 1;
+                            }
+                        }
+                    }
+                    indeg[i] = k;
+                    if k == 0 {
+                        state[i] = Stat::Ready;
+                        ready.push((trace.records[i].seq, i));
+                    } else {
+                        state[i] = Stat::Waiting;
+                    }
+                }
+                ready.sort_unstable();
+            }
+            _ => {
+                // RECOVER: capacity was refunded when the node failed;
+                // the node rejoins empty (its replicas stay cleared).
+                node_up[ev.idx] = true;
             }
         }
-        newly.sort_unstable();
-        merge_ready(&mut ready, newly);
     }
 
     report.makespan_s = now;
@@ -499,6 +747,8 @@ fn effective_duration(r: &TaskRecord, cluster: &ClusterSpec, opts: &SimOptions) 
             gpus_per_node: r.gpus.min(cluster.gpus_per_node),
             bandwidth_bps: cluster.bandwidth_bps,
             latency_s: cluster.latency_s,
+            // Node failures hit the outer cluster, not nested replays.
+            failures: Vec::new(),
         };
         let child_rep = simulate(child, &granted, opts);
         // In inline recording the parent's measured duration includes
@@ -517,13 +767,15 @@ fn choose_node(
     gpus: u32,
     free_cores: &[i64],
     free_gpus: &[i64],
+    node_up: &[bool],
     replicas: &[u64],
     words: usize,
     policy: Policy,
     rr_next: &mut usize,
 ) -> Option<usize> {
     let nodes = free_cores.len();
-    let fits = |nd: usize| free_cores[nd] >= cores as i64 && free_gpus[nd] >= gpus as i64;
+    let fits =
+        |nd: usize| node_up[nd] && free_cores[nd] >= cores as i64 && free_gpus[nd] >= gpus as i64;
 
     match policy {
         Policy::Fifo => (0..nodes).find(|&nd| fits(nd)),
@@ -579,6 +831,7 @@ mod tests {
             start_s: 0.0,
             worker: -1,
             child: None,
+            attempts: vec![],
         }
     }
 
@@ -589,6 +842,7 @@ mod tests {
             gpus_per_node: 0,
             bandwidth_bps: 1e9,
             latency_s: 0.0,
+            failures: Vec::new(),
         }
     }
 
@@ -776,6 +1030,100 @@ mod tests {
         };
         let rep = simulate(&t, &cluster(2, 1), &opts);
         assert!((rep.makespan_s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_failure_strictly_increases_makespan() {
+        // Eight independent 1s tasks on 2×2 cores: two waves, 2s healthy.
+        let t = Trace {
+            records: (0..8).map(|i| rec(i, &[], 1.0, 1)).collect(),
+        };
+        let healthy = simulate(&t, &cluster(2, 2), &SimOptions::default());
+        assert!((healthy.makespan_s - 2.0).abs() < 1e-9);
+
+        let c = cluster(2, 2).with_failure(1, 0.5);
+        let faulty = simulate(&t, &c, &SimOptions::default());
+        assert!(
+            faulty.makespan_s > healthy.makespan_s,
+            "failure must cost time: {} vs {}",
+            faulty.makespan_s,
+            healthy.makespan_s
+        );
+        assert_eq!(faulty.lost_tasks, 2, "two in-flight runs die with node 1");
+        // Every task still completes exactly once.
+        let completed = faulty.schedule.iter().filter(|e| !e.lost).count();
+        assert_eq!(completed, 8);
+        assert!(faulty.schedule.iter().any(|e| e.lost && e.attempt == 1));
+
+        // Deterministic: same spec, same report.
+        let again = simulate(&t, &c, &SimOptions::default());
+        assert_eq!(again.makespan_s, faulty.makespan_s);
+        assert_eq!(again.lost_tasks, faulty.lost_tasks);
+        assert_eq!(again.reexecutions, faulty.reexecutions);
+    }
+
+    #[test]
+    fn node_failure_triggers_lineage_rollback() {
+        // producer -> consumer, both on node 0 (locality). Node 0 dies
+        // while the consumer runs: the producer's only output replica is
+        // lost, so it must re-execute on the survivor first.
+        let t = Trace {
+            records: vec![rec(0, &[], 1.0, 1), rec(1, &[0], 1.0, 1)],
+        };
+        let healthy = simulate(&t, &cluster(2, 1), &SimOptions::default());
+        assert!((healthy.makespan_s - 2.0).abs() < 1e-9);
+
+        let c = cluster(2, 1).with_failure(0, 1.5);
+        let faulty = simulate(&t, &c, &SimOptions::default());
+        assert_eq!(faulty.lost_tasks, 1, "consumer run dies");
+        assert_eq!(faulty.reexecutions, 1, "producer output must be rebuilt");
+        // 1.5 (failure) + 1.0 (producer redo) + 1.0 (consumer) = 3.5.
+        assert!(
+            (faulty.makespan_s - 3.5).abs() < 1e-9,
+            "got {}",
+            faulty.makespan_s
+        );
+        // The final consumer run happens on the surviving node 1.
+        let last = faulty
+            .schedule
+            .iter()
+            .rfind(|e| !e.lost && e.task == TaskId(1))
+            .unwrap();
+        assert_eq!(last.node, 1);
+        assert_eq!(last.attempt, 2);
+    }
+
+    #[test]
+    fn node_recovery_restores_capacity_without_memory() {
+        // Single-node cluster: the failure kills the first task, and
+        // nothing can run until the node rejoins at t=5.
+        let t = Trace {
+            records: vec![rec(0, &[], 1.0, 1), rec(1, &[], 1.0, 1)],
+        };
+        let c = cluster(1, 1).with_failure_and_recovery(0, 0.5, 5.0);
+        let rep = simulate(&t, &c, &SimOptions::default());
+        assert_eq!(rep.lost_tasks, 1);
+        // 5.0 (rejoin) + 1.0 + 1.0 serial on one core.
+        assert!(
+            (rep.makespan_s - 7.0).abs() < 1e-9,
+            "got {}",
+            rep.makespan_s
+        );
+    }
+
+    #[test]
+    fn external_master_data_survives_node_zero_failure() {
+        // Task consumes external (non-produced) data living on node 0.
+        // Node 0 failing and recovering must not orphan that datum: it
+        // is durable master storage, so the task re-runs successfully.
+        let mut r = rec(0, &[], 1.0, 1);
+        r.inputs = vec![(DataId(99), 1000)];
+        let t = Trace { records: vec![r] };
+        let c = cluster(2, 1).with_failure(0, 0.5);
+        let rep = simulate(&t, &c, &SimOptions::default());
+        let completed = rep.schedule.iter().filter(|e| !e.lost).count();
+        assert_eq!(completed, 1);
+        assert_eq!(rep.reexecutions, 0);
     }
 
     #[test]

@@ -17,6 +17,57 @@ pub const BARRIER_TASK: &str = "__barrier";
 /// Name given to tuple-split helper tasks.
 pub const SPLIT_TASK: &str = "__split";
 
+/// One execution attempt of a task. Recorded only when a task needed
+/// more than one attempt (see [`TaskRecord::attempts`]): failed
+/// attempts carry their panic/timeout message, the final successful
+/// attempt (if any) closes the list with `error: None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// Wall-clock start of the attempt, seconds since the runtime epoch.
+    pub start_s: f64,
+    /// Duration of the attempt body, in seconds.
+    pub duration_s: f64,
+    /// Panic or timeout message; `None` for the successful attempt.
+    pub error: Option<String>,
+}
+
+impl AttemptRecord {
+    /// Encodes the attempt as a JSON tree.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("start_s".into(), Value::from(self.start_s)),
+            ("duration_s".into(), Value::from(self.duration_s)),
+            (
+                "error".into(),
+                match &self.error {
+                    Some(e) => Value::from(e.as_str()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Decodes an attempt from a JSON tree.
+    pub fn from_value(v: &Value) -> Result<AttemptRecord, JsonError> {
+        let f64_of = |v: &Value, what: &str| {
+            v.as_f64()
+                .ok_or_else(|| JsonError::msg(format!("{what} must be a number")))
+        };
+        Ok(AttemptRecord {
+            start_s: f64_of(v.field("start_s")?, "attempt start_s")?,
+            duration_s: f64_of(v.field("duration_s")?, "attempt duration_s")?,
+            error: match v.field("error")? {
+                Value::Null => None,
+                e => Some(
+                    e.as_str()
+                        .ok_or_else(|| JsonError::msg("attempt 'error' must be a string"))?
+                        .to_string(),
+                ),
+            },
+        })
+    }
+}
+
 /// One task (or marker) in a recorded trace.
 #[derive(Debug, Clone)]
 pub struct TaskRecord {
@@ -50,6 +101,10 @@ pub struct TaskRecord {
     pub worker: i64,
     /// Sub-trace recorded by a nested task, if any.
     pub child: Option<Box<Trace>>,
+    /// Per-attempt execution history. Empty for the common case of one
+    /// clean attempt; populated (every attempt, including the final
+    /// one) when any attempt failed — the fault-tolerance audit trail.
+    pub attempts: Vec<AttemptRecord>,
 }
 
 impl TaskRecord {
@@ -90,6 +145,10 @@ impl TaskRecord {
                     Some(c) => c.to_value(),
                     None => Value::Null,
                 },
+            ),
+            (
+                "attempts".into(),
+                Value::Array(self.attempts.iter().map(AttemptRecord::to_value).collect()),
             ),
         ])
     }
@@ -150,6 +209,15 @@ impl TaskRecord {
                 .and_then(Value::as_f64)
                 .map_or(-1, |w| w as i64),
             child,
+            // Optional for compatibility with traces archived before
+            // fault tolerance existed.
+            attempts: match v.get("attempts").and_then(Value::as_array) {
+                Some(a) => a
+                    .iter()
+                    .map(AttemptRecord::from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -334,6 +402,7 @@ mod tests {
             start_s: 0.0,
             worker: -1,
             child: None,
+            attempts: vec![],
         }
     }
 
@@ -456,6 +525,40 @@ mod tests {
         let bad2 = good.replace("[[0,8]]", "[7]");
         let err2 = Trace::from_json(&bad2).unwrap_err();
         assert!(err2.to_string().contains("[id, bytes]"));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_attempts_and_defaults_old_traces() {
+        let mut r = rec(0, &[], 1.0);
+        r.attempts = vec![
+            AttemptRecord {
+                start_s: 0.5,
+                duration_s: 0.1,
+                error: Some("task 'x' panicked: boom".into()),
+            },
+            AttemptRecord {
+                start_s: 0.7,
+                duration_s: 0.2,
+                error: None,
+            },
+        ];
+        let t = Trace { records: vec![r] };
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back.records[0].attempts, t.records[0].attempts);
+
+        // Traces archived before fault tolerance existed still load.
+        let mut v = Value::parse(&t.to_json()).unwrap();
+        if let Value::Object(fields) = &mut v {
+            if let Some((_, Value::Array(recs))) = fields.iter_mut().find(|(k, _)| k == "records") {
+                for r in recs {
+                    if let Value::Object(rf) = r {
+                        rf.retain(|(k, _)| k != "attempts");
+                    }
+                }
+            }
+        }
+        let back = Trace::from_json(&v.pretty()).unwrap();
+        assert!(back.records[0].attempts.is_empty());
     }
 
     #[test]

@@ -26,13 +26,19 @@
 
 use linalg::Matrix;
 use std::sync::Arc;
-use taskrt::{Handle, Runtime};
+use taskrt::{Handle, RetryPolicy, Runtime};
 
 /// Pairwise tree reduction over a list of handles — the cascade pattern
 /// dislib uses for every reduction phase (CSVM merges "two by two").
 ///
 /// Returns the single reduced handle. Submits `len - 1` tasks named
 /// `name`.
+///
+/// Merge tasks are pure (`Fn`, borrowed inputs), so each declares
+/// [`taskrt::OnFailure::Retry`] with the default [`RetryPolicy`]: a
+/// transient fault in one merge re-runs just that merge instead of
+/// failing the whole reduction — COMPSs' task resubmission, scoped to
+/// the pattern where a single lost task would waste the widest subtree.
 ///
 /// # Panics
 /// Panics on an empty input.
@@ -54,7 +60,11 @@ where
         for pair in &mut it {
             if pair.len() == 2 {
                 let f = f.clone();
-                next.push(rt.task(name).run2(pair[0], pair[1], move |a, b| f(a, b)));
+                next.push(rt.task(name).retry(RetryPolicy::default()).run2(
+                    pair[0],
+                    pair[1],
+                    move |a, b| f(a, b),
+                ));
             } else {
                 next.push(pair[0]);
             }
@@ -70,6 +80,13 @@ where
 /// mutate their left input instead of cloning it. With single-consumer
 /// intermediates (always true inside the cascade) every merge steals its
 /// accumulator and the reduction allocates nothing beyond the leaves.
+///
+/// Unlike [`tree_reduce`], merges here stay on the default
+/// [`taskrt::OnFailure::Fail`] policy: a retryable task gives up the
+/// INOUT buffer steal (the runtime must keep inputs alive for re-runs),
+/// which would forfeit exactly the zero-copy property this variant
+/// exists for. Callers that prefer resilience over allocation can use
+/// [`tree_reduce`].
 ///
 /// # Panics
 /// Panics on an empty input.
@@ -349,11 +366,7 @@ impl DsArray {
                         rt.task(name).run1_inout(b, move |m: &mut Matrix| {
                             let shape = m.shape();
                             f(m);
-                            assert_eq!(
-                                m.shape(),
-                                shape,
-                                "map_blocks_inplace must preserve shape"
-                            );
+                            assert_eq!(m.shape(), shape, "map_blocks_inplace must preserve shape");
                         })
                     })
                     .collect()
@@ -373,15 +386,21 @@ impl DsArray {
         for row in &self.grid {
             for (cb, &b) in row.iter().enumerate() {
                 let c0 = cb * cb_size;
-                partials.push(rt.task("ds_colsum").run1(b, move |m: &Matrix| {
-                    let mut v = vec![0.0; cols];
-                    for r in 0..m.rows() {
-                        for (j, &x) in m.row(r).iter().enumerate() {
-                            v[c0 + j] += x;
+                // Pure partial producers retry on transient faults; the
+                // INOUT reduction below keeps its steal (see
+                // `tree_reduce_inout`).
+                partials.push(rt.task("ds_colsum").retry(RetryPolicy::default()).run1(
+                    b,
+                    move |m: &Matrix| {
+                        let mut v = vec![0.0; cols];
+                        for r in 0..m.rows() {
+                            for (j, &x) in m.row(r).iter().enumerate() {
+                                v[c0 + j] += x;
+                            }
                         }
-                    }
-                    v
-                }));
+                        v
+                    },
+                ));
             }
         }
         tree_reduce_inout(rt, "ds_colsum_reduce", &partials, |a, b| {
@@ -398,7 +417,11 @@ impl DsArray {
         let bands = self.row_bands(rt);
         let partials: Vec<Handle<Matrix>> = bands
             .into_iter()
-            .map(|band| rt.task("ds_gram").run1(band, |m: &Matrix| m.t_matmul(m)))
+            .map(|band| {
+                rt.task("ds_gram")
+                    .retry(RetryPolicy::default())
+                    .run1(band, |m: &Matrix| m.t_matmul(m))
+            })
             .collect();
         tree_reduce_inout(rt, "ds_gram_reduce", &partials, |a, b| a.add_assign(b))
     }
@@ -470,14 +493,17 @@ impl DsArray {
                     .enumerate()
                     .map(|(cb, &b)| {
                         let c0 = cb * cb_size;
-                        rt.task("ds_center")
-                            .run2_inout(b, v, move |m: &mut Matrix, v: &Vec<f64>| {
+                        rt.task("ds_center").run2_inout(
+                            b,
+                            v,
+                            move |m: &mut Matrix, v: &Vec<f64>| {
                                 for r in 0..m.rows() {
                                     for (j, x) in m.row_mut(r).iter_mut().enumerate() {
                                         *x -= v[c0 + j];
                                     }
                                 }
-                            })
+                            },
+                        )
                     })
                     .collect()
             })

@@ -619,7 +619,10 @@ mod tests {
         let (hits0, _, _) = crate::pool::stats();
         let second = a.matmul(&b);
         let (hits1, _, _) = crate::pool::stats();
-        assert!(hits1 > hits0, "second matmul should reuse the pooled buffer");
+        assert!(
+            hits1 > hits0,
+            "second matmul should reuse the pooled buffer"
+        );
         assert_eq!(second, reference);
     }
 

@@ -1,8 +1,14 @@
 //! Failure-injection tests: panics inside tasks must surface at the
 //! waiter with context — in inline mode, in threaded mode, through
 //! dependency chains, and inside nested runtimes — never deadlock.
+//!
+//! The second half exercises the COMPSs-style failure-management
+//! policies: `Retry` (with deterministic seeded fault injection),
+//! `Ignore` (poisoned outputs, barrier passes), and `CancelSuccessors`
+//! (failure scoped to the dependency cone).
 
-use taskrt::{ExecMode, Runtime, RuntimeConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use taskrt::{ExecMode, FaultPlan, OnFailure, RetryPolicy, Runtime, RuntimeConfig};
 
 #[test]
 #[should_panic(expected = "boom-inline")]
@@ -73,6 +79,125 @@ fn nested_child_panic_reaches_parent_waiter() {
         *child.wait(h)
     });
     let _ = rt.wait(out);
+}
+
+#[test]
+#[should_panic(expected = "task 'bad'")]
+fn barrier_failure_names_the_task() {
+    // The barrier error must identify which task failed and how many
+    // attempts it made, not just an opaque id.
+    let rt = Runtime::threaded(2);
+    let a = rt.put(1u64);
+    let _bad = rt.task("bad").run1(a, |_| -> u64 { panic!("kaput") });
+    rt.barrier();
+}
+
+#[test]
+fn retry_recovers_from_transient_faults() {
+    // A seeded plan fails the first two attempts; with a 3-attempt
+    // budget the task must succeed, record both failed attempts in the
+    // trace, and bump the retry counter — without giving up.
+    let rt = Runtime::threaded(2);
+    rt.set_fault_plan(Some(FaultPlan::new(7).panic_kind("flaky", 2)));
+    let a = rt.put(20u64);
+    let h = rt
+        .task("flaky")
+        .retry(RetryPolicy::new(3).backoff(1e-6, 2.0))
+        .run1(a, |v| v + 22);
+    assert_eq!(*rt.wait(h), 42);
+    let stats = rt.stats();
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.giveups, 0);
+    let trace = rt.trace();
+    let rec = trace
+        .records
+        .iter()
+        .find(|r| r.name == "flaky")
+        .expect("flaky task recorded");
+    assert_eq!(rec.attempts.len(), 3, "all attempts recorded in trace");
+    assert!(rec.attempts[0].error.is_some());
+    assert!(rec.attempts[1].error.is_some());
+    assert!(rec.attempts[2].error.is_none(), "final attempt succeeded");
+}
+
+#[test]
+fn retry_is_deterministic_under_a_fixed_seed() {
+    // Same seed, same plan, same DAG: the retried run must produce
+    // bit-identical results and the same retry count, twice.
+    let run = || {
+        let rt = Runtime::threaded(4);
+        rt.set_fault_plan(Some(FaultPlan::new(0xabc).panic_sampled(None, 0.5, 1)));
+        let xs: Vec<_> = (0..64)
+            .map(|i| {
+                rt.task("samp")
+                    .retry(RetryPolicy::new(2).backoff(1e-6, 2.0))
+                    .run0(move || (i as f64 * 0.37).cos())
+            })
+            .collect();
+        let bits: Vec<u64> = xs.into_iter().map(|h| rt.wait(h).to_bits()).collect();
+        (bits, rt.stats().retries)
+    };
+    let (bits_a, retries_a) = run();
+    let (bits_b, retries_b) = run();
+    assert_eq!(bits_a, bits_b);
+    assert_eq!(retries_a, retries_b);
+    assert!(retries_a > 0, "with p=0.5 over 64 tasks some must fault");
+}
+
+#[test]
+#[should_panic(expected = "after 2 attempts")]
+fn retry_exhaustion_reports_attempt_count() {
+    let rt = Runtime::threaded(2);
+    rt.set_fault_plan(Some(FaultPlan::new(1).panic_kind("hopeless", u32::MAX)));
+    let a = rt.put(1u64);
+    let h = rt
+        .task("hopeless")
+        .retry(RetryPolicy::new(2).backoff(1e-6, 2.0))
+        .run1(a, |v| *v);
+    let _ = rt.wait(h);
+}
+
+#[test]
+fn ignore_policy_poisons_output_and_passes_barrier() {
+    let rt = Runtime::threaded(2);
+    let a = rt.put(1u64);
+    let bad = rt
+        .task("optional")
+        .on_failure(OnFailure::Ignore)
+        .run1(a, |_| -> u64 { panic!("optional stage failed") });
+    let dependent = rt.task("dep").run1(bad, |v| v + 1);
+    let ok = rt.task("good").run1(a, |v| v * 2);
+    rt.barrier(); // an Ignored failure must not be fatal here
+    assert_eq!(*rt.wait(ok), 2);
+    // Consuming the poisoned output is an error at the waiter.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let _ = rt.wait(dependent);
+    }));
+    assert!(caught.is_err(), "waiting on a poisoned result must fail");
+    let stats = rt.stats();
+    assert!(stats.poisoned >= 1, "ignored task's outputs are poisoned");
+    assert!(stats.cancelled >= 1, "its dependents are cancelled");
+}
+
+#[test]
+fn cancel_successors_scopes_failure_to_the_cone() {
+    let rt = Runtime::threaded(2);
+    let a = rt.put(1u64);
+    let bad = rt
+        .task("src")
+        .on_failure(OnFailure::CancelSuccessors)
+        .run1(a, |_| -> u64 { panic!("cone-origin") });
+    let mid = rt.task("mid").run1(bad, |v| v + 1);
+    let tail = rt.task("tail").run1(mid, |v| v + 1);
+    let ok = rt.task("good").run1(a, |v| v + 41);
+    rt.barrier(); // the cancelled cone must not fail the barrier
+    assert_eq!(*rt.wait(ok), 42);
+    // But waiting into the cone surfaces the failure.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let _ = rt.wait(tail);
+    }));
+    assert!(caught.is_err(), "cancelled successors must not yield data");
+    assert!(rt.stats().cancelled >= 2, "mid and tail both cancelled");
 }
 
 #[test]

@@ -22,6 +22,7 @@ fn rec(id: u64, deps: &[u64], dur: f64, name: &str) -> TaskRecord {
         start_s: 0.0,
         worker: -1,
         child: None,
+        attempts: vec![],
     }
 }
 
@@ -47,6 +48,7 @@ fn ascii_gantt_diamond_golden() {
         gpus_per_node: 0,
         bandwidth_bps: 1e9,
         latency_s: 0.0,
+        failures: vec![],
     };
     let rep = simulate(&diamond(), &cluster, &SimOptions::default());
     assert!((rep.makespan_s - 4.0).abs() < 1e-12);

@@ -15,22 +15,28 @@
 use rand::rngs::StdRng;
 use rand::{RngCore, RngExt, SeedableRng};
 use taskrt::trace::SYNC_TASK;
-use taskrt::{live_worker_threads, Handle, Runtime};
+use taskrt::{live_worker_threads, Handle, RetryPolicy, Runtime};
 
 const N_TASKS: usize = 5_000;
 
-/// Drives a ~5k-task random-dependency DAG of fine-grained float ops.
+/// Drives an n-task random-dependency DAG of fine-grained float ops.
 /// Task `i` combines up to 6 of the previous 48 results with fixed
 /// (associativity-sensitive) arithmetic, so any reordering of the
 /// *evaluation* inside a task would change the bits of the answer —
 /// only the scheduler's freedom to reorder *independent tasks* remains,
-/// and that must not affect values.
-fn random_dag_checksum(rt: &Runtime, seed: u64) -> u64 {
+/// and that must not affect values. With `retry`, every task declares a
+/// fast-backoff retry policy (for fault-injection runs).
+fn random_dag_checksum_n(rt: &Runtime, seed: u64, n: usize, retry: bool) -> u64 {
+    let policy = RetryPolicy::new(4).backoff(1e-6, 2.0);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut outs: Vec<Handle<f64>> = Vec::with_capacity(N_TASKS);
-    for i in 0..N_TASKS {
+    let mut outs: Vec<Handle<f64>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut builder = rt.task(if i == 0 { "seed" } else { "mix" });
+        if retry {
+            builder = builder.retry(policy);
+        }
         let h = if i == 0 {
-            rt.task("seed").run0(|| 1.0f64)
+            builder.run0(|| 1.0f64)
         } else {
             let ndeps = 1 + (rng.next_u64() % 6) as usize;
             let window = i.min(48);
@@ -41,7 +47,7 @@ fn random_dag_checksum(rt: &Runtime, seed: u64) -> u64 {
             deps.dedup();
             let handles: Vec<Handle<f64>> = deps.iter().map(|&j| outs[j]).collect();
             let salt = rng.random::<f64>();
-            rt.task("mix").run_many(&handles, move |xs: &[&f64]| {
+            builder.run_many(&handles, move |xs: &[&f64]| {
                 let mut acc = salt;
                 for &x in xs {
                     acc = (acc * 1.000_000_11 + x).sin() + x * 0.5;
@@ -52,12 +58,16 @@ fn random_dag_checksum(rt: &Runtime, seed: u64) -> u64 {
         outs.push(h);
     }
     // Fold every output's exact bit pattern into one checksum so a
-    // single ULP of divergence anywhere in the 5k tasks is caught.
+    // single ULP of divergence anywhere in the DAG is caught.
     let mut checksum = 0u64;
     for h in outs {
         checksum = checksum.rotate_left(7).wrapping_add(rt.wait(h).to_bits());
     }
     checksum
+}
+
+fn random_dag_checksum(rt: &Runtime, seed: u64) -> u64 {
+    random_dag_checksum_n(rt, seed, N_TASKS, false)
 }
 
 #[test]
@@ -108,6 +118,67 @@ fn stress_sync_marker_serializes_later_submissions() {
             assert!(!r.deps.contains(&marker.id));
         }
     }
+}
+
+#[test]
+fn stress_10k_dag_with_injected_faults_drains_and_matches() {
+    // Inject a panic into the first attempt of a random ~10% of a
+    // 10k-task DAG. Every task retries, so the runtime must drain
+    // cleanly, the retried results must be bit-identical to a
+    // fault-free run, and no worker threads may leak.
+    use taskrt::fault::INJECTED_PANIC;
+    const N: usize = 10_000;
+
+    // The injected panics would otherwise spam the captured test
+    // output through the default panic hook.
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains(INJECTED_PANIC))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains(INJECTED_PANIC))
+                })
+                .unwrap_or(false);
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+
+    let baseline = live_worker_threads();
+    let clean = random_dag_checksum_n(&Runtime::threaded(4), 11, N, true);
+
+    let rt = Runtime::threaded(4);
+    rt.set_fault_plan(Some(
+        taskrt::FaultPlan::new(0xfa11).panic_sampled(None, 0.10, 1),
+    ));
+    let faulted = random_dag_checksum_n(&rt, 11, N, true);
+    let stats = rt.stats();
+    drop(rt);
+
+    assert_eq!(
+        clean, faulted,
+        "retried results diverged from the fault-free run"
+    );
+    let frac = stats.retries as f64 / N as f64;
+    assert!(
+        (0.05..0.20).contains(&frac),
+        "expected ~10% of tasks to fault, got {:.1}% ({} retries)",
+        frac * 100.0,
+        stats.retries
+    );
+    assert_eq!(stats.giveups, 0, "first-attempt faults never exhaust");
+    assert_eq!(
+        live_worker_threads(),
+        baseline,
+        "worker threads leaked after the fault-injected run"
+    );
 }
 
 #[test]

@@ -40,6 +40,7 @@ fn random_trace(n: usize, edges_seed: u64, durations: &[f64], cores: &[u32]) -> 
             start_s: 0.0,
             worker: -1,
             child: None,
+            attempts: vec![],
         });
     }
     Trace { records }
@@ -64,6 +65,7 @@ proptest! {
             gpus_per_node: 0,
             bandwidth_bps: 1e12, // negligible transfers for the bound check
             latency_s: 0.0,
+            failures: vec![],
         };
         for policy in [Policy::Fifo, Policy::RoundRobin, Policy::LocalityAware] {
             let rep = simulate(&trace, &cluster, &SimOptions {
@@ -96,6 +98,7 @@ proptest! {
             gpus_per_node: 0,
             bandwidth_bps: 1e12,
             latency_s: 0.0,
+            failures: vec![],
         };
         let rep = simulate(&trace, &cluster, &SimOptions::default());
         prop_assert!((rep.makespan_s - trace.total_work_s()).abs() < 1e-9);
@@ -113,8 +116,9 @@ proptest! {
             gpus_per_node: 0,
             bandwidth_bps: 1e12,
             latency_s: 0.0,
+            failures: vec![],
         };
-        let slow = ClusterSpec { bandwidth_bps: 1e5, latency_s: 0.01, ..fast };
+        let slow = ClusterSpec { bandwidth_bps: 1e5, latency_s: 0.01, ..fast.clone() };
         // Same deterministic policy on both.
         let opts = SimOptions::with_policy(Policy::RoundRobin);
         let rep_fast = simulate(&trace, &fast, &opts);
@@ -142,6 +146,7 @@ proptest! {
                 start_s: 0.0,
                 worker: -1,
                 child: None,
+                attempts: vec![],
             });
         }
         let trace = Trace { records };
@@ -151,6 +156,7 @@ proptest! {
             gpus_per_node: 0,
             bandwidth_bps: 1e8,
             latency_s: 1e-4,
+            failures: vec![],
         };
         let rr = simulate(&trace, &cluster, &SimOptions::with_policy(Policy::RoundRobin));
         let loc = simulate(&trace, &cluster, &SimOptions::with_policy(Policy::LocalityAware));
@@ -168,6 +174,7 @@ fn report_busy_accounting_consistent() {
         gpus_per_node: 0,
         bandwidth_bps: 1e12,
         latency_s: 0.0,
+        failures: vec![],
     };
     let rep = simulate(&trace, &cluster, &SimOptions::default());
     let by_kind: f64 = rep.busy_by_kind.values().sum();
