@@ -26,14 +26,24 @@
 //!   finding) against [`dislib::rf::build_tree_legacy`] (per-node
 //!   re-sorting) on the same synthetic dataset, reported as
 //!   trees/second; the trees are asserted identical.
+//! * **fusion** — the graph-rewrite optimizer
+//!   ([`taskrt::RuntimeConfig::fuse`]): the PR-4 elementwise chain at
+//!   fine-grained blocks fused vs unfused (Melem/s, asserted
+//!   bit-identical), the PCA pipeline's submitted-vs-dispatched task
+//!   counts, and a DES replay of both schedules on 288 simulated cores
+//!   with a per-task dispatch cost. Also writes the fused run's Chrome
+//!   trace to `out/fused_pca.trace.json`.
 //!
 //! Usage: `cargo run --release -p bench --bin perf -- [--scale small|full]
-//! [--check]` (`small` is the CI smoke setting: fewer repetitions,
-//! smaller shapes; `--check` exits non-zero if any `speedup_*` field
-//! falls below 1.0).
+//! [--check] [--fuse]` (`small` is the CI smoke setting: fewer
+//! repetitions, smaller shapes; `--check` exits non-zero if any
+//! `speedup_*` field falls below 1.0, fusion changes a value, or the
+//! fused PCA schedule shrinks by less than 30%; `--fuse` additionally
+//! drives the scheduler/obs sections through fusing runtimes).
 
 use bench::legacy::{AnyArc as LegacyAnyArc, LegacyRuntime, LegacyTaskFn};
 use bench::report::{write_artifact, Args};
+use dislib::pca::{Components, Pca};
 use dislib::rf::{build_tree, build_tree_legacy, RfParams};
 use dsarray::DsArray;
 use linalg::stft::{spectrogram_legacy, SpectrogramConfig, SpectrogramPlan};
@@ -44,9 +54,10 @@ use rand::{RngCore, RngExt, SeedableRng};
 use std::sync::Arc;
 use std::time::Instant;
 use taskrt::json::Value;
+use taskrt::obs::chrome_trace;
 use taskrt::runtime::AnyArc;
 use taskrt::sim::{simulate, ClusterSpec, SimOptions};
-use taskrt::{DataId, ExecMode, Runtime, RuntimeConfig};
+use taskrt::{fuse_trace, DataId, ExecMode, Runtime, RuntimeConfig};
 
 /// Random-dependency DAG: task `i` depends on up to 3 of the previous
 /// 64 tasks. Generated once and replayed on every runtime under test.
@@ -144,20 +155,38 @@ fn main() {
     let small = scale == "small";
     // The CI container has 1 CPU: threaded timings swing 20-30% run to
     // run, so full scale takes enough repetitions for best-of to settle.
-    let reps = if small { 2 } else { 9 };
+    let reps: usize = args.get_or("reps", if small { 2 } else { 9 });
     let n_tasks = 10_000; // the acceptance workload: 10k no-op tasks
     let default_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .clamp(4, 8);
     let workers: usize = args.get_or("workers", default_workers);
+    // `--fuse` drives the scheduler/obs sections through runtimes with
+    // the graph-rewrite optimizer enabled, so CI measures the whole
+    // suite in both configurations. The dedicated fusion section below
+    // always measures both side by side.
+    let fuse_all = args.has("fuse");
 
-    println!("perf: scale={scale} tasks={n_tasks} workers={workers} reps={reps}");
+    println!("perf: scale={scale} tasks={n_tasks} workers={workers} reps={reps} fuse={fuse_all}");
     let dag = make_dag(n_tasks, 42);
+    let new_threaded = || {
+        Runtime::with_config(RuntimeConfig {
+            mode: ExecMode::Threads(workers),
+            fuse: fuse_all,
+            ..RuntimeConfig::default()
+        })
+    };
+    let new_inline = || {
+        Runtime::with_config(RuntimeConfig {
+            fuse: fuse_all,
+            ..RuntimeConfig::default()
+        })
+    };
 
     // -- scheduler ----------------------------------------------------
-    let t_new = best_of(reps, || drive_new(&Runtime::threaded(workers), &dag));
-    let t_inline = best_of(reps, || drive_new(&Runtime::new(), &dag));
+    let t_new = best_of(reps, || drive_new(&new_threaded(), &dag));
+    let t_inline = best_of(reps, || drive_new(&new_inline(), &dag));
     let t_legacy = best_of(reps, || drive_legacy(&LegacyRuntime::new(workers), &dag));
     let t_legacy_inline = best_of(reps, || drive_legacy(&LegacyRuntime::new(0), &dag));
     let new_tps = n_tasks as f64 / t_new;
@@ -186,13 +215,14 @@ fn main() {
             mode: ExecMode::Threads(workers),
             nested_mode: ExecMode::Inline,
             metrics: false,
+            fuse: fuse_all,
         })
     };
     let obs_reps = reps.max(11);
     let mut t_obs_on = f64::INFINITY;
     let mut t_obs_off = f64::INFINITY;
     for _ in 0..obs_reps {
-        t_obs_on = t_obs_on.min(drive_new(&Runtime::threaded(workers), &dag));
+        t_obs_on = t_obs_on.min(drive_new(&new_threaded(), &dag));
         t_obs_off = t_obs_off.min(drive_new(&no_metrics(), &dag));
     }
     let obs_on_tps = n_tasks as f64 / t_obs_on;
@@ -487,9 +517,138 @@ fn main() {
         dp_bytes_stolen / 1e6
     );
 
+    // -- fusion: graph-rewrite optimizer ------------------------------
+    // (a) The PR-4 elementwise chain (3 rounds of scale, center,
+    // divide = 9 per-block ops) at COMPSs-granularity blocks: per-task
+    // work is a few microseconds, the regime where per-task overhead
+    // dominates and fusing each block's 9-op chain into one task pays.
+    // Results must be bit-identical; only the dispatched-task count and
+    // throughput change.
+    let (fu_rows, fu_cols, fu_rb, fu_cb) = if small {
+        (64usize, 224usize, 8usize, 8usize) // 224 blocks x 9 = 2016 tasks
+    } else {
+        (128, 448, 8, 8) // 896 blocks x 9 ops = 8064 tasks, one window
+    };
+    let fu_chain = 3usize;
+    let fu_x = Matrix::from_fn(fu_rows, fu_cols, |r, c| {
+        ((r * fu_cols + c) as f64 * 1e-4).sin()
+    });
+    let fu_v: Vec<f64> = (0..fu_cols).map(|c| 1.0 + (c % 7) as f64 * 0.25).collect();
+    let fu_rt = |fuse: bool| {
+        Runtime::with_config(RuntimeConfig {
+            mode: ExecMode::Threads(1),
+            fuse,
+            ..RuntimeConfig::default()
+        })
+    };
+    let run_fu = |rt: &Runtime| -> Matrix {
+        let v = rt.put(fu_v.clone());
+        let mut a = DsArray::from_matrix_owned(rt, fu_x.clone(), fu_rb, fu_cb);
+        for _ in 0..fu_chain {
+            a = a
+                .map_blocks_inplace(rt, "fu_scale", |b| b.scale(1.0009))
+                .sub_row_vector_inplace(rt, v)
+                .div_row_vector_inplace(rt, v);
+        }
+        a.collect(rt)
+    };
+    // Bit-identity and dispatch counts, measured once.
+    let rt_off = fu_rt(false);
+    let rt_on = fu_rt(true);
+    let fu_out_off = run_fu(&rt_off);
+    let fu_out_on = run_fu(&rt_on);
+    let fu_identical = fu_out_on == fu_out_off;
+    assert!(fu_identical, "fusion changed the elementwise chain output");
+    let fu_tasks_unfused = rt_off.trace().user_task_count();
+    let fu_tasks_fused = rt_on.trace().user_task_count();
+    let fu_stats = rt_on.stats();
+    let mut fu_sink = 0.0;
+    // Interleave fused/unfused reps (as the obs section does) and take
+    // each side's best: one run is ~25 ms, well inside this box's noise
+    // floor, and the `--check` gate compares the two directly.
+    let fu_reps = reps.max(9);
+    let mut t_fu_off = f64::INFINITY;
+    let mut t_fu_on = f64::INFINITY;
+    for _ in 0..fu_reps {
+        let rt = fu_rt(false);
+        let start = Instant::now();
+        fu_sink += run_fu(&rt).get(0, 0);
+        t_fu_off = t_fu_off.min(start.elapsed().as_secs_f64());
+        let rt = fu_rt(true);
+        let start = Instant::now();
+        fu_sink += run_fu(&rt).get(0, 0);
+        t_fu_on = t_fu_on.min(start.elapsed().as_secs_f64());
+    }
+    let fu_elems = (fu_chain * 3 * fu_rows * fu_cols) as f64;
+    let fu_off_meps = fu_elems / t_fu_off / 1e6;
+    let fu_on_meps = fu_elems / t_fu_on / 1e6;
+    let speedup_fused = fu_on_meps / fu_off_meps;
+    println!(
+        "fusion chain ({fu_rows}x{fu_cols}, blocks {fu_rb}x{fu_cb}, {} ops): fused {fu_on_meps:.0} Melem/s | unfused {fu_off_meps:.0} Melem/s | speedup {speedup_fused:.2}x (bit-identical, checksum {fu_sink:.3})",
+        fu_chain * 3
+    );
+    println!(
+        "fusion chain tasks: {fu_tasks_unfused} submitted -> {fu_tasks_fused} dispatched ({} fused groups, {} members elided)",
+        fu_stats.fused_tasks, fu_stats.tasks_elided
+    );
+
+    // (b) The PCA pipeline (col-sum map-reduce, centering, gram
+    // map-reduce, eigh, projection): tasks submitted vs dispatched.
+    let (pca_n, pca_d, pca_rb) = if small {
+        (256usize, 8usize, 32usize)
+    } else {
+        (1024, 16, 128)
+    };
+    let pca_x = Matrix::from_fn(pca_n, pca_d, |r, c| {
+        ((r * 31 + c * 17) as f64 * 0.013).sin()
+    });
+    let run_pca = |fuse: bool| -> (Matrix, taskrt::Trace) {
+        let rt = fu_rt(fuse);
+        let ds = DsArray::from_matrix_owned(&rt, pca_x.clone(), pca_rb, pca_d);
+        let pca = Pca::fit(&rt, &ds, Components::Count(4));
+        let proj = pca.transform(&rt, &ds).collect(&rt);
+        rt.barrier();
+        (proj, rt.finish())
+    };
+    let (pca_proj_off, pca_trace_off) = run_pca(false);
+    let (pca_proj_on, pca_trace_on) = run_pca(true);
+    assert_eq!(
+        pca_proj_on, pca_proj_off,
+        "fusion changed the PCA projection"
+    );
+    let pca_submitted = pca_trace_off.user_task_count();
+    let pca_dispatched = pca_trace_on.user_task_count();
+    let pca_reduction = 1.0 - pca_dispatched as f64 / pca_submitted as f64;
+    println!(
+        "fusion pca ({pca_n}x{pca_d}, rb {pca_rb}): {pca_submitted} submitted -> {pca_dispatched} dispatched ({:.1}% fewer, bit-identical)",
+        pca_reduction * 100.0
+    );
+
+    // (c) DES replay of both schedules on the paper's 288-core
+    // MareNostrum 4 partition with a centralized per-task dispatch
+    // cost; the fused Chrome trace is written for inspection (member
+    // names survive inside the `fused(...)` labels).
+    let fu_cluster = ClusterSpec::marenostrum4(6);
+    let fu_opts = SimOptions {
+        dispatch_overhead_s: 1e-3,
+        ..SimOptions::default()
+    };
+    let des_off = simulate(&pca_trace_off, &fu_cluster, &fu_opts);
+    let des_on = simulate(&fuse_trace(&pca_trace_off), &fu_cluster, &fu_opts);
+    println!(
+        "fusion des (288 cores, 1ms dispatch): fused makespan {:.3}s ({} events) | unfused {:.3}s ({} events)",
+        des_on.makespan_s,
+        des_on.schedule.len(),
+        des_off.makespan_s,
+        des_off.schedule.len()
+    );
+    write_artifact("out/fused_pca.trace.json", &chrome_trace(&pca_trace_on))
+        .expect("write out/fused_pca.trace.json");
+
     // -- artifact -----------------------------------------------------
     let doc = Value::Object(vec![
         ("scale".into(), Value::String(scale)),
+        ("fuse".into(), Value::Bool(fuse_all)),
         (
             "scheduler".into(),
             Value::Object(vec![
@@ -584,6 +743,67 @@ fn main() {
             ]),
         ),
         (
+            "fusion".into(),
+            Value::Object(vec![
+                ("chain_rows".into(), Value::Number(fu_rows as f64)),
+                ("chain_cols".into(), Value::Number(fu_cols as f64)),
+                ("chain_block_rows".into(), Value::Number(fu_rb as f64)),
+                ("chain_block_cols".into(), Value::Number(fu_cb as f64)),
+                (
+                    "chain_elementwise_ops".into(),
+                    Value::Number((fu_chain * 3) as f64),
+                ),
+                (
+                    "chain_tasks_submitted".into(),
+                    Value::Number(fu_tasks_unfused as f64),
+                ),
+                (
+                    "chain_tasks_dispatched".into(),
+                    Value::Number(fu_tasks_fused as f64),
+                ),
+                (
+                    "chain_fused_tasks".into(),
+                    Value::Number(fu_stats.fused_tasks as f64),
+                ),
+                (
+                    "chain_tasks_elided".into(),
+                    Value::Number(fu_stats.tasks_elided as f64),
+                ),
+                ("unfused_melems_per_s".into(), Value::Number(fu_off_meps)),
+                ("fused_melems_per_s".into(), Value::Number(fu_on_meps)),
+                ("speedup_fused".into(), Value::Number(speedup_fused)),
+                ("bit_identical".into(), Value::Bool(fu_identical)),
+                (
+                    "pca_tasks_submitted".into(),
+                    Value::Number(pca_submitted as f64),
+                ),
+                (
+                    "pca_tasks_dispatched".into(),
+                    Value::Number(pca_dispatched as f64),
+                ),
+                (
+                    "pca_dispatch_reduction".into(),
+                    Value::Number(pca_reduction),
+                ),
+                (
+                    "des_unfused_makespan_s".into(),
+                    Value::Number(des_off.makespan_s),
+                ),
+                (
+                    "des_fused_makespan_s".into(),
+                    Value::Number(des_on.makespan_s),
+                ),
+                (
+                    "des_unfused_events".into(),
+                    Value::Number(des_off.schedule.len() as f64),
+                ),
+                (
+                    "des_fused_events".into(),
+                    Value::Number(des_on.schedule.len() as f64),
+                ),
+            ]),
+        ),
+        (
             "rf_split".into(),
             Value::Object(vec![
                 ("samples".into(), Value::Number(2.0 * rf_per as f64)),
@@ -600,14 +820,26 @@ fn main() {
 
     // -- gate (--check) -----------------------------------------------
     if args.has("check") {
+        // Under `--fuse` the scheduler sections run through fused
+        // runtimes on the random no-op DAG — the anti-fusion regime
+        // (shallow chains, zero per-task work), where windowing is pure
+        // overhead. The legacy-comparison gates only apply to the
+        // default path; the fused run still gates bit-identity, the
+        // fusion section, and every runtime-independent kernel.
+        let (sched_threaded, sched_inline) = if fuse_all {
+            (f64::INFINITY, f64::INFINITY)
+        } else {
+            (speedup, speedup_inline)
+        };
         let gates = [
-            ("scheduler.speedup_threaded", speedup),
-            ("scheduler.speedup_inline", speedup_inline),
+            ("scheduler.speedup_threaded", sched_threaded),
+            ("scheduler.speedup_inline", sched_inline),
             ("conv.speedup_forward", speedup_conv_f),
             ("conv.speedup_backward", speedup_conv_b),
             ("stft.speedup_plan", speedup_stft),
             ("rf_split.speedup_presorted", speedup_rf),
             ("dataplane.speedup_inout", speedup_dp),
+            ("fusion.speedup_fused", speedup_fused),
         ];
         let mut ok = true;
         for (name, v) in gates {
@@ -622,9 +854,29 @@ fn main() {
             eprintln!("check FAILED: dataplane.steal_rate = {dp_steal_rate:.3} <= 0.5");
             ok = false;
         }
+        // Fusion is an optimizer: it must never change values and must
+        // actually shrink the dispatched PCA schedule.
+        if !fu_identical {
+            eprintln!("check FAILED: fusion.bit_identical = false");
+            ok = false;
+        }
+        if pca_reduction < 0.30 || pca_reduction.is_nan() {
+            eprintln!("check FAILED: fusion.pca_dispatch_reduction = {pca_reduction:.3} < 0.30");
+            ok = false;
+        }
+        if des_on.makespan_s >= des_off.makespan_s {
+            eprintln!(
+                "check FAILED: fused DES makespan {:.3}s >= unfused {:.3}s",
+                des_on.makespan_s, des_off.makespan_s
+            );
+            ok = false;
+        }
         if !ok {
             std::process::exit(1);
         }
-        println!("check: all speedup_* fields >= 1.0 and steal rate > 50%");
+        println!(
+            "check: all speedup_* fields >= 1.0, steal rate > 50%, fusion bit-identical with {:.0}% fewer PCA dispatches",
+            pca_reduction * 100.0
+        );
     }
 }

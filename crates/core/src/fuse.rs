@@ -1,0 +1,456 @@
+//! Graph-rewrite planning for the task-fusion optimizer.
+//!
+//! COMPSs-style runtimes pay a constant scheduling cost per task —
+//! submission, dependency release, queueing, dispatch, commit — which is
+//! exactly what flattens speedup curves once tasks get fine-grained
+//! (*Runtime vs Scheduler: Analyzing Dask's Overheads*, arXiv
+//! 2010.11105). Fusing compatible neighbours into one task amortizes
+//! that cost (*Composing Distributed Computations Through Task and
+//! Kernel Fusion*, arXiv 2406.18109). This module holds the planning
+//! core shared by two consumers:
+//!
+//! - the **live optimizer** in [`crate::runtime`], which plans over the
+//!   buffered submission window at flush time
+//!   ([`crate::RuntimeConfig::fuse`]), and
+//! - [`fuse_trace`], which statically rewrites a recorded [`Trace`] so
+//!   the discrete-event simulator can replay the *fused* schedule of a
+//!   workflow and quantify the overhead recovered at scale.
+//!
+//! The planner is deliberately conservative: it only builds groups whose
+//! sequential member order is provably a valid topological order and
+//! which cannot serialize work that was parallel before fusion.
+
+use std::collections::HashMap;
+
+use crate::handle::{DataId, TaskId};
+use crate::trace::{TaskRecord, Trace};
+
+/// Multiply-mix hasher for the dense integer keys (`DataId`, `TaskId`)
+/// used by the planning passes. The default SipHash costs more than the
+/// per-task dispatch work fusion is trying to recover — at fine task
+/// granularity the flush would eat its own win.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let x = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = x ^ (x >> 32);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FastHasher`] — for planner-internal maps only.
+pub type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FastHasher>>;
+
+/// Upper bound on members per fused group. Chains longer than this are
+/// split — an arbitrarily long fused task would become the straggler
+/// that defeats work stealing, and its retry unit (all-or-nothing)
+/// would grow unbounded.
+pub const MAX_GROUP: usize = 32;
+
+/// Planner view of one buffered (or recorded) task.
+pub struct FuseNode {
+    /// Indices of this node's producers **within the window** (tasks
+    /// outside the window are already materialized and irrelevant to
+    /// grouping). Sorted and deduplicated; every entry is `<` the
+    /// node's own index, since producers precede consumers in
+    /// submission order.
+    pub preds: Vec<usize>,
+    /// Whether this node may join a multi-member group at all. The
+    /// callers clear this for nested tasks (one child-trace slot per
+    /// record) and for failure policies whose cascade semantics a fused
+    /// task cannot honour per-member (`Ignore`, `CancelSuccessors`).
+    pub fusible: bool,
+}
+
+/// Partitions window nodes `0..n` into groups whose members, executed
+/// back-to-back in index order, preserve the unfused semantics. Every
+/// group is sorted ascending; singleton groups mean "dispatch as-is".
+///
+/// Two rewrite rules, both greedy over one pass in submission order:
+///
+/// - **Chain append** — node `j` joins the group `G` holding *all* of
+///   its in-window producers when each such producer is consumed only
+///   inside `G` (or by `j` itself). The consumer check is what stops a
+///   fan-out hub (e.g. a PCA mean read by every center task) from
+///   dragging its whole frontier into one serialized group; a consumer
+///   not yet assigned to a group counts as outside, keeping the rule
+///   conservative under the single forward pass.
+/// - **Leaf merge** — node `j` whose producers are all *singleton*
+///   groups of source nodes (no in-window producers of their own, each
+///   consumed only by `j`) absorbs them. This fuses map stages into the
+///   first level of a reduction tree. Requiring sources keeps the
+///   emission order (groups sorted by first member) topologically
+///   valid: a merged group can only depend on tasks submitted before
+///   its first member.
+///
+/// Emitting groups sorted by their first member index is always a valid
+/// topological order: by construction every external dependency of a
+/// group points at a node with a smaller index than the group's first
+/// member.
+pub fn plan_groups(nodes: &[FuseNode]) -> Vec<Vec<usize>> {
+    let mut off: Vec<u32> = Vec::with_capacity(nodes.len() + 1);
+    off.push(0);
+    let mut flat: Vec<u32> = Vec::new();
+    let mut fusible: Vec<bool> = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        flat.extend(node.preds.iter().map(|&p| p as u32));
+        off.push(flat.len() as u32);
+        fusible.push(node.fusible);
+    }
+    plan_groups_csr(&fusible, &off, &flat)
+}
+
+/// CSR-layout twin of [`plan_groups`]: node `j`'s (sorted, deduplicated)
+/// in-window producers are `preds_flat[preds_off[j]..preds_off[j+1]]`.
+/// This is the form [`flush_fuse`] builds directly — three flat vectors
+/// instead of a `Vec` allocation per buffered task, which matters
+/// because the planner runs on the flush hot path and must stay cheaper
+/// than the dispatch work it removes.
+pub fn plan_groups_csr(fusible: &[bool], preds_off: &[u32], preds_flat: &[u32]) -> Vec<Vec<usize>> {
+    let n = fusible.len();
+    debug_assert_eq!(preds_off.len(), n + 1);
+    let preds =
+        |j: usize| -> &[u32] { &preds_flat[preds_off[j] as usize..preds_off[j + 1] as usize] };
+    // Consumers per node, derived from preds (same CSR trick).
+    let mut off: Vec<u32> = vec![0; n + 1];
+    for &p in preds_flat {
+        off[p as usize + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut cursor = off.clone();
+    let mut cons_flat: Vec<u32> = vec![0; preds_flat.len()];
+    for j in 0..n {
+        for &p in preds(j) {
+            debug_assert!((p as usize) < j, "producer index must precede consumer");
+            cons_flat[cursor[p as usize] as usize] = j as u32;
+            cursor[p as usize] += 1;
+        }
+    }
+    let cons = |p: usize| -> &[u32] { &cons_flat[off[p] as usize..off[p + 1] as usize] };
+    const UNASSIGNED: usize = usize::MAX;
+    let mut group_of: Vec<usize> = vec![UNASSIGNED; n];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut pgs: Vec<usize> = Vec::new();
+    for j in 0..n {
+        if fusible[j] && !preds(j).is_empty() {
+            pgs.clear();
+            pgs.extend(preds(j).iter().map(|&p| group_of[p as usize]));
+            pgs.sort_unstable();
+            pgs.dedup();
+            if pgs.len() == 1 {
+                // Chain append: all producers live in one group.
+                let g = pgs[0];
+                let fits = groups[g].len() < MAX_GROUP;
+                let all_fusible = groups[g].iter().all(|&m| fusible[m]);
+                let chain_ok = preds(j).iter().all(|&p| {
+                    cons(p as usize)
+                        .iter()
+                        .all(|&c| c as usize == j || group_of[c as usize] == g)
+                });
+                if fits && all_fusible && chain_ok {
+                    groups[g].push(j);
+                    group_of[j] = g;
+                    continue;
+                }
+            } else if pgs.len() < MAX_GROUP
+                && pgs.iter().all(|&g| {
+                    groups[g].len() == 1 && {
+                        let m = groups[g][0];
+                        fusible[m]
+                            && preds(m).is_empty()
+                            && cons(m).iter().all(|&c| c as usize == j)
+                    }
+                })
+            {
+                // Leaf merge: absorb the singleton source producers.
+                let keep = pgs[0];
+                let mut members: Vec<usize> = pgs.iter().map(|&g| groups[g][0]).collect();
+                members.sort_unstable();
+                members.push(j);
+                for &g in &pgs {
+                    groups[g].clear();
+                }
+                for &m in &members {
+                    group_of[m] = keep;
+                }
+                groups[keep] = members;
+                continue;
+            }
+        }
+        group_of[j] = groups.len();
+        groups.push(vec![j]);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups.sort_by_key(|g| g[0]);
+    groups
+}
+
+/// Run-length-compressed member label for a fused task:
+/// `fused(scale+sub_row*2+div_row)`. Keeps the member identities
+/// visible in obs profiles, Chrome traces, and `FaultPlan` name
+/// matching without exploding label width on long homogeneous chains.
+pub fn fused_label(names: &[&str]) -> String {
+    let mut label = String::with_capacity(16 + names.iter().map(|n| n.len() + 3).sum::<usize>());
+    label.push_str("fused(");
+    let mut i = 0;
+    while i < names.len() {
+        let mut j = i + 1;
+        while j < names.len() && names[j] == names[i] {
+            j += 1;
+        }
+        if i > 0 {
+            label.push('+');
+        }
+        label.push_str(names[i]);
+        if j - i > 1 {
+            label.push('*');
+            label.push_str(&(j - i).to_string());
+        }
+        i = j;
+    }
+    label.push(')');
+    label
+}
+
+/// Statically rewrites a recorded trace as the fusion optimizer would
+/// have executed it: compatible chains collapse into single `fused(…)`
+/// records whose duration is the sum of their members. Feeds the DES —
+/// `simulate(&fuse_trace(&t), …)` replays the fused schedule on a
+/// simulated cluster, showing how much makespan the per-task dispatch
+/// overhead was costing.
+///
+/// Markers and nested-task records are never fused. Data internal to a
+/// group (produced and read only inside it) disappears from the fused
+/// record's interface, exactly as the live optimizer elides it.
+pub fn fuse_trace(trace: &Trace) -> Trace {
+    let producer = trace.producer_index();
+    // Readers per datum, for the internal-data analysis.
+    let mut readers: FastMap<DataId, Vec<usize>> = FastMap::default();
+    for (i, r) in trace.records.iter().enumerate() {
+        for (d, _) in &r.inputs {
+            readers.entry(*d).or_default().push(i);
+        }
+    }
+    let nodes: Vec<FuseNode> = trace
+        .records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut preds: Vec<usize> = r
+                .inputs
+                .iter()
+                .filter_map(|(d, _)| producer.get(d).copied())
+                .filter(|&p| p != i)
+                .collect();
+            preds.sort_unstable();
+            preds.dedup();
+            FuseNode {
+                preds,
+                fusible: !r.is_marker() && r.child.is_none(),
+            }
+        })
+        .collect();
+    let groups = plan_groups(&nodes);
+
+    let mut records: Vec<TaskRecord> = Vec::with_capacity(groups.len());
+    for (new_seq, g) in groups.iter().enumerate() {
+        let rep = &trace.records[g[0]];
+        if g.len() == 1 {
+            let mut rec = rep.clone();
+            rec.seq = new_seq as u64;
+            records.push(rec);
+            continue;
+        }
+        let members: Vec<&TaskRecord> = g.iter().map(|&i| &trace.records[i]).collect();
+        let member_ids: Vec<TaskId> = members.iter().map(|m| m.id).collect();
+        let in_group = |t: &TaskId| member_ids.contains(t);
+        let mut deps: Vec<TaskId> = members
+            .iter()
+            .flat_map(|m| m.deps.iter().copied())
+            .filter(|d| !in_group(d))
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        // Inputs: union of member inputs minus data produced in-group,
+        // first-occurrence order.
+        let produced_in_group: Vec<DataId> = members
+            .iter()
+            .flat_map(|m| m.outputs.iter().map(|(d, _)| *d))
+            .collect();
+        let mut inputs: Vec<(DataId, usize)> = Vec::new();
+        for m in &members {
+            for &(d, b) in &m.inputs {
+                if !produced_in_group.contains(&d) && !inputs.iter().any(|(e, _)| *e == d) {
+                    inputs.push((d, b));
+                }
+            }
+        }
+        // Outputs: member outputs that are read outside the group, or
+        // read by nothing at all (terminal results must survive).
+        let group_set: Vec<usize> = g.clone();
+        let mut outputs: Vec<(DataId, usize)> = Vec::new();
+        for m in &members {
+            for &(d, b) in &m.outputs {
+                let internal = readers
+                    .get(&d)
+                    .map(|rs| !rs.is_empty() && rs.iter().all(|r| group_set.contains(r)))
+                    .unwrap_or(false);
+                if !internal {
+                    outputs.push((d, b));
+                }
+            }
+        }
+        let names: Vec<&str> = members.iter().map(|m| m.name.as_str()).collect();
+        records.push(TaskRecord {
+            id: rep.id,
+            name: fused_label(&names),
+            deps,
+            duration_s: members.iter().map(|m| m.duration_s).sum(),
+            inputs,
+            outputs,
+            cores: members.iter().map(|m| m.cores).max().unwrap_or(1),
+            gpus: members.iter().map(|m| m.gpus).max().unwrap_or(0),
+            seq: new_seq as u64,
+            start_s: rep.start_s,
+            worker: rep.worker,
+            child: None,
+            attempts: vec![],
+        });
+    }
+    Trace { records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(preds: &[usize], fusible: bool) -> FuseNode {
+        FuseNode {
+            preds: preds.to_vec(),
+            fusible,
+        }
+    }
+
+    #[test]
+    fn linear_chain_fuses_into_one_group() {
+        // 0 -> 1 -> 2 -> 3, each intermediate read once.
+        let nodes = vec![
+            node(&[], true),
+            node(&[0], true),
+            node(&[1], true),
+            node(&[2], true),
+        ];
+        assert_eq!(plan_groups(&nodes), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn fan_out_hub_is_not_serialized() {
+        // 0 feeds 1 and 2 (independent branches): fusing either branch
+        // with 0 would serialize the other behind it.
+        let nodes = vec![node(&[], true), node(&[0], true), node(&[0], true)];
+        let groups = plan_groups(&nodes);
+        assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn map_feeding_reduce_leaf_merges() {
+        // Two source maps (0, 1) feed reduce 2: classic first tree level.
+        let nodes = vec![node(&[], true), node(&[], true), node(&[0, 1], true)];
+        assert_eq!(plan_groups(&nodes), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn merge_requires_source_singletons() {
+        // 0 -> 1, 2; reduce 3 reads 1 and 2. Node 1 has an in-window
+        // producer, so merging would order group [1,2,3] after 0 while
+        // containing a task (2) submitted before... — rejected.
+        let nodes = vec![
+            node(&[], true),
+            node(&[0], true),
+            node(&[], true),
+            node(&[1, 2], true),
+        ];
+        let groups = plan_groups(&nodes);
+        assert!(groups.iter().all(|g| g.len() <= 2), "{groups:?}");
+    }
+
+    #[test]
+    fn non_fusible_blocks_append() {
+        let nodes = vec![node(&[], true), node(&[0], false), node(&[1], true)];
+        let groups = plan_groups(&nodes);
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn shared_source_blocks_merge() {
+        // Sources 0 and 1 both feed reduces 2 and 3: absorbing them into
+        // 2's group would serialize 3 behind the whole group.
+        let nodes = vec![
+            node(&[], true),
+            node(&[], true),
+            node(&[0, 1], true),
+            node(&[0, 1], true),
+        ];
+        let groups = plan_groups(&nodes);
+        assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn groups_stay_under_max() {
+        let mut nodes = vec![node(&[], true)];
+        for i in 1..100 {
+            nodes.push(node(&[i - 1], true));
+        }
+        let groups = plan_groups(&nodes);
+        assert!(groups.iter().all(|g| g.len() <= MAX_GROUP));
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn label_run_length_compresses() {
+        assert_eq!(
+            fused_label(&["scale", "scale", "scale", "sub"]),
+            "fused(scale*3+sub)"
+        );
+        assert_eq!(fused_label(&["a"]), "fused(a)");
+    }
+
+    #[test]
+    fn fuse_trace_collapses_a_runtime_chain() {
+        let rt = crate::Runtime::new();
+        let mut h = rt.put(vec![1.0f64; 64]);
+        for _ in 0..5 {
+            h = rt.task("inc").run1(h, |v: &Vec<f64>| {
+                v.iter().map(|x| x + 1.0).collect::<Vec<f64>>()
+            });
+        }
+        let _ = rt.wait(h);
+        let t = rt.trace();
+        let fused = fuse_trace(&t);
+        assert!(fused.len() < t.len());
+        assert!(fused
+            .records
+            .iter()
+            .any(|r| r.name.starts_with("fused(inc")));
+        // Total work is preserved (durations sum).
+        let work = |tr: &Trace| -> f64 { tr.records.iter().map(|r| r.duration_s).sum() };
+        assert!((work(&t) - work(&fused)).abs() < 1e-12);
+    }
+}

@@ -30,6 +30,7 @@
 //! |---|---|
 //! | [`runtime`] | [`Runtime`], [`TaskBuilder`], execution modes, nesting |
 //! | [`fault`] | [`OnFailure`] / [`RetryPolicy`] policies, [`FaultPlan`] injection |
+//! | [`fuse`] | graph-rewrite planner for task fusion, [`fuse_trace`] |
 //! | [`handle`] | [`Handle`], [`DataId`], [`TaskId`] |
 //! | [`payload`] | the [`Payload`] trait (what can flow between tasks) |
 //! | [`trace`] | [`Trace`] / [`TaskRecord`] — the replayable artifact |
@@ -49,6 +50,7 @@
 
 pub mod dot;
 pub mod fault;
+pub mod fuse;
 pub mod gantt;
 pub mod handle;
 pub mod json;
@@ -59,6 +61,7 @@ pub mod sim;
 pub mod trace;
 
 pub use fault::{FaultMode, FaultPlan, OnFailure, RetryPolicy, TaskFault};
+pub use fuse::fuse_trace;
 pub use handle::{DataId, Handle, TaskId};
 pub use obs::{Profile, RuntimeStats, SimProfile};
 pub use payload::Payload;

@@ -61,6 +61,7 @@
 //!   (observable via [`live_worker_threads`]).
 
 use crate::fault::{FaultMode, FaultPlan, OnFailure, RetryPolicy, TaskFault, INJECTED_PANIC};
+use crate::fuse::{fused_label, plan_groups_csr};
 use crate::handle::{DataId, Handle, TaskId};
 use crate::obs::{Counters, RuntimeStats};
 use crate::payload::Payload;
@@ -136,6 +137,17 @@ pub struct RuntimeConfig {
     /// on; `bench --bin perf` measures the on-vs-off gap to keep it
     /// within noise.
     pub metrics: bool,
+    /// Whether submissions are windowed in a lazy buffer and rewritten
+    /// by the graph optimizer before dispatch: linear chains of
+    /// compatible tasks are fused into single tasks, and dead
+    /// [`TaskBuilder::discardable`] tasks are elided (see
+    /// [`crate::fuse`]). Results are bit-identical; what changes is the
+    /// number of dispatched tasks and therefore the per-task overhead.
+    /// Off by default — fusion trades submission eagerness (tasks only
+    /// start at the next `wait`/`peek`/`barrier` or when the window
+    /// fills) for lower scheduling cost, which pays off on fine-grained
+    /// block pipelines.
+    pub fuse: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -144,6 +156,7 @@ impl Default for RuntimeConfig {
             mode: ExecMode::Inline,
             nested_mode: ExecMode::Inline,
             metrics: true,
+            fuse: false,
         }
     }
 }
@@ -152,6 +165,7 @@ impl Default for RuntimeConfig {
 pub struct TaskCtx {
     nested_mode: ExecMode,
     metrics: bool,
+    fuse: bool,
     /// Runtime counters for in-body instrumentation (INOUT steal/copy
     /// accounting); `None` when metrics are off.
     counters: Option<Arc<Counters>>,
@@ -169,6 +183,7 @@ impl TaskCtx {
             mode: self.nested_mode,
             nested_mode: self.nested_mode,
             metrics: self.metrics,
+            fuse: self.fuse,
         });
         *lock(&self.child) = Some(rt.clone());
         rt
@@ -377,6 +392,49 @@ struct State {
     staged: Vec<ReadyRun>,
 }
 
+/// A submission parked in the fusion window: everything
+/// [`submit_locked`] needs to materialize the task later, plus the
+/// optimizer-facing flags. Output [`DataEntry`]s are pre-allocated at
+/// buffering time so handles stay valid; their `producer` stays `None`
+/// until materialization — unobservable in between, because every read
+/// path (`wait`/`peek`/`barrier`/`trace`) flushes the window first.
+struct BufTask {
+    name: String,
+    cores: u32,
+    gpus: u32,
+    inputs: Vec<DataId>,
+    consume_mask: u64,
+    /// Output data ids are pre-allocated contiguously at buffering time,
+    /// so a `(first, count)` range replaces an owned vector — the flush
+    /// derives both the producer index and the materialized output list
+    /// from it without touching the allocator.
+    first_out: DataId,
+    n_outs: u32,
+    fault: TaskFault,
+    /// Whether the optimizer may merge this task into a fused group.
+    /// Nested tasks are excluded: a fused record has one child-trace
+    /// slot, so merging would silently drop all but one sub-trace.
+    fusible: bool,
+    /// Whether the dead-task pass may elide this task when nothing in
+    /// the window reads its outputs (opt-in via
+    /// [`TaskBuilder::discardable`]).
+    discardable: bool,
+    f: TaskFn,
+}
+
+/// What triggered a fusion-window flush.
+#[derive(Clone, Copy)]
+enum FlushKind {
+    /// A synchronization point: `wait`/`peek` (carrying the awaited
+    /// datum) or `barrier` (`None`). The only flushes that run dead-task
+    /// elimination — a discardable task unread by the window and not the
+    /// sync target is provably unobservable here.
+    Sync(Option<DataId>),
+    /// Window overflow or an observability read (`trace`, `stats`,
+    /// `task_count`): materialize everything, elide nothing.
+    Drain,
+}
+
 struct WakeState {
     /// Workers currently in (or entering) a condvar sleep.
     sleepers: usize,
@@ -413,6 +471,19 @@ struct Shared {
     /// Mirror of `sleepers > tokens`, maintained under the wake lock;
     /// lets `submit_raw` decide stage-vs-flush without that lock.
     idle_hint: AtomicBool,
+    /// The fusion window (`RuntimeConfig::fuse`): parked submissions
+    /// waiting for [`flush_fuse`]. The mutex is held across a whole
+    /// flush and by every buffering submission, so a flush can release
+    /// the *state* lock between submit chunks (letting workers start on
+    /// already-submitted groups) while concurrent driver threads still
+    /// observe the flush as atomic. Lock order: always `fuse_flush`
+    /// before `state`.
+    fuse_flush: Mutex<Vec<Option<BufTask>>>,
+    /// Id allocator for [`DataId`]s, decoupled from `State::data` so a
+    /// buffering submission needs no state lock at all: entries for
+    /// allocated-but-unmaterialized ids are backfilled in bulk (see
+    /// [`ensure_data`]) by whoever touches the data table next.
+    data_ids: AtomicU64,
     /// Installed fault-injection plan (chaos harness), if any.
     fault_plan: Mutex<Option<Arc<FaultPlan>>>,
     /// Mirror of `fault_plan.is_some()`: a relaxed load keeps the
@@ -469,7 +540,14 @@ impl Runtime {
             mode: ExecMode::Threads(workers),
             nested_mode: ExecMode::Inline,
             metrics: true,
+            fuse: false,
         })
+    }
+
+    /// Whether this runtime buffers submissions for the graph-rewrite
+    /// optimizer (see [`RuntimeConfig::fuse`]).
+    pub fn fusing(&self) -> bool {
+        self.inner.shared.config.fuse
     }
 
     /// Builds a runtime from an explicit configuration.
@@ -501,6 +579,8 @@ impl Runtime {
             }),
             wake_cv: Condvar::new(),
             idle_hint: AtomicBool::new(false),
+            fuse_flush: Mutex::new(Vec::new()),
+            data_ids: AtomicU64::new(0),
             fault_plan: Mutex::new(None),
             fault_active: AtomicBool::new(false),
             epoch: Instant::now(),
@@ -525,13 +605,15 @@ impl Runtime {
     /// places such data on the master node (node 0).
     pub fn put<T: Payload>(&self, value: T) -> Handle<T> {
         let bytes = value.approx_bytes();
-        let mut st = lock(&self.inner.shared.state);
-        let id = DataId(st.data.len() as u64);
-        st.data.push(DataEntry {
+        let shared = &self.inner.shared;
+        let id = DataId(shared.data_ids.fetch_add(1, Ordering::Relaxed));
+        let mut st = lock(&shared.state);
+        ensure_data(&mut st, id.0 + 1);
+        st.data[id.0 as usize] = DataEntry {
             slot: Slot::Ready(Arc::new(value), bytes),
             producer: None,
             pending_reads: 0,
-        });
+        };
         Handle::new(id)
     }
 
@@ -547,6 +629,8 @@ impl Runtime {
             cores: 1,
             gpus: 0,
             fault: TaskFault::default(),
+            fusible: true,
+            discardable: false,
         }
     }
 
@@ -571,6 +655,11 @@ impl Runtime {
     /// # Panics
     /// Panics if the producing task panicked.
     pub fn wait<T: Payload>(&self, h: Handle<T>) -> Arc<T> {
+        // Materialize the fusion window (if any) before the marker: the
+        // marker's dependency is the *materialized* producer of `h`, and
+        // no task submitted before this wait may be elided as dead if it
+        // feeds `h`.
+        self.flush_fuse(FlushKind::Sync(Some(h.id)));
         // Record the sync marker first (driver-side order is submission
         // order), then block.
         {
@@ -597,6 +686,9 @@ impl Runtime {
     }
 
     fn block_on<T: Payload>(&self, id: DataId) -> Arc<T> {
+        // `peek` lands here directly; `wait` already flushed (the call
+        // below is then a cheap empty-buffer early return).
+        self.flush_fuse(FlushKind::Sync(Some(id)));
         let shared = &self.inner.shared;
         let di = id.0 as usize;
         if di >= lock(&shared.state).data.len() {
@@ -659,6 +751,7 @@ impl Runtime {
     /// Waits for every submitted task to complete and records a barrier
     /// marker (PyCOMPSs `compss_barrier`).
     pub fn barrier(&self) {
+        self.flush_fuse(FlushKind::Sync(None));
         let shared = &self.inner.shared;
         let pending: Vec<TaskId> = {
             let mut st = lock(&shared.state);
@@ -755,6 +848,9 @@ impl Runtime {
     ///
     /// [`barrier`]: Runtime::barrier
     pub fn trace(&self) -> Trace {
+        // Observability reads materialize the window without eliding
+        // anything — a not-yet-synchronized task is still a submission.
+        self.flush_fuse(FlushKind::Drain);
         let st = lock(&self.inner.shared.state);
         Trace {
             records: st.records.clone(),
@@ -769,6 +865,7 @@ impl Runtime {
 
     /// Number of tasks submitted so far (markers included).
     pub fn task_count(&self) -> usize {
+        self.flush_fuse(FlushKind::Drain);
         lock(&self.inner.shared.state).records.len()
     }
 
@@ -776,6 +873,7 @@ impl Runtime {
     /// [`crate::obs::RuntimeStats`]). All zeros when the runtime was
     /// built with [`RuntimeConfig::metrics`] `= false`.
     pub fn stats(&self) -> RuntimeStats {
+        self.flush_fuse(FlushKind::Drain);
         self.inner.shared.counters.snapshot()
     }
 
@@ -867,9 +965,41 @@ impl Runtime {
         cores: u32,
         gpus: u32,
         inputs: Vec<DataId>,
+        consume_mask: u64,
+        n_outputs: usize,
+        fault: TaskFault,
+        f: TaskFn,
+    ) -> Vec<DataId> {
+        self.submit_inner(
+            name,
+            cores,
+            gpus,
+            inputs,
+            consume_mask,
+            n_outputs,
+            fault,
+            true,
+            false,
+            f,
+        )
+    }
+
+    /// Full-parameter submission: the public paths above plus the
+    /// optimizer flags (`fusible`, `discardable` — see [`BufTask`]).
+    /// With [`RuntimeConfig::fuse`] off this is the direct dispatch
+    /// path; with it on, the task parks in the fusion window.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_inner(
+        &self,
+        name: String,
+        cores: u32,
+        gpus: u32,
+        inputs: Vec<DataId>,
         mut consume_mask: u64,
         n_outputs: usize,
         fault: TaskFault,
+        fusible: bool,
+        discardable: bool,
         f: TaskFn,
     ) -> Vec<DataId> {
         // A datum passed twice to the same task must never be consumed:
@@ -889,239 +1019,843 @@ impl Runtime {
             }
         }
         let shared = &self.inner.shared;
-        let (outputs, inline_run, wake_n) = {
+        if shared.config.fuse {
+            // Buffering touches neither the state lock nor the data
+            // table: ids come from the atomic allocator and entries are
+            // backfilled in bulk at flush time (see [`ensure_data`]).
+            // Allocation happens under the window lock so buffer order
+            // always matches id order — the flush's producer index
+            // depends on the window being sorted by `first_out`.
+            let (first_out, overflow) = {
+                let mut window = lock(&shared.fuse_flush);
+                let first_out = DataId(
+                    shared
+                        .data_ids
+                        .fetch_add(n_outputs as u64, Ordering::Relaxed),
+                );
+                window.push(Some(BufTask {
+                    name,
+                    cores,
+                    gpus,
+                    inputs,
+                    consume_mask,
+                    first_out,
+                    n_outs: n_outputs as u32,
+                    fault,
+                    fusible,
+                    discardable,
+                    f,
+                }));
+                (first_out, window.len() >= FUSE_WINDOW)
+            };
+            if overflow {
+                self.flush_fuse(FlushKind::Drain);
+            }
+            return (0..n_outputs as u64)
+                .map(|k| DataId(first_out.0 + k))
+                .collect();
+        }
+        let mut inline_runs = Vec::new();
+        let mut wake_n = 0;
+        let outputs = {
             let mut st = lock(&shared.state);
-            let tid = TaskId(st.tasks.len() as u64);
-
-            let mut outputs = Vec::with_capacity(n_outputs);
-            for _ in 0..n_outputs {
-                let id = DataId(st.data.len() as u64);
-                st.data.push(DataEntry {
-                    slot: Slot::Pending,
-                    producer: Some(tid),
-                    pending_reads: 0,
-                });
-                outputs.push(id);
-            }
-
-            let seq = st.records.len() as u64;
-            let mut consumed_input = None;
-            let mut poisoned_input: Option<Arc<str>> = None;
-            let input_bytes: Vec<(DataId, usize)> = inputs
-                .iter()
-                .map(|d| {
-                    let b = match &st.data[d.0 as usize].slot {
-                        Slot::Ready(_, b) => *b,
-                        Slot::Moved(b) => {
-                            consumed_input = Some(*d);
-                            *b
-                        }
-                        Slot::Pending => 0, // filled in at completion
-                        Slot::Poisoned(m) => {
-                            poisoned_input = Some(m.clone());
-                            0
-                        }
-                    };
-                    (*d, b)
-                })
-                .collect();
-
-            // Data dependencies: last writer of each input. Consuming
-            // `inputs` by value lets `collect` reuse its allocation
-            // (same-layout in-place collection) — the record's `inputs`
-            // carries the ids from here on.
-            let mut deps: Vec<TaskId> = inputs
-                .into_iter()
-                .filter_map(|d| st.data[d.0 as usize].producer)
-                .collect();
-            if let Some(m) = st.sync_marker {
-                deps.push(m);
-            }
-            deps.sort_unstable();
-            deps.dedup();
-            deps.retain(|&d| d != tid);
-
-            let st = &mut *st; // split field borrows below
-            let inherited_failure = deps
-                .iter()
-                .find_map(|&d| st.tasks[d.0 as usize].failure.clone());
-            let remaining = deps
-                .iter()
-                .filter(|&&d| st.tasks[d.0 as usize].status != Status::Done)
-                .count();
-
-            st.records.push(TaskRecord {
-                id: tid,
+            submit_locked(
+                shared,
+                &mut st,
                 name,
-                deps, // moved — the record holds the only copy
-                duration_s: 0.0,
-                inputs: input_bytes,
-                outputs: outputs.iter().map(|&d| (d, 0)).collect(),
                 cores,
                 gpus,
-                seq,
-                start_s: 0.0,
-                worker: -1,
-                child: None,
-                attempts: vec![],
-            });
-            st.since_barrier.push(tid);
-
-            let ready_now = if let Some(d) = consumed_input {
-                // Reading a datum an INOUT task already consumed is a
-                // contract violation; fail in place, loudly, instead of
-                // handing out a stale or missing value.
-                st.tasks.push(TaskEntry {
-                    status: Status::Failed,
-                    remaining: 0,
-                    dependents: Vec::new(),
-                    job: None,
-                    failure: Some(
-                        format!(
-                            "input {d:?} was already consumed by an INOUT task; \
-                             use the handle returned by run*_inout instead"
-                        )
-                        .into(),
-                    ),
-                    on_failure: fault.on_failure,
-                });
-                false
-            } else if let Some(msg) = poisoned_input {
-                // An upstream failure was ignored (or cancelled its
-                // successors): this task can never run. Cancel in place
-                // and poison its outputs so the silence propagates.
-                st.tasks.push(TaskEntry {
-                    status: Status::Cancelled,
-                    remaining: 0,
-                    dependents: Vec::new(),
-                    job: None,
-                    failure: None,
-                    on_failure: fault.on_failure,
-                });
-                for &d in &outputs {
-                    st.data[d.0 as usize].slot = Slot::Poisoned(msg.clone());
-                }
-                if shared.config.metrics {
-                    Counters::add(&shared.counters.cancelled, 1);
-                }
-                false
-            } else if let Some(msg) = inherited_failure {
-                // A dependency already failed; its cascade ran before we
-                // existed, so fail in place (waiters see it immediately).
-                st.tasks.push(TaskEntry {
-                    status: Status::Failed,
-                    remaining: 0,
-                    dependents: Vec::new(),
-                    job: None,
-                    failure: Some(msg),
-                    on_failure: fault.on_failure,
-                });
-                false
-            } else if remaining == 0 {
-                st.tasks.push(TaskEntry {
-                    status: Status::Ready,
-                    remaining: 0,
-                    dependents: Vec::new(),
-                    job: Some(PendingJob {
-                        f,
-                        consume_mask,
-                        fault,
-                    }),
-                    failure: None,
-                    on_failure: fault.on_failure,
-                });
-                true
-            } else {
-                st.tasks.push(TaskEntry {
-                    status: Status::Waiting,
-                    remaining,
-                    dependents: Vec::new(),
-                    job: Some(PendingJob {
-                        f,
-                        consume_mask,
-                        fault,
-                    }),
-                    failure: None,
-                    on_failure: fault.on_failure,
-                });
-                let deps = &st.records[tid.0 as usize].deps;
-                let tasks = &mut st.tasks;
-                for &d in deps {
-                    if tasks[d.0 as usize].status != Status::Done {
-                        tasks[d.0 as usize].dependents.push(tid);
-                    }
-                }
-                false
-            };
-            // Tasks holding a job are pending readers of their inputs
-            // until `make_run` resolves them (see `DataEntry::
-            // pending_reads`); failed-in-place tasks never dispatch.
-            if st.tasks[tid.0 as usize].job.is_some() {
-                let ins = &st.records[tid.0 as usize].inputs;
-                let data = &mut st.data;
-                for (d, _) in ins {
-                    data[d.0 as usize].pending_reads += 1;
-                }
-            }
-
-            // Dispatch, still under the state lock. Inline: resolve now
-            // and run after unlocking. Threaded: stage the resolved run
-            // and flush in batches — an idle worker forces an immediate
-            // flush (eager semantics); otherwise submission storms pay
-            // one injector lock + wakeup per batch, not per task. Lock
-            // order state -> wake/injector is one-way: nothing acquires
-            // the state lock while holding either.
-            let mut wake_n = 0;
-            let mut inline_run = None;
-            if ready_now {
-                let metrics = shared.config.metrics;
-                let inject = shared.fault_active.load(Ordering::Relaxed);
-                match shared.config.mode {
-                    // Inline runs the task right here: queue wait is
-                    // genuinely ~0, so skip the stamp (and its clock
-                    // read) entirely.
-                    ExecMode::Inline => inline_run = Some(make_run(st, tid, None, inject)),
-                    ExecMode::Threads(_) => {
-                        // Staged tasks are invisible to workers until
-                        // the flush below publishes them, so the flush
-                        // stamps the whole batch (one clock read per
-                        // batch, not per submission).
-                        let run = make_run(st, tid, None, inject);
-                        st.staged.push(run);
-                        // "Idle" means a sleeper with no wakeup already
-                        // in flight — a notified-but-not-yet-scheduled
-                        // worker doesn't force a flush per submission.
-                        // (Hint read is racy but never loses work: a
-                        // worker publishes the hint before its final
-                        // staged-drain, and we stage before reading.)
-                        let idle = shared.idle_hint.load(Ordering::Relaxed);
-                        if idle || st.staged.len() >= STAGE_BATCH {
-                            wake_n = st.staged.len();
-                            let stamp = metrics.then(Instant::now);
-                            lock(&shared.injector).extend(st.staged.drain(..).map(|mut r| {
-                                r.ready_at = stamp;
-                                r
-                            }));
-                            if metrics {
-                                Counters::add(&shared.counters.injector_flushes, 1);
-                                Counters::add(
-                                    &shared.counters.injector_flushed_tasks,
-                                    wake_n as u64,
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-            (outputs, inline_run, wake_n)
+                inputs,
+                consume_mask,
+                SubmitOutputs::Alloc(n_outputs),
+                fault,
+                f,
+                &mut inline_runs,
+                &mut wake_n,
+            )
         };
-
-        if let Some(run) = inline_run {
-            run_worklist(shared, run);
-        } else if wake_n > 0 {
+        run_worklist(shared, inline_runs);
+        if wake_n > 0 {
             wake(shared, wake_n);
         }
         outputs
+    }
+
+    fn flush_fuse(&self, kind: FlushKind) {
+        flush_fuse(&self.inner.shared, kind);
+    }
+}
+
+/// Output allocation mode for [`submit_locked`].
+enum SubmitOutputs {
+    /// Allocate this many fresh output data entries.
+    Alloc(usize),
+    /// Adopt entries pre-allocated at fusion-buffering time; their
+    /// `producer` is stamped here.
+    Prealloc(Vec<DataId>),
+}
+
+/// The single-task submission transaction: allocates (or adopts) the
+/// output entries, detects dependencies, records the task, and
+/// dispatches it if ready — all under the state lock the caller holds.
+/// Ready inline-mode tasks are appended to `inline_runs` (the caller
+/// executes them after unlocking); threaded-mode wake obligations
+/// accumulate in `wake_n`. Lock order state -> wake/injector is
+/// one-way: nothing here acquires the state lock while holding either.
+#[allow(clippy::too_many_arguments)]
+fn submit_locked(
+    shared: &Shared,
+    st: &mut State,
+    name: String,
+    cores: u32,
+    gpus: u32,
+    inputs: Vec<DataId>,
+    consume_mask: u64,
+    out_mode: SubmitOutputs,
+    fault: TaskFault,
+    f: TaskFn,
+    inline_runs: &mut Vec<ReadyRun>,
+    wake_n: &mut usize,
+) -> Vec<DataId> {
+    let tid = TaskId(st.tasks.len() as u64);
+
+    let outputs = match out_mode {
+        SubmitOutputs::Alloc(n) => {
+            let first = shared.data_ids.fetch_add(n as u64, Ordering::Relaxed);
+            ensure_data(st, first + n as u64);
+            let mut outputs = Vec::with_capacity(n);
+            for k in 0..n as u64 {
+                let id = DataId(first + k);
+                st.data[id.0 as usize].producer = Some(tid);
+                outputs.push(id);
+            }
+            outputs
+        }
+        SubmitOutputs::Prealloc(outputs) => {
+            for &d in &outputs {
+                st.data[d.0 as usize].producer = Some(tid);
+            }
+            outputs
+        }
+    };
+
+    let seq = st.records.len() as u64;
+    let mut consumed_input = None;
+    let mut poisoned_input: Option<Arc<str>> = None;
+    let input_bytes: Vec<(DataId, usize)> = inputs
+        .iter()
+        .map(|d| {
+            let b = match &st.data[d.0 as usize].slot {
+                Slot::Ready(_, b) => *b,
+                Slot::Moved(b) => {
+                    consumed_input = Some(*d);
+                    *b
+                }
+                Slot::Pending => 0, // filled in at completion
+                Slot::Poisoned(m) => {
+                    poisoned_input = Some(m.clone());
+                    0
+                }
+            };
+            (*d, b)
+        })
+        .collect();
+
+    // Data dependencies: last writer of each input. Consuming
+    // `inputs` by value lets `collect` reuse its allocation
+    // (same-layout in-place collection) — the record's `inputs`
+    // carries the ids from here on.
+    let mut deps: Vec<TaskId> = inputs
+        .into_iter()
+        .filter_map(|d| st.data[d.0 as usize].producer)
+        .collect();
+    if let Some(m) = st.sync_marker {
+        deps.push(m);
+    }
+    deps.sort_unstable();
+    deps.dedup();
+    deps.retain(|&d| d != tid);
+
+    let inherited_failure = deps
+        .iter()
+        .find_map(|&d| st.tasks[d.0 as usize].failure.clone());
+    let remaining = deps
+        .iter()
+        .filter(|&&d| st.tasks[d.0 as usize].status != Status::Done)
+        .count();
+
+    st.records.push(TaskRecord {
+        id: tid,
+        name,
+        deps, // moved — the record holds the only copy
+        duration_s: 0.0,
+        inputs: input_bytes,
+        outputs: outputs.iter().map(|&d| (d, 0)).collect(),
+        cores,
+        gpus,
+        seq,
+        start_s: 0.0,
+        worker: -1,
+        child: None,
+        attempts: vec![],
+    });
+    st.since_barrier.push(tid);
+
+    let ready_now = if let Some(d) = consumed_input {
+        // Reading a datum an INOUT task already consumed is a
+        // contract violation; fail in place, loudly, instead of
+        // handing out a stale or missing value.
+        st.tasks.push(TaskEntry {
+            status: Status::Failed,
+            remaining: 0,
+            dependents: Vec::new(),
+            job: None,
+            failure: Some(
+                format!(
+                    "input {d:?} was already consumed by an INOUT task; \
+                     use the handle returned by run*_inout instead"
+                )
+                .into(),
+            ),
+            on_failure: fault.on_failure,
+        });
+        false
+    } else if let Some(msg) = poisoned_input {
+        // An upstream failure was ignored (or cancelled its
+        // successors): this task can never run. Cancel in place
+        // and poison its outputs so the silence propagates.
+        st.tasks.push(TaskEntry {
+            status: Status::Cancelled,
+            remaining: 0,
+            dependents: Vec::new(),
+            job: None,
+            failure: None,
+            on_failure: fault.on_failure,
+        });
+        for &d in &outputs {
+            st.data[d.0 as usize].slot = Slot::Poisoned(msg.clone());
+        }
+        if shared.config.metrics {
+            Counters::add(&shared.counters.cancelled, 1);
+        }
+        false
+    } else if let Some(msg) = inherited_failure {
+        // A dependency already failed; its cascade ran before we
+        // existed, so fail in place (waiters see it immediately).
+        st.tasks.push(TaskEntry {
+            status: Status::Failed,
+            remaining: 0,
+            dependents: Vec::new(),
+            job: None,
+            failure: Some(msg),
+            on_failure: fault.on_failure,
+        });
+        false
+    } else if remaining == 0 {
+        st.tasks.push(TaskEntry {
+            status: Status::Ready,
+            remaining: 0,
+            dependents: Vec::new(),
+            job: Some(PendingJob {
+                f,
+                consume_mask,
+                fault,
+            }),
+            failure: None,
+            on_failure: fault.on_failure,
+        });
+        true
+    } else {
+        st.tasks.push(TaskEntry {
+            status: Status::Waiting,
+            remaining,
+            dependents: Vec::new(),
+            job: Some(PendingJob {
+                f,
+                consume_mask,
+                fault,
+            }),
+            failure: None,
+            on_failure: fault.on_failure,
+        });
+        let deps = &st.records[tid.0 as usize].deps;
+        let tasks = &mut st.tasks;
+        for &d in deps {
+            if tasks[d.0 as usize].status != Status::Done {
+                tasks[d.0 as usize].dependents.push(tid);
+            }
+        }
+        false
+    };
+    // Tasks holding a job are pending readers of their inputs
+    // until `make_run` resolves them (see `DataEntry::
+    // pending_reads`); failed-in-place tasks never dispatch.
+    if st.tasks[tid.0 as usize].job.is_some() {
+        let ins = &st.records[tid.0 as usize].inputs;
+        let data = &mut st.data;
+        for (d, _) in ins {
+            data[d.0 as usize].pending_reads += 1;
+        }
+    }
+
+    // Dispatch, still under the state lock. Inline: resolve now
+    // and run after unlocking. Threaded: stage the resolved run
+    // and flush in batches — an idle worker forces an immediate
+    // flush (eager semantics); otherwise submission storms pay
+    // one injector lock + wakeup per batch, not per task.
+    if ready_now {
+        let metrics = shared.config.metrics;
+        let inject = shared.fault_active.load(Ordering::Relaxed);
+        match shared.config.mode {
+            // Inline runs the task right after unlock: queue wait is
+            // genuinely ~0, so skip the stamp (and its clock
+            // read) entirely.
+            ExecMode::Inline => inline_runs.push(make_run(st, tid, None, inject)),
+            ExecMode::Threads(_) => {
+                // Staged tasks are invisible to workers until
+                // the flush below publishes them, so the flush
+                // stamps the whole batch (one clock read per
+                // batch, not per submission).
+                let run = make_run(st, tid, None, inject);
+                st.staged.push(run);
+                // "Idle" means a sleeper with no wakeup already
+                // in flight — a notified-but-not-yet-scheduled
+                // worker doesn't force a flush per submission.
+                // (Hint read is racy but never loses work: a
+                // worker publishes the hint before its final
+                // staged-drain, and we stage before reading.)
+                let idle = shared.idle_hint.load(Ordering::Relaxed);
+                if idle || st.staged.len() >= STAGE_BATCH {
+                    let n = st.staged.len();
+                    *wake_n += n;
+                    let stamp = metrics.then(Instant::now);
+                    lock(&shared.injector).extend(st.staged.drain(..).map(|mut r| {
+                        r.ready_at = stamp;
+                        r
+                    }));
+                    if metrics {
+                        Counters::add(&shared.counters.injector_flushes, 1);
+                        Counters::add(&shared.counters.injector_flushed_tasks, n as u64);
+                    }
+                }
+            }
+        }
+    }
+    outputs
+}
+
+/// Backfills `State::data` with placeholder entries up to (excluding)
+/// id `upto`. Ids are handed out by `Shared::data_ids` without the
+/// state lock (buffered submissions never touch the data table), so
+/// whoever next needs an entry — a flush, a `put`, a direct allocation
+/// — first extends the table to cover everything allocated before it.
+/// The placeholder (pending, no producer) is exactly the state a
+/// buffered output is in until its task materializes.
+fn ensure_data(st: &mut State, upto: u64) {
+    if st.data.len() < upto as usize {
+        st.data.resize_with(upto as usize, || DataEntry {
+            slot: Slot::Pending,
+            producer: None,
+            pending_reads: 0,
+        });
+    }
+}
+
+/// Max submissions buffered in the fusion window before a forced
+/// [`FlushKind::Drain`]. Bounds driver-side memory (each buffered task
+/// holds its closure). Sized generously: a window boundary cuts every
+/// per-block chain that straddles it into fragments, so the window must
+/// comfortably cover (blocks x chain-length) of a typical fine-grained
+/// pipeline stretch; the planning passes are linear in the window, so a
+/// larger window costs memory, not asymptotics.
+const FUSE_WINDOW: usize = 8192;
+
+/// Materializes the fusion window: runs the rewrite passes over the
+/// buffered submissions, then feeds the surviving (possibly fused)
+/// tasks through [`submit_locked`] in a valid topological order —
+/// groups sorted by their first member's buffer index (see
+/// [`plan_groups`] for why that order is always valid).
+///
+/// The whole flush holds the window lock (`Shared::fuse_flush`), so
+/// other driver threads observe it as atomic; the *state* lock is only
+/// held to take the window, to poison elided outputs, and per submit
+/// chunk — the planning passes run lock-free on the taken window, and
+/// workers start executing the front of the window while the back is
+/// still being planned.
+fn flush_fuse(shared: &Shared, kind: FlushKind) {
+    if !shared.config.fuse {
+        return;
+    }
+    let metrics = shared.config.metrics;
+    // Lock order: `fuse_flush` before `state` (see `Shared`).
+    let mut window = lock(&shared.fuse_flush);
+    if window.is_empty() {
+        return;
+    }
+    let mut buf = std::mem::take(&mut *window);
+    {
+        // In-window producer index: every task's output ids are one
+        // contiguous range, and ranges are allocated in submission order
+        // — so the window, keyed by `first_out`, IS the sorted producer
+        // index. The firsts are copied into a dense `u64` array so the
+        // binary search stays inside a few cache lines instead of
+        // striding over full `BufTask` entries; indices stay stable
+        // across elision (dead tasks become `None` in place), and a
+        // dead producer can never be resolved from a live task —
+        // liveness propagates to producers.
+        //
+        // Ids outside the window's output span (puts, earlier flushes)
+        // reject in O(1) — in block pipelines that is most lookups.
+        let firsts: Vec<u64> = buf
+            .iter()
+            .map(|t| {
+                t.as_ref()
+                    .expect("window tasks present at take")
+                    .first_out
+                    .0
+            })
+            .collect();
+        let (min_out, max_out) = {
+            let last = buf[buf.len() - 1]
+                .as_ref()
+                .expect("window tasks present at take");
+            (firsts[0], last.first_out.0 + last.n_outs as u64)
+        };
+        // Materialize placeholder entries for every id the window
+        // allocated (buffering skips the data table entirely), so
+        // elision can poison and submission can stamp producers.
+        {
+            let mut st = lock(&shared.state);
+            ensure_data(&mut st, max_out);
+        }
+        let producer_of = |buf: &[Option<BufTask>], d: DataId| -> Option<usize> {
+            if d.0 < min_out || d.0 >= max_out {
+                return None;
+            }
+            let j = firsts.partition_point(|&x| x <= d.0) - 1;
+            buf[j]
+                .as_ref()
+                .filter(|t| d.0 < t.first_out.0 + t.n_outs as u64)
+                .map(|_| j)
+        };
+        // Pass (a) prep: the dependency CSR. Policies whose failure
+        // cascade is per-task (`Ignore` poisons its own outputs,
+        // `CancelSuccessors` scopes to its own cone) cannot be honoured
+        // member-wise inside one fused task, so such tasks never fuse.
+        let build_csr = |buf: &[Option<BufTask>]| -> (Vec<u32>, Vec<u32>, Vec<bool>) {
+            let mut preds_off: Vec<u32> = Vec::with_capacity(buf.len() + 1);
+            preds_off.push(0);
+            let mut preds_flat: Vec<u32> = Vec::with_capacity(buf.len() * 2);
+            let mut fusible: Vec<bool> = Vec::with_capacity(buf.len());
+            let mut scratch: Vec<u32> = Vec::new();
+            for entry in buf {
+                if let Some(t) = entry {
+                    scratch.clear();
+                    scratch.extend(
+                        t.inputs
+                            .iter()
+                            .filter_map(|&d| producer_of(buf, d).map(|p| p as u32)),
+                    );
+                    scratch.sort_unstable();
+                    scratch.dedup();
+                    preds_flat.extend_from_slice(&scratch);
+                    fusible.push(
+                        t.fusible
+                            && matches!(t.fault.on_failure, OnFailure::Fail | OnFailure::Retry),
+                    );
+                } else {
+                    fusible.push(false);
+                }
+                preds_off.push(preds_flat.len() as u32);
+            }
+            (preds_off, preds_flat, fusible)
+        };
+        // Consume (INOUT-steal) bits: a bit survives the rewrite only
+        // when its datum has exactly one read in the whole window —
+        // group reordering may materialize a consumer *before* a reader
+        // that was submitted earlier, and a premature steal would fail
+        // that reader, so any shared datum falls back to the
+        // (result-identical) clone path. Masks are cleaned once up
+        // front so neither the singleton path nor [`build_fused`] needs
+        // a per-input probe later; windows with no consume bits at all
+        // (pure chains) skip the pass entirely.
+        if buf.iter().flatten().any(|t| t.consume_mask != 0) {
+            let mut read_ids: Vec<DataId> = Vec::with_capacity(buf.len() * 2);
+            for t in buf.iter().flatten() {
+                read_ids.extend_from_slice(&t.inputs);
+            }
+            read_ids.sort_unstable();
+            let sole_reader = |d: DataId| -> bool {
+                let i = read_ids.partition_point(|&x| x < d);
+                i < read_ids.len()
+                    && read_ids[i] == d
+                    && (i + 1 == read_ids.len() || read_ids[i + 1] != d)
+            };
+            for t in buf.iter_mut().flatten() {
+                if t.consume_mask == 0 {
+                    continue;
+                }
+                let mut mask = t.consume_mask;
+                for (i, &d) in t.inputs.iter().enumerate().take(64) {
+                    if mask >> i & 1 == 1 && !sole_reader(d) {
+                        mask &= !(1u64 << i);
+                    }
+                }
+                t.consume_mask = mask;
+            }
+        }
+        let (mut preds_off, mut preds_flat, mut fusible) = build_csr(&buf);
+        // Pass (b): dead-task elimination, only at sync flushes — an
+        // observability drain must still materialize everything. Dead
+        // entries turn `None` in place; the CSR is rebuilt (rare) so
+        // their read edges vanish and they plan as skipped singletons.
+        // Poisoning touches the data table, so this briefly retakes the
+        // state lock.
+        if let FlushKind::Sync(protect) = kind {
+            let protect_idx = protect.and_then(|d| producer_of(&buf, d));
+            let elided = {
+                let mut st = lock(&shared.state);
+                eliminate_dead(&mut st, &mut buf, protect_idx, &preds_off, &preds_flat)
+            };
+            if elided > 0 {
+                if metrics {
+                    Counters::add(&shared.counters.tasks_elided, elided);
+                }
+                (preds_off, preds_flat, fusible) = build_csr(&buf);
+            }
+        }
+        let groups = plan_groups_csr(&fusible, &preds_off, &preds_flat);
+        // Submission runs in chunks: each chunk's fused closures are
+        // built lock-free, then one short state-lock hold dispatches
+        // them and the freshly-ready front of the window is woken
+        // immediately — workers execute it while the next chunk is
+        // still being built. Inline-mode bodies are deferred until the
+        // window lock is released (a task body must never run under
+        // it).
+        const SUBMIT_CHUNK: usize = 64;
+        enum Planned {
+            Single(BufTask),
+            Fused(FusedSpec),
+        }
+        let mut inline_runs: Vec<ReadyRun> = Vec::new();
+        let mut taken = buf;
+        let mut planned: Vec<Planned> = Vec::with_capacity(SUBMIT_CHUNK);
+        for chunk in groups.chunks(SUBMIT_CHUNK) {
+            planned.clear();
+            for g in chunk {
+                if g.len() == 1 {
+                    // Elided (`None`) entries plan as singletons; skip.
+                    if let Some(t) = taken[g[0]].take() {
+                        planned.push(Planned::Single(t));
+                    }
+                } else {
+                    if metrics {
+                        Counters::add(&shared.counters.fused_tasks, 1);
+                        Counters::add(&shared.counters.tasks_elided, g.len() as u64 - 1);
+                    }
+                    planned.push(Planned::Fused(build_fused(&mut taken, g)));
+                }
+            }
+            let mut wake_n = 0usize;
+            {
+                let mut st = lock(&shared.state);
+                for p in planned.drain(..) {
+                    match p {
+                        Planned::Single(t) => {
+                            let outputs: Vec<DataId> = (0..t.n_outs as u64)
+                                .map(|k| DataId(t.first_out.0 + k))
+                                .collect();
+                            submit_locked(
+                                shared,
+                                &mut st,
+                                t.name,
+                                t.cores,
+                                t.gpus,
+                                t.inputs,
+                                t.consume_mask,
+                                SubmitOutputs::Prealloc(outputs),
+                                t.fault,
+                                t.f,
+                                &mut inline_runs,
+                                &mut wake_n,
+                            );
+                        }
+                        Planned::Fused(fused) => {
+                            // Internally consumed data never
+                            // materializes; retire it exactly as an
+                            // INOUT steal would have, so a post-window
+                            // read fails loudly instead of hanging.
+                            for d in &fused.moved_internal {
+                                st.data[d.0 as usize].slot = Slot::Moved(0);
+                            }
+                            submit_locked(
+                                shared,
+                                &mut st,
+                                fused.name,
+                                fused.cores,
+                                fused.gpus,
+                                fused.inputs,
+                                fused.consume_mask,
+                                SubmitOutputs::Prealloc(fused.outputs),
+                                fused.fault,
+                                fused.f,
+                                &mut inline_runs,
+                                &mut wake_n,
+                            );
+                        }
+                    }
+                }
+            }
+            if wake_n > 0 {
+                wake(shared, wake_n);
+            }
+        }
+        drop(window);
+        run_worklist(shared, inline_runs);
+    }
+}
+
+/// Dead-task elimination over the fusion window: drops buffered tasks
+/// that opted in ([`TaskBuilder::discardable`]) when no surviving task
+/// in the window reads their outputs (transitively) and the flush's
+/// sync target (`protect`, already resolved to a buffer index) is not
+/// one of them. Liveness propagates producer-ward over the preds CSR.
+/// Elided tasks never run: their entries turn `None` in place and their
+/// outputs are poisoned so a later out-of-window read fails loudly.
+/// Returns how many tasks were elided.
+fn eliminate_dead(
+    st: &mut State,
+    buf: &mut [Option<BufTask>],
+    protect: Option<usize>,
+    preds_off: &[u32],
+    preds_flat: &[u32],
+) -> u64 {
+    if !buf.iter().flatten().any(|t| t.discardable) {
+        return 0;
+    }
+    let n = buf.len();
+    let mut live = vec![false; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    for (i, t) in buf.iter().enumerate() {
+        if t.as_ref().is_some_and(|t| !t.discardable) {
+            live[i] = true;
+            frontier.push(i);
+        }
+    }
+    if let Some(i) = protect {
+        if !live[i] {
+            live[i] = true;
+            frontier.push(i);
+        }
+    }
+    while let Some(i) = frontier.pop() {
+        for &p in &preds_flat[preds_off[i] as usize..preds_off[i + 1] as usize] {
+            let p = p as usize;
+            if !live[p] {
+                live[p] = true;
+                frontier.push(p);
+            }
+        }
+    }
+    let mut elided = 0u64;
+    for (i, entry) in buf.iter_mut().enumerate() {
+        if live[i] || entry.is_none() {
+            continue;
+        }
+        let t = entry.take().expect("dead entry present");
+        elided += 1;
+        let msg: Arc<str> = format!(
+            "task '{}' was elided as dead by the fusion optimizer \
+             (its outputs were never read before the sync point)",
+            t.name
+        )
+        .into();
+        for k in 0..t.n_outs as u64 {
+            st.data[(t.first_out.0 + k) as usize].slot = Slot::Poisoned(msg.clone());
+        }
+    }
+    elided
+}
+
+/// Where a fused member's input comes from at execution time.
+enum Src {
+    /// Index into the fused task's external input vector.
+    Ext(usize),
+    /// Internal slot: another member's output, produced earlier in the
+    /// same fused body.
+    Int(usize),
+}
+
+/// Execution plan for one member of a fused task. Input sources live in
+/// one flat per-group vector (`srcs_start..srcs_start + n_srcs`) and
+/// member outputs occupy the contiguous internal slot range
+/// `slot_base..slot_base + n_outs` — ranges instead of per-member
+/// vectors, because groups are built on the flush hot path.
+struct MemberPlan {
+    f: TaskFn,
+    srcs_start: u32,
+    n_srcs: u32,
+    slot_base: u32,
+    n_outs: u32,
+}
+
+/// A fully planned fused task, ready for [`submit_locked`].
+struct FusedSpec {
+    name: String,
+    cores: u32,
+    gpus: u32,
+    inputs: Vec<DataId>,
+    consume_mask: u64,
+    outputs: Vec<DataId>,
+    fault: TaskFault,
+    /// Member outputs consumed member-to-member inside the fused body:
+    /// they never materialize and are retired as `Slot::Moved`.
+    moved_internal: Vec<DataId>,
+    f: TaskFn,
+}
+
+/// Builds the single fused task for a planned group: one closure that
+/// runs the member bodies back-to-back on one worker, wiring member
+/// outputs to member inputs through an internal slot vector — no
+/// scheduler round-trip, no dependency release, no per-member commit.
+///
+/// Fault policy: the strictest member wins. Any `Retry` member makes
+/// the whole fused task retryable with the largest attempt budget (a
+/// member can only be replayed by replaying the group — all-or-nothing,
+/// like the unfused task is); `Ignore`/`CancelSuccessors` members were
+/// already rejected by the planner. For a retryable fused task,
+/// member-to-member consumption is disabled (inputs of every attempt
+/// must stay pristine), mirroring how [`make_run`] zeroes the consume
+/// mask of retryable unfused tasks.
+fn build_fused(taken: &mut [Option<BufTask>], g: &[usize]) -> FusedSpec {
+    let member = |&i: &usize| taken[i].as_ref().expect("group member present");
+    let names: Vec<&str> = g.iter().map(|i| member(i).name.as_str()).collect();
+    let name = fused_label(&names);
+    drop(names);
+    let cores = g.iter().map(|i| member(i).cores).max().unwrap_or(1);
+    let gpus = g.iter().map(|i| member(i).gpus).max().unwrap_or(0);
+    let fault = g
+        .iter()
+        .map(member)
+        .filter(|m| matches!(m.fault.on_failure, OnFailure::Retry))
+        .max_by_key(|m| m.fault.max_attempts())
+        .map(|m| m.fault)
+        .unwrap_or_default();
+    let retryable = fault.retryable();
+
+    // Groups are capped at `MAX_GROUP` members, so id-to-index lookups
+    // are linear scans over short vectors — cheaper than any hash map
+    // at this size, and this runs on the flush hot path.
+    let n_members = g.len();
+    let mut slot_data: Vec<DataId> = Vec::with_capacity(n_members);
+    let mut internal_consumed: Vec<bool> = Vec::with_capacity(n_members);
+    let mut ext_ids: Vec<DataId> = Vec::new();
+    let mut consume_mask = 0u64;
+    let mut srcs: Vec<(Src, bool)> = Vec::with_capacity(n_members * 2);
+    let mut plans: Vec<MemberPlan> = Vec::with_capacity(n_members);
+    for &gi in g {
+        let m = taken[gi].take().expect("group member taken once");
+        let srcs_start = srcs.len() as u32;
+        for (i, &d) in m.inputs.iter().enumerate() {
+            // Member consume bits were already reduced to sole-reader
+            // occurrences by the flush's mask-cleaning pass.
+            let consume = i < 64 && m.consume_mask >> i & 1 == 1;
+            if let Some(s) = slot_data.iter().position(|&x| x == d) {
+                let take = consume && !retryable;
+                if take {
+                    internal_consumed[s] = true;
+                }
+                srcs.push((Src::Int(s), take));
+            } else {
+                let e = ext_ids.iter().position(|&x| x == d).unwrap_or_else(|| {
+                    ext_ids.push(d);
+                    ext_ids.len() - 1
+                });
+                let take = consume && e < 64;
+                if take {
+                    consume_mask |= 1u64 << e;
+                }
+                srcs.push((Src::Ext(e), take));
+            }
+        }
+        let slot_base = slot_data.len() as u32;
+        for k in 0..m.n_outs as u64 {
+            slot_data.push(DataId(m.first_out.0 + k));
+            internal_consumed.push(false);
+        }
+        plans.push(MemberPlan {
+            f: m.f,
+            srcs_start,
+            n_srcs: srcs.len() as u32 - srcs_start,
+            slot_base,
+            n_outs: slot_data.len() as u32 - slot_base,
+        });
+    }
+    // Every member output that is not consumed member-to-member stays a
+    // real output of the fused task — an intermediate the driver might
+    // peek later materializes exactly as it would have unfused.
+    let n_slots = slot_data.len();
+    let kept: Vec<usize> = (0..n_slots).filter(|&s| !internal_consumed[s]).collect();
+    let outputs: Vec<DataId> = kept.iter().map(|&s| slot_data[s]).collect();
+    let moved_internal: Vec<DataId> = (0..n_slots)
+        .filter(|&s| internal_consumed[s])
+        .map(|s| slot_data[s])
+        .collect();
+    let mut plans = plans;
+    let f: TaskFn = Box::new(move |ctx, ins| {
+        let mut slots: Vec<Option<(AnyArc, usize)>> = (0..n_slots).map(|_| None).collect();
+        let mut mins: Vec<AnyArc> = Vec::new();
+        for plan in plans.iter_mut() {
+            // Rebuild this member's input vector in its original
+            // positional order; the member body indexes it as if it
+            // were dispatched alone.
+            mins.clear();
+            let range = plan.srcs_start as usize..(plan.srcs_start + plan.n_srcs) as usize;
+            for (src, take) in &srcs[range] {
+                match src {
+                    Src::Ext(e) => mins.push(if *take {
+                        std::mem::replace(&mut ins[*e], unit_any())
+                    } else {
+                        ins[*e].clone()
+                    }),
+                    Src::Int(s) => mins.push(if *take {
+                        slots[*s]
+                            .take()
+                            .expect("fused internal slot consumed once")
+                            .0
+                    } else {
+                        slots[*s]
+                            .as_ref()
+                            .expect("fused internal slot available")
+                            .0
+                            .clone()
+                    }),
+                }
+            }
+            let outs = (plan.f)(ctx, &mut mins);
+            assert_eq!(
+                outs.len(),
+                plan.n_outs as usize,
+                "fused member returned wrong output arity"
+            );
+            for (k, ob) in outs.into_iter().enumerate() {
+                slots[plan.slot_base as usize + k] = Some(ob);
+            }
+        }
+        kept.iter()
+            .map(|&s| slots[s].take().expect("fused output slot filled"))
+            .collect()
+    });
+    FusedSpec {
+        name,
+        cores,
+        gpus,
+        inputs: ext_ids,
+        consume_mask,
+        outputs,
+        fault,
+        moved_internal,
+        f,
     }
 }
 
@@ -1161,8 +1895,7 @@ fn flush_staged(shared: &Shared) -> usize {
 /// (iterative, so long chains don't recurse; a plain `Vec` worklist —
 /// execution order among ready tasks is unconstrained — reused across
 /// every task it drains, so steady-state chains allocate nothing).
-fn run_worklist(shared: &Shared, first: ReadyRun) {
-    let mut work = vec![first];
+fn run_worklist(shared: &Shared, mut work: Vec<ReadyRun>) {
     while let Some(r) = work.pop() {
         execute_one(shared, r, &mut work, DRIVER);
     }
@@ -1446,6 +2179,7 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
         let ctx = TaskCtx {
             nested_mode: shared.config.nested_mode,
             metrics,
+            fuse: shared.config.fuse,
             counters: metrics.then(|| Arc::clone(&shared.counters)),
             child: Mutex::new(None),
         };
@@ -1706,6 +2440,12 @@ pub struct TaskBuilder<'rt> {
     cores: u32,
     gpus: u32,
     fault: TaskFault,
+    /// Whether the fusion optimizer may merge this task into a fused
+    /// group (nested tasks opt out — see [`BufTask::fusible`]).
+    fusible: bool,
+    /// Whether the dead-task pass may elide this task (see
+    /// [`TaskBuilder::discardable`]).
+    discardable: bool,
 }
 
 fn arg<T: Payload>(ins: &[AnyArc], i: usize) -> &T {
@@ -1785,22 +2525,50 @@ impl<'rt> TaskBuilder<'rt> {
         self
     }
 
+    /// Opts this task into the dead-task elimination pass: when the
+    /// runtime buffers submissions ([`RuntimeConfig::fuse`]) and, at a
+    /// `wait`/`peek`/`barrier` flush, nothing in the window reads the
+    /// task's outputs (and the sync does not target them), the task is
+    /// dropped without ever running. Its outputs are poisoned so a
+    /// later read fails loudly instead of hanging. Intended for
+    /// speculative materializations (e.g. a gather the driver may never
+    /// look at); no effect when fusion is off.
+    pub fn discardable(mut self) -> Self {
+        self.discardable = true;
+        self
+    }
+
+    /// Single funnel for every `run*` method below: forwards the
+    /// builder's accumulated attributes — including the optimizer
+    /// flags — to the runtime's submission path.
+    fn submit(
+        self,
+        inputs: Vec<DataId>,
+        consume_mask: u64,
+        n_outputs: usize,
+        f: TaskFn,
+    ) -> Vec<DataId> {
+        self.rt.submit_inner(
+            self.name,
+            self.cores,
+            self.gpus,
+            inputs,
+            consume_mask,
+            n_outputs,
+            self.fault,
+            self.fusible,
+            self.discardable,
+            f,
+        )
+    }
+
     /// Submits a source task with no inputs.
     pub fn run0<R, F>(self, mut f: F) -> Handle<R>
     where
         R: Payload,
         F: FnMut() -> R + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
-            vec![],
-            0,
-            1,
-            self.fault,
-            Box::new(move |_ctx, _ins| one(f())),
-        );
+        let ids = self.submit(vec![], 0, 1, Box::new(move |_ctx, _ins| one(f())));
         Handle::new(ids[0])
     }
 
@@ -1811,14 +2579,10 @@ impl<'rt> TaskBuilder<'rt> {
         R: Payload,
         F: FnMut(&A) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        let ids = self.submit(
             vec![a.id],
             0,
             1,
-            self.fault,
             Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0)))),
         );
         Handle::new(ids[0])
@@ -1844,14 +2608,10 @@ impl<'rt> TaskBuilder<'rt> {
         A: Payload + Clone,
         F: FnMut(&mut A) + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        let ids = self.submit(
             vec![a.id],
             0b1,
             1,
-            self.fault,
             Box::new(move |ctx, ins| {
                 let mut v: A = take_arg(ctx, ins, 0);
                 f(&mut v);
@@ -1870,14 +2630,10 @@ impl<'rt> TaskBuilder<'rt> {
         B: Payload,
         F: FnMut(&mut A, &B) + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        let ids = self.submit(
             vec![a.id, b.id],
             0b1,
             1,
-            self.fault,
             Box::new(move |ctx, ins| {
                 let mut v: A = take_arg(ctx, ins, 0);
                 f(&mut v, arg::<B>(ins, 1));
@@ -1895,14 +2651,10 @@ impl<'rt> TaskBuilder<'rt> {
         R: Payload,
         F: FnMut(&A, &B) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        let ids = self.submit(
             vec![a.id, b.id],
             0,
             1,
-            self.fault,
             Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0), arg::<B>(ins, 1)))),
         );
         Handle::new(ids[0])
@@ -1923,14 +2675,10 @@ impl<'rt> TaskBuilder<'rt> {
         R: Payload,
         F: FnMut(&A, &B, &C) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        let ids = self.submit(
             vec![a.id, b.id, c.id],
             0,
             1,
-            self.fault,
             Box::new(move |_ctx, ins| one(f(arg::<A>(ins, 0), arg::<B>(ins, 1), arg::<C>(ins, 2)))),
         );
         Handle::new(ids[0])
@@ -1953,14 +2701,10 @@ impl<'rt> TaskBuilder<'rt> {
         R: Payload,
         F: FnMut(&A, &B, &C, &D) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        let ids = self.submit(
             vec![a.id, b.id, c.id, d.id],
             0,
             1,
-            self.fault,
             Box::new(move |_ctx, ins| {
                 one(f(
                     arg::<A>(ins, 0),
@@ -1980,14 +2724,10 @@ impl<'rt> TaskBuilder<'rt> {
         R: Payload,
         F: FnMut(&[&A]) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        let ids = self.submit(
             items.iter().map(|h| h.id).collect(),
             0,
             1,
-            self.fault,
             Box::new(move |_ctx, ins| {
                 let refs: Vec<&A> = (0..ins.len()).map(|i| arg::<A>(ins, i)).collect();
                 one(f(&refs))
@@ -2012,14 +2752,10 @@ impl<'rt> TaskBuilder<'rt> {
     {
         let mut inputs = vec![fixed.id];
         inputs.extend(items.iter().map(|h| h.id));
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        let ids = self.submit(
             inputs,
             0,
             1,
-            self.fault,
             Box::new(move |_ctx, ins| {
                 let b = arg::<B>(ins, 0);
                 let refs: Vec<&A> = (1..ins.len()).map(|i| arg::<A>(ins, i)).collect();
@@ -2033,20 +2769,19 @@ impl<'rt> TaskBuilder<'rt> {
     /// and may submit (and wait on) its own sub-tasks. The child trace
     /// is attached to this task's record; the simulator schedules it on
     /// the resources granted to this task (paper §III-D, Fig. 10).
-    pub fn run_nested1<A, R, F>(self, a: Handle<A>, mut f: F) -> Handle<R>
+    pub fn run_nested1<A, R, F>(mut self, a: Handle<A>, mut f: F) -> Handle<R>
     where
         A: Payload,
         R: Payload,
         F: FnMut(&Runtime, &A) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        // A fused record has a single child-trace slot; merging nested
+        // tasks would silently drop all but one sub-trace.
+        self.fusible = false;
+        let ids = self.submit(
             vec![a.id],
             0,
             1,
-            self.fault,
             Box::new(move |ctx, ins| {
                 let child = ctx.nested_runtime();
                 one(f(&child, arg::<A>(ins, 0)))
@@ -2056,21 +2791,18 @@ impl<'rt> TaskBuilder<'rt> {
     }
 
     /// Nested task with two inputs.
-    pub fn run_nested2<A, B, R, F>(self, a: Handle<A>, b: Handle<B>, mut f: F) -> Handle<R>
+    pub fn run_nested2<A, B, R, F>(mut self, a: Handle<A>, b: Handle<B>, mut f: F) -> Handle<R>
     where
         A: Payload,
         B: Payload,
         R: Payload,
         F: FnMut(&Runtime, &A, &B) -> R + Send + 'static,
     {
-        let ids = self.rt.submit_with(
-            self.name,
-            self.cores,
-            self.gpus,
+        self.fusible = false;
+        let ids = self.submit(
             vec![a.id, b.id],
             0,
             1,
-            self.fault,
             Box::new(move |ctx, ins| {
                 let child = ctx.nested_runtime();
                 one(f(&child, arg::<A>(ins, 0), arg::<B>(ins, 1)))

@@ -159,6 +159,15 @@ pub struct SimOptions {
     pub duration_of: Option<DurationFn>,
     /// Optional heterogeneous node speeds (see [`NodeSpeedFn`]).
     pub node_speed: Option<NodeSpeedFn>,
+    /// Constant per-task master-side dispatch cost, in seconds. Each
+    /// non-marker dispatch occupies the (serialized) master for this
+    /// long before the task may start — the centralized-runtime
+    /// overhead whose per-task constant flattens speedup curves at high
+    /// core counts (arXiv 2010.11105). Replaying a trace and its
+    /// [`crate::fuse::fuse_trace`] rewrite under the same overhead
+    /// quantifies what task fusion recovers. `0.0` (default) disables
+    /// the model.
+    pub dispatch_overhead_s: f64,
 }
 
 impl Default for SimOptions {
@@ -168,6 +177,7 @@ impl Default for SimOptions {
             model_transfers: true,
             duration_of: None,
             node_speed: None,
+            dispatch_overhead_s: 0.0,
         }
     }
 }
@@ -472,6 +482,10 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
     let mut now = 0.0f64;
     let mut done = 0usize;
     let mut rr_next = 0usize;
+    // Serialized master cursor for the per-task dispatch-overhead model
+    // (see [`SimOptions::dispatch_overhead_s`]): a centralized runtime
+    // dispatches one task at a time, so concurrent placements queue.
+    let mut master_free = 0.0f64;
 
     let mut report = SimReport {
         makespan_s: 0.0,
@@ -531,7 +545,13 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
             let speed = opts.node_speed.as_ref().map_or(1.0, |f| f(node));
             assert!(speed > 0.0, "node speed must be positive");
             let run_s = dur[i] / speed;
-            let finish = now + xfer + run_s;
+            let mut dispatch = 0.0;
+            if opts.dispatch_overhead_s > 0.0 && !r.is_marker() {
+                let begin = now.max(master_free);
+                master_free = begin + opts.dispatch_overhead_s;
+                dispatch = master_free - now;
+            }
+            let finish = now + dispatch + xfer + run_s;
             heap.push(Reverse(Ev {
                 time: finish,
                 rank: DONE,
@@ -547,7 +567,7 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
                     task: r.id,
                     name: r.name.clone(),
                     node,
-                    start_s: now,
+                    start_s: now + dispatch,
                     transfer_s: xfer,
                     transfer_bytes: xfer_bytes,
                     end_s: finish,
@@ -559,7 +579,7 @@ pub fn simulate(trace: &Trace, cluster: &ClusterSpec, opts: &SimOptions) -> SimR
             }
             running[i] = Some(RunInfo {
                 node,
-                start_s: now,
+                start_s: now + dispatch,
                 xfer_s: xfer,
                 run_s,
                 sched,

@@ -222,4 +222,34 @@ mod tests {
         );
         assert!(hist["ds_gram"] >= 4);
     }
+
+    #[test]
+    fn fused_pipeline_is_bit_identical_and_dispatches_fewer_tasks() {
+        // The whole PCA pipeline under the graph-rewrite optimizer:
+        // values must match the eager runtime bit for bit, while the
+        // number of dispatched tasks drops by at least 30% (the
+        // acceptance bar for the fused PCA schedule).
+        use taskrt::RuntimeConfig;
+        let x = anisotropic(256, 8);
+        let run = |fuse: bool| {
+            let rt = Runtime::with_config(RuntimeConfig {
+                fuse,
+                ..RuntimeConfig::default()
+            });
+            let ds = DsArray::from_matrix_owned(&rt, x.clone(), 32, 3);
+            let pca = Pca::fit(&rt, &ds, Components::Count(2));
+            let comp = (*rt.peek(pca.components)).clone();
+            let proj = pca.transform(&rt, &ds).collect(&rt);
+            rt.barrier();
+            (comp, proj, rt.trace().user_task_count())
+        };
+        let (comp_e, proj_e, tasks_eager) = run(false);
+        let (comp_f, proj_f, tasks_fused) = run(true);
+        assert_eq!(comp_f, comp_e, "components must be bit-identical");
+        assert_eq!(proj_f, proj_e, "projection must be bit-identical");
+        assert!(
+            (tasks_fused as f64) <= 0.7 * tasks_eager as f64,
+            "fused PCA dispatched {tasks_fused} of {tasks_eager} tasks (> 70%)"
+        );
+    }
 }

@@ -293,28 +293,82 @@ impl DsArray {
             .collect()
     }
 
-    /// Gathers the whole array back into one local matrix (synchronizes).
-    ///
-    /// One `ds_gather` task copies every block straight into a single
-    /// preallocated `rows x cols` matrix — the tree of `vstack`
-    /// intermediates (each copying the full prefix again) is gone, so
-    /// gathering moves each element exactly once.
-    pub fn collect(&self, rt: &Runtime) -> Matrix {
+    /// Gathers the whole array into a single matrix **handle** without
+    /// synchronizing: the `ds_gather` task stays in the task graph, so
+    /// downstream tasks can consume the gathered matrix — or, with
+    /// fusion enabled, the optimizer can drop it — before the driver
+    /// ever blocks. The task is marked discardable: a gather whose
+    /// result is never read and never reaches a barrier is pure
+    /// data-plane traffic, and the fusion optimizer's dead-task pass is
+    /// allowed to elide it.
+    pub fn collect_handle(&self, rt: &Runtime) -> Handle<Matrix> {
         let blocks: Vec<Handle<Matrix>> = self.grid.iter().flatten().copied().collect();
         let (rows, cols) = (self.rows, self.cols);
         let (rb_size, cb_size) = (self.rb_size, self.cb_size);
         let n_cb = self.n_col_blocks();
-        let whole = rt.task("ds_gather").run_many(&blocks, move |bs| {
-            let mut out = Matrix::from_pool(rows, cols);
-            for (i, b) in bs.iter().enumerate() {
-                let (r0, c0) = ((i / n_cb) * rb_size, (i % n_cb) * cb_size);
-                for r in 0..b.rows() {
-                    out.row_mut(r0 + r)[c0..c0 + b.cols()].copy_from_slice(b.row(r));
+        rt.task("ds_gather")
+            .discardable()
+            .run_many(&blocks, move |bs| {
+                let mut out = Matrix::from_pool(rows, cols);
+                for (i, b) in bs.iter().enumerate() {
+                    let (r0, c0) = ((i / n_cb) * rb_size, (i % n_cb) * cb_size);
+                    for r in 0..b.rows() {
+                        out.row_mut(r0 + r)[c0..c0 + b.cols()].copy_from_slice(b.row(r));
+                    }
                 }
+                out
+            })
+    }
+
+    /// Gathers the whole array back into one local matrix (synchronizes).
+    ///
+    /// One `ds_gather` task ([`Self::collect_handle`]) copies every
+    /// block straight into a single preallocated `rows x cols` matrix —
+    /// the tree of `vstack` intermediates (each copying the full prefix
+    /// again) is gone, so gathering moves each element exactly once.
+    pub fn collect(&self, rt: &Runtime) -> Matrix {
+        (*rt.wait(self.collect_handle(rt))).clone()
+    }
+
+    /// Re-partitions the array to a new block shape without a driver
+    /// round trip. `collect` followed by `from_matrix` forces a full
+    /// synchronization (gather → driver → scatter); `reblock` keeps the
+    /// exchange inside the task graph. When the target shape equals the
+    /// current one the gather/scatter pair collapses completely — the
+    /// existing block handles are reused and zero tasks are submitted.
+    /// Otherwise one lazy `ds_gather` feeds a `ds_reblock` slice task
+    /// per new block, and the driver never blocks.
+    ///
+    /// # Panics
+    /// Panics if either block size is zero.
+    pub fn reblock(&self, rt: &Runtime, rb_size: usize, cb_size: usize) -> DsArray {
+        assert!(rb_size > 0 && cb_size > 0, "block sizes must be positive");
+        if rb_size == self.rb_size && cb_size == self.cb_size {
+            return self.clone();
+        }
+        let src = self.collect_handle(rt);
+        let (rows, cols) = (self.rows, self.cols);
+        let n_rb = rows.div_ceil(rb_size);
+        let n_cb = cols.div_ceil(cb_size);
+        let mut grid = Vec::with_capacity(n_rb);
+        for rb in 0..n_rb {
+            let mut row = Vec::with_capacity(n_cb);
+            let (r0, r1) = (rb * rb_size, ((rb + 1) * rb_size).min(rows));
+            for cb in 0..n_cb {
+                let (c0, c1) = (cb * cb_size, ((cb + 1) * cb_size).min(cols));
+                row.push(rt.task("ds_reblock").run1(src, move |m: &Matrix| {
+                    m.slice_rows(r0, r1).slice_cols(c0, c1)
+                }));
             }
-            out
-        });
-        (*rt.wait(whole)).clone()
+            grid.push(row);
+        }
+        DsArray {
+            rows,
+            cols,
+            rb_size,
+            cb_size,
+            grid,
+        }
     }
 
     /// Applies `f` block-wise, producing a new ds-array with the same
@@ -761,6 +815,52 @@ mod tests {
         assert_eq!(dl.rows_in_part(2), 3);
         assert_eq!(dl.len(), 11);
         assert_eq!(*rt.peek(dl.part(1)), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn reblock_identity_submits_nothing() {
+        let rt = Runtime::new();
+        let m = demo_matrix(12, 6);
+        let ds = DsArray::from_matrix_owned(&rt, m, 4, 3);
+        let before = rt.task_count();
+        let same = ds.reblock(&rt, 4, 3);
+        assert_eq!(rt.task_count(), before, "identity reblock is free");
+        for rb in 0..ds.n_row_blocks() {
+            for cb in 0..ds.n_col_blocks() {
+                assert_eq!(same.block(rb, cb).id(), ds.block(rb, cb).id());
+            }
+        }
+    }
+
+    #[test]
+    fn reblock_matches_collect_roundtrip() {
+        let rt = Runtime::new();
+        let m = demo_matrix(23, 7);
+        let ds = DsArray::from_matrix(&rt, &m, 5, 3);
+        let re = ds.reblock(&rt, 4, 2);
+        assert_eq!(re.block_shape(), (4, 2));
+        assert_eq!(re.n_row_blocks(), 6);
+        assert_eq!(re.n_col_blocks(), 4);
+        // Same content as the synchronous collect + from_matrix trip.
+        let roundtrip = DsArray::from_matrix(&rt, &ds.collect(&rt), 4, 2);
+        for rb in 0..re.n_row_blocks() {
+            for cb in 0..re.n_col_blocks() {
+                assert_eq!(
+                    *rt.peek(re.block(rb, cb)),
+                    *rt.peek(roundtrip.block(rb, cb))
+                );
+            }
+        }
+        assert_eq!(re.collect(&rt), m);
+    }
+
+    #[test]
+    fn collect_handle_is_lazy_and_matches_collect() {
+        let rt = Runtime::new();
+        let m = demo_matrix(10, 4);
+        let ds = DsArray::from_matrix(&rt, &m, 3, 2);
+        let h = ds.collect_handle(&rt);
+        assert_eq!(*rt.wait(h), m);
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! Graph-rewrite optimizer (task fusion) integration tests.
+//!
+//! The contract under test: enabling [`RuntimeConfig::fuse`] must never
+//! change a computed value, a fault outcome, or the visibility of any
+//! handle the driver holds — only the number of dispatched tasks. These
+//! tests run the same workflows with fusion on and off and compare
+//! bit-for-bit, exercise retries of whole fused tasks under seeded
+//! fault injection, verify the window never fuses across a
+//! synchronization point, and replay a PCA trace through the DES to
+//! show the fused schedule is strictly cheaper on a simulated cluster.
+
+use dsarray::DsArray;
+use linalg::Matrix;
+use taskrt::sim::{simulate, ClusterSpec, SimOptions};
+use taskrt::{fuse_trace, ExecMode, FaultPlan, OnFailure, RetryPolicy, Runtime, RuntimeConfig};
+
+fn fused(mode: ExecMode) -> Runtime {
+    Runtime::with_config(RuntimeConfig {
+        mode,
+        fuse: true,
+        ..RuntimeConfig::default()
+    })
+}
+
+fn unfused(mode: ExecMode) -> Runtime {
+    Runtime::with_config(RuntimeConfig {
+        mode,
+        fuse: false,
+        ..RuntimeConfig::default()
+    })
+}
+
+fn demo_matrix(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| ((r * 13 + c * 7) as f64 * 0.31).sin())
+}
+
+/// The PR-4 elementwise pipeline: repeated scale / center / rescale
+/// rounds over a blocked array. Returns the collected result bits.
+fn elementwise_chain(rt: &Runtime, rounds: usize) -> Matrix {
+    let m = demo_matrix(48, 12);
+    let v = rt.put((0..12).map(|c| 0.5 + c as f64).collect::<Vec<f64>>());
+    let mut ds = DsArray::from_matrix_owned(rt, m, 16, 12);
+    for _ in 0..rounds {
+        ds = ds
+            .map_blocks(rt, "scale", |b| {
+                let mut o = b.clone();
+                o.scale(1.25);
+                o
+            })
+            .sub_row_vector(rt, v)
+            .div_row_vector(rt, v);
+    }
+    ds.collect(rt)
+}
+
+#[test]
+fn fused_chain_matches_unfused_bit_for_bit() {
+    let reference = elementwise_chain(&unfused(ExecMode::Inline), 3);
+    for mode in [ExecMode::Inline, ExecMode::Threads(4)] {
+        let rt = fused(mode);
+        let got = elementwise_chain(&rt, 3);
+        assert_eq!(got, reference, "fusion changed values under {mode:?}");
+        let st = rt.stats();
+        assert!(st.fused_tasks > 0, "chain must actually fuse");
+        assert!(st.tasks_elided > 0);
+        // Dispatched fewer records than were submitted.
+        let trace = rt.trace();
+        assert!(
+            trace.records.iter().any(|r| r.name.starts_with("fused(")),
+            "fused records must be visible in the trace"
+        );
+    }
+}
+
+#[test]
+fn fused_task_count_is_strictly_lower() {
+    let a = unfused(ExecMode::Inline);
+    let b = fused(ExecMode::Inline);
+    let _ = elementwise_chain(&a, 3);
+    let _ = elementwise_chain(&b, 3);
+    assert!(
+        b.task_count() < a.task_count(),
+        "fused dispatched {} vs unfused {}",
+        b.task_count(),
+        a.task_count()
+    );
+}
+
+#[test]
+fn fused_retry_recovers_whole_group_deterministically() {
+    // A 3-task chain fuses into `fused(inc*3)`; a seeded plan fails its
+    // first two attempts. The whole fused task must be retried (all
+    // members re-run), converge to the right value, and do so
+    // identically on a second run.
+    let run = || {
+        let rt = fused(ExecMode::Threads(2));
+        rt.set_fault_plan(Some(FaultPlan::new(7).panic_kind("fused(inc*3)", 2)));
+        let a = rt.put(10u64);
+        let mut h = a;
+        for _ in 0..3 {
+            h = rt
+                .task("inc")
+                .retry(RetryPolicy::new(3).backoff(1e-6, 2.0))
+                .run1(h, |v| v + 1);
+        }
+        let value = *rt.wait(h);
+        let stats = rt.stats();
+        let trace = rt.trace();
+        let rec = trace
+            .records
+            .iter()
+            .find(|r| r.name == "fused(inc*3)")
+            .expect("chain fused under the expected name")
+            .clone();
+        (value, stats.retries, rec.attempts.len())
+    };
+    let (v1, r1, a1) = run();
+    let (v2, r2, a2) = run();
+    assert_eq!(v1, 13);
+    assert_eq!(r1, 2, "both injected faults retried");
+    assert_eq!(a1, 3, "all attempts recorded on the fused task");
+    assert_eq!(
+        (v1, r1, a1),
+        (v2, r2, a2),
+        "fused retry must be deterministic"
+    );
+}
+
+#[test]
+fn fusion_inherits_strictest_failure_policy() {
+    // An Ignore member must block fusion entirely: a failure of that
+    // member stays non-fatal exactly as without fusion.
+    let rt = fused(ExecMode::Threads(2));
+    let a = rt.put(1u64);
+    let opt = rt
+        .task("optional")
+        .on_failure(OnFailure::Ignore)
+        .run1(a, |_| -> u64 { panic!("optional stage failed") });
+    let dep = rt.task("dep").run1(opt, |v| v + 1);
+    let ok = rt.task("good").run1(a, |v| v * 2);
+    rt.barrier();
+    assert_eq!(*rt.wait(ok), 2);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = rt.wait(dep);
+    }));
+    assert!(caught.is_err(), "poisoned output still fails the waiter");
+    let trace = rt.trace();
+    assert!(
+        trace
+            .records
+            .iter()
+            .all(|r| !r.name.contains("optional") || !r.name.starts_with("fused(")),
+        "Ignore tasks must not be fused"
+    );
+}
+
+#[test]
+fn fusion_never_crosses_a_peeked_handle() {
+    let rt = fused(ExecMode::Threads(2));
+    let a = rt.put(1u64);
+    let h1 = rt.task("inc").run1(a, |v| v + 1);
+    // Peeking flushes the window: h1 must dispatch on its own.
+    assert_eq!(*rt.peek(h1), 2);
+    let h2 = rt.task("inc").run1(h1, |v| v + 1);
+    let h3 = rt.task("inc").run1(h2, |v| v + 1);
+    assert_eq!(*rt.wait(h3), 4);
+    let hist = rt.trace().task_histogram();
+    assert_eq!(
+        hist.get("inc").copied().unwrap_or(0),
+        1,
+        "pre-peek task alone"
+    );
+    assert_eq!(hist.get("fused(inc*2)").copied().unwrap_or(0), 1);
+    assert!(!hist.contains_key("fused(inc*3)"), "peek split the window");
+}
+
+#[test]
+fn mid_chain_handles_stay_readable_after_fusion() {
+    // The driver holds every intermediate handle; fusing the chain must
+    // not hide any of them.
+    let rt = fused(ExecMode::Inline);
+    let a = rt.put(2u64);
+    let h1 = rt.task("inc").run1(a, |v| v + 1);
+    let h2 = rt.task("inc").run1(h1, |v| v + 1);
+    let h3 = rt.task("inc").run1(h2, |v| v + 1);
+    assert_eq!(*rt.wait(h3), 5);
+    assert_eq!(*rt.peek(h1), 3);
+    assert_eq!(*rt.peek(h2), 4);
+}
+
+#[test]
+fn dead_discardable_gather_is_elided() {
+    let rt = fused(ExecMode::Inline);
+    let m = demo_matrix(12, 6);
+    let ds = DsArray::from_matrix_owned(&rt, m, 4, 3);
+    // A gather nobody reads: pure data-plane traffic, droppable.
+    let _unused = ds.collect_handle(&rt);
+    // A live chain that must survive elimination untouched.
+    let live = ds.map_blocks(&rt, "scale", |b| {
+        let mut o = b.clone();
+        o.scale(2.0);
+        o
+    });
+    let got = live.collect(&rt);
+    let mut expect = demo_matrix(12, 6);
+    expect.scale(2.0);
+    assert_eq!(got, expect);
+    let st = rt.stats();
+    assert!(st.tasks_elided >= 1, "dead gather counted as elided");
+    assert!(
+        !rt.trace().task_histogram().contains_key("ds_gather"),
+        "dead ds_gather never dispatched"
+    );
+}
+
+#[test]
+fn reblock_collapse_matches_collect_scatter_under_fusion() {
+    let reference = {
+        let rt = unfused(ExecMode::Inline);
+        let ds = DsArray::from_matrix(&rt, &demo_matrix(23, 7), 5, 3);
+        DsArray::from_matrix(&rt, &ds.collect(&rt), 4, 2).collect(&rt)
+    };
+    let rt = fused(ExecMode::Inline);
+    let ds = DsArray::from_matrix(&rt, &demo_matrix(23, 7), 5, 3);
+    let re = ds.reblock(&rt, 4, 2);
+    assert_eq!(re.collect(&rt), reference);
+    // Identity reblock collapses the gather/scatter pair entirely:
+    // only the final collect's gather task is submitted (user tasks
+    // exclude the wait's sync marker).
+    let before = rt.trace().user_task_count();
+    let same = ds.reblock(&rt, 5, 3);
+    let _ = same.collect(&rt);
+    let after_same = rt.trace().user_task_count();
+    assert_eq!(after_same, before + 1);
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+    /// Random chains of ds-array ops must be bit-identical with fusion
+    /// on and off, in both execution modes.
+    #[test]
+    fn prop_fused_random_chain_matches_unfused(
+        rows in 1usize..18,
+        cols in 1usize..9,
+        rb in 1usize..6,
+        cb in 1usize..4,
+        threaded in 0u8..2,
+        ops in proptest::collection::vec(0u8..4, 1..7),
+    ) {
+        let mode = if threaded == 1 { ExecMode::Threads(3) } else { ExecMode::Inline };
+        let run = |rt: &Runtime| {
+            let m = Matrix::from_fn(rows, cols, |r, c| ((r * 13 + c * 7) as f64 * 0.31).sin());
+            let v = rt.put((0..cols).map(|c| 0.5 + c as f64).collect::<Vec<f64>>());
+            let mut ds = DsArray::from_matrix(rt, &m, rb, cb);
+            for &op in &ops {
+                ds = match op {
+                    0 => ds.map_blocks(rt, "scale", |x| {
+                        let mut o = x.clone();
+                        o.scale(1.25);
+                        o
+                    }),
+                    1 => ds.sub_row_vector(rt, v),
+                    2 => ds.div_row_vector(rt, v),
+                    _ => ds.map_blocks(rt, "sq", |x| {
+                        let mut o = x.clone();
+                        for val in o.as_mut_slice() {
+                            *val *= *val;
+                        }
+                        o
+                    }),
+                };
+            }
+            ds.collect(rt)
+        };
+        let a = run(&unfused(mode));
+        let b = run(&fused(mode));
+        proptest::prop_assert_eq!(a, b);
+    }
+
+    /// In-place (INOUT) chains too: fusion must preserve the zero-copy
+    /// path's results even when blocks are consumed between members.
+    #[test]
+    fn prop_fused_inplace_chain_matches_unfused(
+        rows in 1usize..18,
+        cols in 1usize..9,
+        rb in 1usize..6,
+        ops in proptest::collection::vec(0u8..3, 1..6),
+    ) {
+        let run = |rt: &Runtime| {
+            let m = Matrix::from_fn(rows, cols, |r, c| ((r * 17 + c * 3) as f64 * 0.23).cos());
+            let v = rt.put((0..cols).map(|c| 0.5 + c as f64).collect::<Vec<f64>>());
+            let mut ds = DsArray::from_matrix_owned(rt, m, rb, cols);
+            for &op in &ops {
+                ds = match op {
+                    0 => ds.map_blocks_inplace(rt, "scale", |x| x.scale(1.25)),
+                    1 => ds.sub_row_vector_inplace(rt, v),
+                    _ => ds.div_row_vector_inplace(rt, v),
+                };
+            }
+            ds.collect(rt)
+        };
+        let a = run(&unfused(ExecMode::Inline));
+        let b = run(&fused(ExecMode::Inline));
+        proptest::prop_assert_eq!(a, b);
+    }
+}
+
+/// Satellite 4: the 288-core DES replay. A PCA trace rewritten by
+/// [`fuse_trace`] must simulate to strictly fewer schedule events and a
+/// strictly lower makespan once per-task dispatch overhead is modeled,
+/// and both replays must be deterministic.
+#[test]
+fn des_fused_pca_schedule_is_strictly_cheaper() {
+    let trace = {
+        let rt = Runtime::new();
+        let x = demo_matrix(256, 16);
+        let ds = DsArray::from_matrix_owned(&rt, x, 32, 16);
+        let pca = dislib::pca::Pca::fit(&rt, &ds, dislib::pca::Components::Count(4));
+        let _ = rt.wait(pca.components);
+        rt.barrier();
+        rt.finish()
+    };
+    let rewritten = fuse_trace(&trace);
+    assert!(
+        rewritten.user_task_count() < trace.user_task_count(),
+        "fused trace must have strictly fewer tasks ({} vs {})",
+        rewritten.user_task_count(),
+        trace.user_task_count()
+    );
+    // Work is preserved: fused records carry the sum of member durations.
+    assert!((rewritten.total_work_s() - trace.total_work_s()).abs() < 1e-9);
+
+    let cluster = ClusterSpec::marenostrum4(6); // 288 cores, as in the paper
+    let opts = SimOptions {
+        dispatch_overhead_s: 1e-3, // centralized master, one dispatch at a time
+        ..SimOptions::default()
+    };
+    let base = simulate(&trace, &cluster, &opts);
+    let opt = simulate(&rewritten, &cluster, &opts);
+    assert!(
+        opt.schedule.len() < base.schedule.len(),
+        "fused replay must schedule strictly fewer events"
+    );
+    assert!(
+        opt.makespan_s < base.makespan_s,
+        "fused makespan {} must beat unfused {}",
+        opt.makespan_s,
+        base.makespan_s
+    );
+    // Determinism: identical replays, twice.
+    let base2 = simulate(&trace, &cluster, &opts);
+    let opt2 = simulate(&rewritten, &cluster, &opts);
+    assert_eq!(base.makespan_s.to_bits(), base2.makespan_s.to_bits());
+    assert_eq!(opt.makespan_s.to_bits(), opt2.makespan_s.to_bits());
+}
