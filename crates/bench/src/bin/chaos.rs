@@ -69,9 +69,14 @@ fn input_matrix(rows: usize, cols: usize) -> Matrix {
 /// Gram matrix (both submit `Retry` tasks), then tree-reduce per-band
 /// traces of the Gram partials. Returns every result bit plus the
 /// recorded trace.
-fn workload(workers: usize, rows: usize, cols: usize, bs: usize) -> (Vec<u64>, Trace, u64, u64) {
+fn workload(workers: usize, rows: usize, cols: usize, bs: usize) -> RunResult {
     run_workload(workers, rows, cols, bs, None)
 }
+
+/// `(result bits, trace, total tasks, counter retries, journal retry
+/// events, journal dropped)` — the last two from the live telemetry
+/// journal, cross-checked against the scheduler counter in `--check`.
+type RunResult = (Vec<u64>, Trace, u64, u64, u64, u64);
 
 fn run_workload(
     workers: usize,
@@ -79,7 +84,7 @@ fn run_workload(
     cols: usize,
     bs: usize,
     plan: Option<FaultPlan>,
-) -> (Vec<u64>, Trace, u64, u64) {
+) -> RunResult {
     let rt = Runtime::threaded(workers);
     rt.set_fault_plan(plan);
     let m = input_matrix(rows, cols);
@@ -103,7 +108,26 @@ fn run_workload(
     bits.push(rt.wait(total).to_bits());
     rt.barrier();
     let stats = rt.stats();
-    (bits, rt.finish(), stats.total_tasks(), stats.retries)
+    let (journal_retries, journal_dropped) = rt
+        .telemetry()
+        .map(|t| {
+            let retries = t
+                .journal()
+                .snapshot()
+                .iter()
+                .filter(|e| e.kind == taskrt::EventKind::Retry)
+                .count() as u64;
+            (retries, t.journal().dropped())
+        })
+        .unwrap_or((0, 0));
+    (
+        bits,
+        rt.finish(),
+        stats.total_tasks(),
+        stats.retries,
+        journal_retries,
+        journal_dropped,
+    )
 }
 
 fn main() {
@@ -120,14 +144,14 @@ fn main() {
     println!("chaos: scale={scale} workers={workers} sim_nodes={nodes} seed={seed:#x}");
 
     // -- 1: fault-free baseline vs. injected-fault retry runs ---------
-    let (clean_bits, trace, clean_tasks, _) = workload(workers, rows, cols, bs);
+    let (clean_bits, trace, clean_tasks, _, _, _) = workload(workers, rows, cols, bs);
     let mut plan = FaultPlan::new(seed);
     for kind in RETRYABLE_KINDS {
         plan = plan.panic_kind(kind, 1);
     }
-    let (fault_bits, _, fault_tasks, retries) =
+    let (fault_bits, _, fault_tasks, retries, journal_retries, journal_dropped) =
         run_workload(workers, rows, cols, bs, Some(plan.clone()));
-    let (fault_bits2, _, _, retries2) = run_workload(workers, rows, cols, bs, Some(plan));
+    let (fault_bits2, _, _, retries2, _, _) = run_workload(workers, rows, cols, bs, Some(plan));
     let fault_frac = retries as f64 / fault_tasks as f64;
     let identical = clean_bits == fault_bits;
     let deterministic = fault_bits == fault_bits2 && retries == retries2;
@@ -135,6 +159,9 @@ fn main() {
         "retry: {clean_tasks} tasks, {retries} injected faults ({:.1}% of tasks), \
          bit-identical={identical} deterministic={deterministic}",
         fault_frac * 100.0
+    );
+    println!(
+        "telemetry: {journal_retries} retry events journaled ({journal_dropped} events dropped)"
     );
 
     // -- 2: retry exhaustion fails with a named-task error ------------
@@ -198,6 +225,8 @@ fn main() {
                 ("fault_fraction".into(), Value::from(fault_frac)),
                 ("bit_identical".into(), Value::from(identical)),
                 ("deterministic".into(), Value::from(deterministic)),
+                ("journal_retry_events".into(), Value::from(journal_retries)),
+                ("journal_dropped".into(), Value::from(journal_dropped)),
             ]),
         ),
         (
@@ -233,6 +262,17 @@ fn main() {
         );
         assert!(identical, "retried results diverged from fault-free run");
         assert!(deterministic, "seeded fault runs diverged from each other");
+        // The journal must tell the same story as the scheduler
+        // counter: one Retry event per retried attempt (exactly, while
+        // nothing overflowed; at least one under overflow).
+        if journal_dropped == 0 {
+            assert_eq!(
+                journal_retries, retries,
+                "journal retry events must match the retry counter"
+            );
+        } else {
+            assert!(journal_retries > 0, "no retry events survived in journal");
+        }
         assert!(
             named_failure,
             "give-up error must name the task and attempt count, got: {giveup_msg:?}"

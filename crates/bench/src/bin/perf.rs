@@ -202,35 +202,96 @@ fn main() {
         "scheduler (inline):      new {inline_tps:.0} tasks/s | legacy {legacy_inline_tps:.0} tasks/s | speedup {speedup_inline:.2}x"
     );
 
-    // -- observability overhead ---------------------------------------
-    // `Runtime::threaded` keeps the obs counters on (the default);
-    // re-run with `metrics: false` to bound the instrumentation cost.
-    // The two configurations are measured interleaved (on, off, on,
-    // off, ...) with extra repetitions: threaded timings on a loaded
-    // 1-CPU container drift over time, and interleaving keeps that
-    // drift from landing on one side of the comparison. The acceptance
-    // criterion is enabled-within-10%-of-disabled.
+    // -- observability / telemetry overhead ---------------------------
+    // `Runtime::threaded` keeps the full telemetry layer on (the
+    // default). The gated comparison isolates exactly the live layer —
+    // journal emits plus latency histograms — by flipping only
+    // `telemetry` with `metrics` on in both arms. (Comparing against
+    // `metrics: false`, as this section originally did, conflates the
+    // new layer with the pre-existing trace/counter machinery, whose
+    // cost is reported separately below as `trace_overhead_frac`,
+    // ungated.) Measurement discipline (this used to be the flakiest
+    // number in the suite, historically reporting noise like -2.6%):
+    // one warmup pair is discarded, then the two configurations are
+    // measured strictly interleaved (on, off, on, off, ...) with extra
+    // repetitions so scheduler-timing drift on a loaded 1-CPU container
+    // lands evenly on both sides, and best-of-N is taken per side. The
+    // acceptance criterion (gated in `--check`) is telemetry-on within
+    // 3% of telemetry-off.
+    let no_telemetry = || {
+        Runtime::with_config(RuntimeConfig {
+            mode: ExecMode::Threads(workers),
+            telemetry: false,
+            fuse: fuse_all,
+            ..RuntimeConfig::default()
+        })
+    };
     let no_metrics = || {
         Runtime::with_config(RuntimeConfig {
             mode: ExecMode::Threads(workers),
-            nested_mode: ExecMode::Inline,
             metrics: false,
+            telemetry: false,
             fuse: fuse_all,
+            ..RuntimeConfig::default()
         })
     };
-    let obs_reps = reps.max(11);
+    let obs_reps = reps.max(15);
+    // One long-lived runtime per arm: worker threads spawn once, so a
+    // sample never includes pool start-up, and dense-table growth is
+    // amortized identically on both sides.
+    let rt_on = new_threaded();
+    let rt_off = no_telemetry();
+    let rt_bare = no_metrics();
+    drive_new(&rt_on, &dag); // warmup, discarded
+    drive_new(&rt_off, &dag);
+    drive_new(&rt_bare, &dag);
+    // Each timing sample is three consecutive drives (30k tasks):
+    // single ~10ms drives swing several percent from scheduling alone.
+    let sample = |rt: &Runtime| -> f64 { (0..3).map(|_| drive_new(rt, &dag)).sum() };
     let mut t_obs_on = f64::INFINITY;
     let mut t_obs_off = f64::INFINITY;
-    for _ in 0..obs_reps {
-        t_obs_on = t_obs_on.min(drive_new(&new_threaded(), &dag));
-        t_obs_off = t_obs_off.min(drive_new(&no_metrics(), &dag));
+    let mut t_bare = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(obs_reps);
+    for i in 0..obs_reps {
+        // The two arms of each pair run back to back (alternating which
+        // goes first) and are compared as a ratio: a container-wide
+        // speed swing hits both sides of a pair roughly equally and
+        // cancels, where a best-of over independent runs lets one lucky
+        // rep on either side swing the result by 10%+.
+        let (on_i, off_i) = if i % 2 == 0 {
+            let on = sample(&rt_on);
+            (on, sample(&rt_off))
+        } else {
+            let off = sample(&rt_off);
+            (sample(&rt_on), off)
+        };
+        t_bare = t_bare.min(sample(&rt_bare));
+        t_obs_on = t_obs_on.min(on_i);
+        t_obs_off = t_obs_off.min(off_i);
+        ratios.push(on_i / off_i);
     }
-    let obs_on_tps = n_tasks as f64 / t_obs_on;
-    let obs_off_tps = n_tasks as f64 / t_obs_off;
-    let obs_overhead = obs_off_tps / obs_on_tps - 1.0;
+    ratios.sort_by(f64::total_cmp);
+    let obs_on_tps = 3.0 * n_tasks as f64 / t_obs_on;
+    let obs_off_tps = 3.0 * n_tasks as f64 / t_obs_off;
+    let bare_tps = 3.0 * n_tasks as f64 / t_bare;
+    // Median of the paired ratios, not a ratio of aggregates.
+    let obs_overhead = ratios[ratios.len() / 2] - 1.0;
+    let trace_overhead = bare_tps / obs_off_tps - 1.0;
+    // One instrumented run to report what the journal captured on the
+    // 10k-task workload (and that drops are being counted, not lost).
+    let (journal_emitted, journal_dropped) = {
+        let rt = new_threaded();
+        drive_new(&rt, &dag);
+        let t = rt.telemetry().expect("telemetry on by default");
+        (t.journal().emitted(), t.journal().dropped())
+    };
     println!(
-        "scheduler obs: counters on {obs_on_tps:.0} tasks/s | off {obs_off_tps:.0} tasks/s | overhead {:.1}%",
+        "scheduler telemetry: on {obs_on_tps:.0} tasks/s | off {obs_off_tps:.0} tasks/s | overhead {:.1}% | journal {journal_emitted} events ({journal_dropped} dropped)",
         obs_overhead * 100.0
+    );
+    println!(
+        "scheduler tracing:   metrics off {bare_tps:.0} tasks/s | trace+counters overhead {:.1}%",
+        trace_overhead * 100.0
     );
 
     // -- DES replay ---------------------------------------------------
@@ -669,6 +730,15 @@ fn main() {
                 ("obs_on_tasks_per_s".into(), Value::Number(obs_on_tps)),
                 ("obs_off_tasks_per_s".into(), Value::Number(obs_off_tps)),
                 ("obs_overhead_frac".into(), Value::Number(obs_overhead)),
+                ("trace_overhead_frac".into(), Value::Number(trace_overhead)),
+                (
+                    "journal_events".into(),
+                    Value::Number(journal_emitted as f64),
+                ),
+                (
+                    "journal_dropped".into(),
+                    Value::Number(journal_dropped as f64),
+                ),
             ]),
         ),
         (
@@ -871,11 +941,24 @@ fn main() {
             );
             ok = false;
         }
+        // Telemetry must stay in the noise: journal emits plus the
+        // latency histograms cost a few relaxed stores per task, which
+        // on the no-op DAG (the worst case — zero useful work to hide
+        // behind) still has to land under 3%.
+        if obs_overhead >= 0.03 || obs_overhead.is_nan() {
+            eprintln!("check FAILED: scheduler.obs_overhead_frac = {obs_overhead:.3} >= 0.03");
+            ok = false;
+        }
+        if journal_dropped > 0 && journal_emitted == 0 {
+            eprintln!("check FAILED: journal dropped {journal_dropped} events but emitted none");
+            ok = false;
+        }
         if !ok {
             std::process::exit(1);
         }
         println!(
-            "check: all speedup_* fields >= 1.0, steal rate > 50%, fusion bit-identical with {:.0}% fewer PCA dispatches",
+            "check: all speedup_* fields >= 1.0, steal rate > 50%, telemetry overhead {:.1}% < 3%, fusion bit-identical with {:.0}% fewer PCA dispatches",
+            obs_overhead * 100.0,
             pca_reduction * 100.0
         );
     }

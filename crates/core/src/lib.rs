@@ -58,6 +58,7 @@ pub mod obs;
 pub mod payload;
 pub mod runtime;
 pub mod sim;
+pub mod telemetry;
 pub mod trace;
 
 pub use fault::{FaultMode, FaultPlan, OnFailure, RetryPolicy, TaskFault};
@@ -66,4 +67,8 @@ pub use handle::{DataId, Handle, TaskId};
 pub use obs::{Profile, RuntimeStats, SimProfile};
 pub use payload::Payload;
 pub use runtime::{live_worker_threads, ExecMode, Runtime, RuntimeConfig, TaskBuilder, TaskCtx};
+pub use telemetry::{
+    Divergence, Event, EventKind, HistogramSnapshot, Journal, LogHistogram, Registry,
+    StragglerAnalyzer, StragglerReport, Telemetry,
+};
 pub use trace::{TaskRecord, Trace};

@@ -430,6 +430,23 @@ fn thread_name_event(pid: u64, tid: u64, name: &str) -> Value {
 /// Sync/barrier markers carry no duration and are skipped; nested child
 /// traces run on their own clock and are likewise not flattened in.
 pub fn chrome_trace(trace: &Trace) -> String {
+    chrome_trace_events(trace, &[])
+}
+
+/// [`chrome_trace`] with straggler highlighting: every task the
+/// analyzer flagged (see [`crate::telemetry::StragglerReport`]) gets an
+/// `instant` marker (`ph:"i"`) at its start on the same track, so
+/// Perfetto renders the analyzer's verdicts as droplets over the
+/// timeline. The marker's args carry the slowdown factor and the
+/// kind's median at flag time.
+pub fn chrome_trace_stragglers(
+    trace: &Trace,
+    report: &crate::telemetry::StragglerReport,
+) -> String {
+    chrome_trace_events(trace, &report.stragglers)
+}
+
+fn chrome_trace_events(trace: &Trace, stragglers: &[crate::telemetry::Straggler]) -> String {
     let mut events = Vec::new();
     // One metadata record per executor track, driver first.
     let max_worker = trace
@@ -492,6 +509,30 @@ pub fn chrome_trace(trace: &Trace) -> String {
                     ("task".into(), Value::from(r.id.0)),
                     ("bytes_in".into(), Value::from(bytes_in)),
                     ("bytes_out".into(), Value::from(bytes_out)),
+                ]),
+            ),
+        ]));
+    }
+    for s in stragglers {
+        let Some(r) = trace.records.iter().find(|r| r.id.0 == s.task) else {
+            continue;
+        };
+        events.push(ev(vec![
+            ("name".into(), Value::from(format!("straggler:{}", s.name))),
+            ("cat".into(), Value::from("straggler")),
+            ("ph".into(), Value::from("i")),
+            ("s".into(), Value::from("t")), // thread-scoped droplet
+            ("ts".into(), Value::from(r.start_s * 1e6)),
+            ("pid".into(), Value::from(0u64)),
+            ("tid".into(), Value::from((r.worker + 1).max(0) as u64)),
+            (
+                "args".into(),
+                Value::Object(vec![
+                    ("task".into(), Value::from(s.task)),
+                    ("factor".into(), Value::Number(s.factor)),
+                    ("median_s".into(), Value::Number(s.median_s)),
+                    ("retried".into(), Value::from(s.retried)),
+                    ("fused".into(), Value::from(s.fused)),
                 ]),
             ),
         ]));
@@ -1086,6 +1127,7 @@ mod tests {
             mode: crate::ExecMode::Threads(2),
             nested_mode: crate::ExecMode::Inline,
             metrics: false,
+            telemetry: false,
             fuse: false,
         });
         let a = rt.put(0u64);

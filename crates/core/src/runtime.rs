@@ -65,6 +65,7 @@ use crate::fuse::{fused_label, plan_groups_csr};
 use crate::handle::{DataId, Handle, TaskId};
 use crate::obs::{Counters, RuntimeStats};
 use crate::payload::Payload;
+use crate::telemetry::{Event, EventKind, HistogramSnapshot, LogHistogram, Registry, Telemetry};
 use crate::trace::{AttemptRecord, TaskRecord, Trace, BARRIER_TASK, SPLIT_TASK, SYNC_TASK};
 use std::any::Any;
 use std::collections::VecDeque;
@@ -137,6 +138,13 @@ pub struct RuntimeConfig {
     /// on; `bench --bin perf` measures the on-vs-off gap to keep it
     /// within noise.
     pub metrics: bool,
+    /// Whether the runtime keeps live telemetry — the structured event
+    /// journal and latency histograms (see [`crate::telemetry`] and
+    /// [`Runtime::telemetry`]). Only active when `metrics` is also on
+    /// (telemetry reuses the metrics timestamps); on by default.
+    /// `bench --bin perf` measures and gates the telemetry-on-vs-off
+    /// gap on the no-op scheduler DAG.
+    pub telemetry: bool,
     /// Whether submissions are windowed in a lazy buffer and rewritten
     /// by the graph optimizer before dispatch: linear chains of
     /// compatible tasks are fused into single tasks, and dead
@@ -156,6 +164,7 @@ impl Default for RuntimeConfig {
             mode: ExecMode::Inline,
             nested_mode: ExecMode::Inline,
             metrics: true,
+            telemetry: true,
             fuse: false,
         }
     }
@@ -165,10 +174,18 @@ impl Default for RuntimeConfig {
 pub struct TaskCtx {
     nested_mode: ExecMode,
     metrics: bool,
+    telemetry: bool,
     fuse: bool,
     /// Runtime counters for in-body instrumentation (INOUT steal/copy
     /// accounting); `None` when metrics are off.
     counters: Option<Arc<Counters>>,
+    /// In-body INOUT resolutions, buffered here (relaxed stores, only
+    /// the executing thread writes) and flushed into the telemetry
+    /// journal by the executor once the body returns. Buffering keeps
+    /// the per-task ctx free of an `Arc<Telemetry>` refcount bump,
+    /// which all workers would contend on.
+    inout_steals: AtomicU64,
+    inout_clones: AtomicU64,
     child: Mutex<Option<Runtime>>,
 }
 
@@ -183,6 +200,7 @@ impl TaskCtx {
             mode: self.nested_mode,
             nested_mode: self.nested_mode,
             metrics: self.metrics,
+            telemetry: self.telemetry,
             fuse: self.fuse,
         });
         *lock(&self.child) = Some(rt.clone());
@@ -200,6 +218,12 @@ impl TaskCtx {
             };
             Counters::add(ctr, 1);
         }
+        let buf = if stolen {
+            &self.inout_steals
+        } else {
+            &self.inout_clones
+        };
+        buf.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -495,6 +519,11 @@ struct Shared {
     /// `config.metrics`. `Arc` so a [`TaskCtx`] can carry a reference
     /// into task bodies for in-body (INOUT) accounting.
     counters: Arc<Counters>,
+    /// Live telemetry (event journal + latency histograms, see
+    /// [`crate::telemetry`]); `None` when `config.metrics` is off, so
+    /// the telemetry-off path pays a single branch. Shares `epoch` as
+    /// its time zero.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 struct Inner {
@@ -539,8 +568,7 @@ impl Runtime {
         Self::with_config(RuntimeConfig {
             mode: ExecMode::Threads(workers),
             nested_mode: ExecMode::Inline,
-            metrics: true,
-            fuse: false,
+            ..RuntimeConfig::default()
         })
     }
 
@@ -556,6 +584,7 @@ impl Runtime {
             ExecMode::Inline => 0,
             ExecMode::Threads(n) => n.max(1),
         };
+        let epoch = Instant::now();
         let shared = Arc::new(Shared {
             config,
             state: Mutex::new(State {
@@ -583,8 +612,10 @@ impl Runtime {
             data_ids: AtomicU64::new(0),
             fault_plan: Mutex::new(None),
             fault_active: AtomicBool::new(false),
-            epoch: Instant::now(),
+            epoch,
             counters: Arc::new(Counters::new(n_workers)),
+            telemetry: (config.metrics && config.telemetry)
+                .then(|| Arc::new(Telemetry::new(n_workers, epoch))),
         });
         let workers = (0..n_workers)
             .map(|i| {
@@ -875,6 +906,154 @@ impl Runtime {
     pub fn stats(&self) -> RuntimeStats {
         self.flush_fuse(FlushKind::Drain);
         self.inner.shared.counters.snapshot()
+    }
+
+    /// Live telemetry state — the event journal and latency histograms
+    /// (see [`crate::telemetry`]). `None` when the runtime was built
+    /// with [`RuntimeConfig::metrics`] `= false`.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.inner.shared.telemetry.as_deref()
+    }
+
+    /// Snapshot of the event journal, merged across executors and
+    /// sorted by time. Empty when metrics are off. Safe to call while
+    /// workers are running.
+    pub fn journal_events(&self) -> Vec<Event> {
+        self.telemetry()
+            .map(|t| t.journal().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Journal events overwritten before they could be snapshotted.
+    pub fn journal_dropped(&self) -> u64 {
+        self.telemetry().map(|t| t.journal().dropped()).unwrap_or(0)
+    }
+
+    /// Point-in-time copies of the (queue-wait, run-time, attempt)
+    /// latency histograms, in nanoseconds. `None` when metrics are off.
+    pub fn latency_histograms(
+        &self,
+    ) -> Option<(HistogramSnapshot, HistogramSnapshot, HistogramSnapshot)> {
+        self.telemetry().map(|t| {
+            (
+                t.queue_wait.snapshot(),
+                t.run_time.snapshot(),
+                t.attempt.snapshot(),
+            )
+        })
+    }
+
+    /// Builds a [`Registry`] snapshot of every scheduler counter plus
+    /// the latency histograms, ready for JSON or Prometheus export.
+    /// Snapshotable at any time without stopping workers; callers may
+    /// fold their own metrics in afterwards (the `telemetry` bin adds
+    /// the linalg buffer-pool counters this way).
+    pub fn registry(&self) -> Registry {
+        let s = self.stats();
+        let mut reg = Registry::new();
+        reg.counter("taskrt_tasks_total", "tasks executed", s.total_tasks());
+        reg.counter(
+            "taskrt_driver_tasks_total",
+            "tasks executed on driver threads",
+            s.driver_tasks,
+        );
+        reg.counter(
+            "taskrt_steal_attempts_total",
+            "steal probes into sibling deques",
+            s.steal_attempts,
+        );
+        reg.counter(
+            "taskrt_stolen_tasks_total",
+            "tasks acquired via stealing",
+            s.stolen_tasks,
+        );
+        reg.counter(
+            "taskrt_injector_flushes_total",
+            "staged submission batches flushed",
+            s.injector_flushes,
+        );
+        reg.counter(
+            "taskrt_wakeups_total",
+            "worker wake tokens granted",
+            s.wakeups,
+        );
+        reg.counter(
+            "taskrt_inout_steals_total",
+            "INOUT parameters handed over by move",
+            s.inout_steals,
+        );
+        reg.counter(
+            "taskrt_inout_copies_total",
+            "INOUT parameters cloned on shared",
+            s.inout_copies,
+        );
+        reg.counter("taskrt_retries_total", "failed attempts retried", s.retries);
+        reg.counter(
+            "taskrt_giveups_total",
+            "tasks that exhausted their retry budget",
+            s.giveups,
+        );
+        reg.counter(
+            "taskrt_poisoned_total",
+            "outputs poisoned by ignored failures",
+            s.poisoned,
+        );
+        reg.counter(
+            "taskrt_cancelled_total",
+            "tasks cancelled by failure policies",
+            s.cancelled,
+        );
+        reg.counter(
+            "taskrt_fused_tasks_total",
+            "fused tasks dispatched by the graph optimizer",
+            s.fused_tasks,
+        );
+        reg.counter(
+            "taskrt_tasks_elided_total",
+            "submitted tasks never dispatched individually",
+            s.tasks_elided,
+        );
+        reg.counter(
+            "taskrt_worker_parks_total",
+            "worker condvar sleeps",
+            s.worker_parks,
+        );
+        reg.gauge(
+            "taskrt_worker_idle_seconds",
+            "total seconds workers were parked",
+            s.worker_idle_s,
+        );
+        if let Some(t) = self.telemetry() {
+            reg.counter(
+                "taskrt_journal_events_total",
+                "telemetry events emitted",
+                t.journal().emitted(),
+            );
+            reg.counter(
+                "taskrt_journal_dropped_total",
+                "telemetry events overwritten before snapshot",
+                t.journal().dropped(),
+            );
+            reg.histogram(
+                "taskrt_queue_wait_seconds",
+                "ready-to-start latency per task",
+                t.queue_wait.snapshot(),
+                1e-9,
+            );
+            reg.histogram(
+                "taskrt_run_seconds",
+                "task body run time (final attempt)",
+                t.run_time.snapshot(),
+                1e-9,
+            );
+            reg.histogram(
+                "taskrt_attempt_seconds",
+                "per-attempt body latency (all attempts)",
+                t.attempt.snapshot(),
+                1e-9,
+            );
+        }
+        reg
     }
 
     /// Markers are born `Done`: they never execute, they only shape the
@@ -1337,6 +1516,10 @@ fn submit_locked(
                         Counters::add(&shared.counters.injector_flushes, 1);
                         Counters::add(&shared.counters.injector_flushed_tasks, n as u64);
                     }
+                    if let (Some(t), Some(at)) = (&shared.telemetry, stamp) {
+                        t.journal()
+                            .emit_at(DRIVER, at, EventKind::QueueFlush, None, n as u64, 0);
+                    }
                 }
             }
         }
@@ -1557,6 +1740,9 @@ fn flush_fuse(shared: &Shared, kind: FlushKind) {
                 }
             }
             let mut wake_n = 0usize;
+            // (task id, member count) of fused dispatches in this
+            // chunk; journal events are emitted after the lock drops.
+            let mut fused_dispatched: Vec<(u64, u32)> = Vec::new();
             {
                 let mut st = lock(&shared.state);
                 for p in planned.drain(..) {
@@ -1588,6 +1774,7 @@ fn flush_fuse(shared: &Shared, kind: FlushKind) {
                             for d in &fused.moved_internal {
                                 st.data[d.0 as usize].slot = Slot::Moved(0);
                             }
+                            fused_dispatched.push((st.tasks.len() as u64, fused.members));
                             submit_locked(
                                 shared,
                                 &mut st,
@@ -1608,6 +1795,19 @@ fn flush_fuse(shared: &Shared, kind: FlushKind) {
             }
             if wake_n > 0 {
                 wake(shared, wake_n);
+            }
+            if let Some(t) = &shared.telemetry {
+                let at = Instant::now();
+                for (tid, members) in fused_dispatched {
+                    t.journal().emit_at(
+                        DRIVER,
+                        at,
+                        EventKind::FusedGroup,
+                        Some(tid),
+                        members as u64,
+                        0,
+                    );
+                }
             }
         }
         drop(window);
@@ -1711,6 +1911,9 @@ struct FusedSpec {
     /// Member outputs consumed member-to-member inside the fused body:
     /// they never materialize and are retired as `Slot::Moved`.
     moved_internal: Vec<DataId>,
+    /// Number of member tasks collapsed into this one (for the
+    /// `fused_group` journal event).
+    members: u32,
     f: TaskFn,
 }
 
@@ -1855,6 +2058,7 @@ fn build_fused(taken: &mut [Option<BufTask>], g: &[usize]) -> FusedSpec {
         outputs,
         fault,
         moved_internal,
+        members: g.len() as u32,
         f,
     }
 }
@@ -1886,6 +2090,10 @@ fn flush_staged(shared: &Shared) -> usize {
         if metrics {
             Counters::add(&shared.counters.injector_flushes, 1);
             Counters::add(&shared.counters.injector_flushed_tasks, n as u64);
+        }
+        if let (Some(t), Some(at)) = (&shared.telemetry, stamp) {
+            t.journal()
+                .emit_at(DRIVER, at, EventKind::QueueFlush, None, n as u64, 0);
         }
     }
     n
@@ -2013,6 +2221,10 @@ fn pop_work(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Option<R
                 Counters::bump(&shard.steal_successes, 1);
                 Counters::bump(&shard.stolen_tasks, take as u64);
             }
+            if let Some(t) = &shared.telemetry {
+                t.journal()
+                    .emit(me as i64, EventKind::Steal, None, take as u64, j as u64);
+            }
             if scratch.len() > 1 {
                 lock(&shared.queues[me]).extend(scratch.drain(1..));
             }
@@ -2023,6 +2235,10 @@ fn pop_work(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Option<R
                 let shard = shared.counters.shard(me as i64);
                 Counters::bump(&shard.steal_successes, 1);
                 Counters::bump(&shard.stolen_tasks, 1);
+            }
+            if let Some(tl) = &shared.telemetry {
+                tl.journal()
+                    .emit(me as i64, EventKind::Steal, None, 1, j as u64);
             }
             return Some(t);
         }
@@ -2150,6 +2366,18 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
     } = run;
     let ti = task.0 as usize;
     let metrics = shared.config.metrics;
+    let tel = shared.telemetry.as_ref();
+    // Histogram recording mirrors the `count` split below: workers own
+    // stripe `who + 1` (single-writer plain stores), driver executions
+    // can come from any user thread and take the RMW path on stripe 0.
+    let stripe = (who.max(-1) + 1) as usize;
+    let record = |h: &LogHistogram, v: u64| {
+        if who >= 0 {
+            h.record_on(stripe, v);
+        } else {
+            h.record(v);
+        }
+    };
 
     // Workers own their shard (single writer -> cheap `bump`); driver
     // executions can come from any user thread and need the RMW.
@@ -2179,8 +2407,11 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
         let ctx = TaskCtx {
             nested_mode: shared.config.nested_mode,
             metrics,
+            telemetry: shared.config.telemetry,
             fuse: shared.config.fuse,
             counters: metrics.then(|| Arc::clone(&shared.counters)),
+            inout_steals: AtomicU64::new(0),
+            inout_clones: AtomicU64::new(0),
             child: Mutex::new(None),
         };
         let mut ins = if keep_inputs {
@@ -2199,7 +2430,14 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
             if let Some(t0) = ready_at {
                 let wait = start.saturating_duration_since(t0).as_nanos() as u64;
                 count(&shard.queue_wait_ns, wait);
+                if let Some(t) = tel {
+                    record(&t.queue_wait, wait);
+                }
             }
+            // No TaskStart emit here: the journal synthesizes start
+            // events from TaskEnd slots (`t_end - duration`) at
+            // snapshot time, halving the per-task emit cost on the hot
+            // path. See `Journal::snapshot`.
         }
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             match injected {
@@ -2213,6 +2451,27 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
         let duration = end.saturating_duration_since(start).as_secs_f64();
         if metrics {
             count(&shared.counters.shard(who).run_ns, (duration * 1e9) as u64);
+        }
+        if let Some(t) = tel {
+            record(
+                &t.attempt,
+                end.saturating_duration_since(start).as_nanos() as u64,
+            );
+            // Flush INOUT resolutions buffered by the body: one event
+            // per path with the resolution count in `n`. The ctx is
+            // per-attempt and its writer (the body) has returned, so
+            // plain relaxed loads suffice — tasks without INOUT params
+            // pay two loads of an unshared cache line.
+            let steals = ctx.inout_steals.load(Ordering::Relaxed);
+            if steals > 0 {
+                t.journal()
+                    .emit_at(who, end, EventKind::InoutSteal, Some(task.0), steals, 0);
+            }
+            let clones = ctx.inout_clones.load(Ordering::Relaxed);
+            if clones > 0 {
+                t.journal()
+                    .emit_at(who, end, EventKind::InoutClone, Some(task.0), clones, 0);
+            }
         }
         drop(ins); // release the attempt's input refcounts outside the lock
         let start_s = start.saturating_duration_since(shared.epoch).as_secs_f64();
@@ -2255,6 +2514,16 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                 if metrics {
                     Counters::add(&shared.counters.retries, 1);
                 }
+                if let Some(t) = tel {
+                    t.journal().emit_at(
+                        who,
+                        end,
+                        EventKind::Retry,
+                        Some(task.0),
+                        attempt_no as u64,
+                        0,
+                    );
+                }
                 // Deterministic exponential backoff; sleeps on the
                 // executing worker — retry delays are expected to be
                 // short relative to task runtimes, and parking the
@@ -2267,6 +2536,17 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
         }
     };
     drop(inputs); // release the pristine originals (retry path) outside the lock
+
+    if let Some(t) = tel {
+        let (end, duration, failed) = match &outcome {
+            Ok((_, _, _, end, duration)) => (*end, *duration, 0),
+            Err((_, end, duration)) => (*end, *duration, 1),
+        };
+        let dur_ns = (duration * 1e9) as u64;
+        record(&t.run_time, dur_ns);
+        t.journal()
+            .emit_at(who, end, EventKind::TaskEnd, Some(task.0), dur_ns, failed);
+    }
 
     let notify_driver;
     {

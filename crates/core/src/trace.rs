@@ -334,6 +334,14 @@ impl Trace {
         counts.values().copied().max().unwrap_or(0)
     }
 
+    /// Re-emits the recorded run as the telemetry event schema — one
+    /// `task_start`/`task_end` pair per executed task, schema-identical
+    /// to a DES replay's [`crate::sim::SimReport::events`]. See
+    /// [`crate::telemetry::events_from_trace`].
+    pub fn events(&self) -> Vec<crate::telemetry::Event> {
+        crate::telemetry::events_from_trace(self)
+    }
+
     /// Serializes the trace to pretty JSON (for EXPERIMENTS.md artifacts).
     pub fn to_json(&self) -> String {
         self.to_value().pretty()

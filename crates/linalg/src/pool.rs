@@ -26,6 +26,8 @@
 //! No `unsafe`: the pool trades only `Vec` values.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Buffers retained per size bucket. The working set of a blocked GEMM
 /// or a reduction cascade cycles through a handful of buffers per size.
@@ -59,6 +61,61 @@ fn bucket_of(cap: usize) -> usize {
     (usize::BITS - cap.saturating_sub(1).leading_zeros()) as usize
 }
 
+// Process-wide pool counters. The per-thread counters above die with
+// their worker thread, which made the pool invisible to observability:
+// a driver reading `stats()` only ever saw its own (empty) pool. These
+// aggregate across every thread with relaxed `fetch_add`s so the
+// telemetry registry can report true hit/miss/bytes-reused totals.
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_REUSED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Observer invoked on every pool resolution: `(hit, bytes)` where
+/// `bytes` is the capacity served (hit) or requested (miss). Installed
+/// by the telemetry bin to forward pool events into a runtime's
+/// journal. The flag keeps the uninstalled path at one relaxed load.
+static OBSERVER_ACTIVE: AtomicBool = AtomicBool::new(false);
+#[allow(clippy::type_complexity)]
+static OBSERVER: Mutex<Option<Box<dyn Fn(bool, u64) + Send + Sync>>> = Mutex::new(None);
+
+/// Process-wide pool counters, aggregated across all threads (alive
+/// and dead): `(hits, misses, bytes_reused)`.
+pub fn global_stats() -> (u64, u64, u64) {
+    (
+        GLOBAL_HITS.load(Ordering::Relaxed),
+        GLOBAL_MISSES.load(Ordering::Relaxed),
+        GLOBAL_REUSED_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Installs (or, with `None`, removes) the process-wide pool observer.
+/// The callback runs on whichever thread touched the pool; keep it
+/// cheap and non-blocking (the telemetry journal's emit qualifies).
+pub fn set_observer(f: Option<Box<dyn Fn(bool, u64) + Send + Sync>>) {
+    let mut g = OBSERVER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    OBSERVER_ACTIVE.store(f.is_some(), Ordering::Release);
+    *g = f;
+}
+
+fn observe(hit: bool, bytes: u64) {
+    if hit {
+        GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_REUSED_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    } else {
+        GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    if OBSERVER_ACTIVE.load(Ordering::Acquire) {
+        let g = OBSERVER
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(f) = g.as_ref() {
+            f(hit, bytes);
+        }
+    }
+}
+
 /// Pops a pooled buffer whose capacity covers `n`, if any.
 fn acquire_raw(n: usize) -> Option<Vec<f64>> {
     let b = bucket_of(n);
@@ -76,10 +133,12 @@ fn acquire_raw(n: usize) -> Option<Vec<f64>> {
             if let Some(buf) = p.buckets[bi].pop() {
                 p.retained_elems -= buf.capacity();
                 p.hits += 1;
+                observe(true, (buf.capacity() * std::mem::size_of::<f64>()) as u64);
                 return Some(buf);
             }
         }
         p.misses += 1;
+        observe(false, (n * std::mem::size_of::<f64>()) as u64);
         None
     })
 }
@@ -236,6 +295,23 @@ mod tests {
         release(Vec::new());
         let (_, _, retained) = stats();
         assert_eq!(retained, 0);
+    }
+
+    #[test]
+    fn global_counters_aggregate_and_survive_clear() {
+        clear();
+        let (h0, m0, b0) = global_stats();
+        release(acquire(256)); // miss, then pooled
+        let _v = acquire(256); // hit
+        let (h1, m1, b1) = global_stats();
+        assert!(h1 > h0, "expected a global hit");
+        assert!(m1 > m0, "expected a global miss");
+        assert!(b1 >= b0 + 256 * 8, "expected reused bytes to grow");
+        clear();
+        // `clear` resets thread-local counters, never the process-wide
+        // aggregate (it is a monotonic counter for the registry).
+        let (h2, m2, _) = global_stats();
+        assert!(h2 >= h1 && m2 >= m1);
     }
 
     #[test]

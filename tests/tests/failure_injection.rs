@@ -69,6 +69,7 @@ fn nested_child_panic_reaches_parent_waiter() {
         mode: ExecMode::Threads(2),
         nested_mode: ExecMode::Inline,
         metrics: true,
+        telemetry: true,
         fuse: false,
     });
     let a = rt.put(1u64);

@@ -1,0 +1,222 @@
+//! Integration tests of the live telemetry layer: the event journal a
+//! threaded run produces, its schema identity with DES-emitted event
+//! streams, the metrics registry exports, and the real-vs-simulated
+//! divergence report — the tracing/analysis workflow the paper drives
+//! through Extrae + Paraver, here as first-class runtime state.
+
+use dislib::pca::{Components, Pca};
+use dsarray::DsArray;
+use integration_tests::tiny_dataset;
+use taskrt::sim::{simulate, ClusterSpec, SimOptions};
+use taskrt::telemetry::{divergence, validate_prometheus};
+use taskrt::{Event, EventKind, FaultPlan, Runtime, RuntimeConfig, Trace};
+
+/// A small mixed workload: blocked column sums + an explicit task
+/// cascade, enough to exercise queueing, stealing, and both histogram
+/// paths.
+fn small_run() -> (Runtime, u64) {
+    let (x, _) = tiny_dataset();
+    let rt = Runtime::threaded(3);
+    let ds = DsArray::from_matrix(&rt, x, 8, 120);
+    let sums = ds.col_sums(&rt);
+    let _ = rt.wait(sums);
+    rt.barrier();
+    let tasks = rt.stats().total_tasks();
+    (rt, tasks)
+}
+
+#[test]
+fn journal_records_task_lifecycle() {
+    let (rt, tasks) = small_run();
+    assert!(tasks > 0);
+    assert_eq!(rt.journal_dropped(), 0, "workload must fit the ring");
+    let events = rt.journal_events();
+
+    let ends = events
+        .iter()
+        .filter(|e| e.kind == EventKind::TaskEnd)
+        .count() as u64;
+    let starts = events
+        .iter()
+        .filter(|e| e.kind == EventKind::TaskStart)
+        .count() as u64;
+    assert_eq!(ends, tasks, "one task_end per executed task");
+    assert_eq!(starts, ends, "every task_end has a synthesized start");
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::QueueFlush),
+        "driver must journal its injector flushes"
+    );
+    // Snapshot is time-ordered and every task event is attributed.
+    assert!(events.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+    assert!(events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TaskStart | EventKind::TaskEnd))
+        .all(|e| e.task.is_some() && e.n != u64::MAX));
+}
+
+#[test]
+fn telemetry_flag_gates_the_journal() {
+    let rt = Runtime::with_config(RuntimeConfig {
+        telemetry: false,
+        ..RuntimeConfig::default()
+    });
+    let h = rt.task("t").run0(|| 1.0f64);
+    assert_eq!(*rt.wait(h), 1.0);
+    assert!(rt.telemetry().is_none(), "telemetry: false disables it");
+    assert!(rt.journal_events().is_empty());
+}
+
+#[test]
+fn inout_handover_is_journaled() {
+    let rt = Runtime::threaded(2);
+    let m = rt.put(vec![1.0f64; 64]);
+    // Uniquely-owned input: the INOUT body takes it by move (steal).
+    let out = rt.task("scale_inplace").run1_inout(m, |v: &mut Vec<f64>| {
+        v.iter_mut().for_each(|x| *x *= 2.0);
+    });
+    let _ = rt.wait(out);
+    rt.barrier();
+    let events = rt.journal_events();
+    let steals: u64 = events
+        .iter()
+        .filter(|e| e.kind == EventKind::InoutSteal)
+        .map(|e| e.n)
+        .sum();
+    assert!(
+        steals >= 1,
+        "zero-copy handover must journal an inout_steal"
+    );
+}
+
+#[test]
+fn retries_are_journaled() {
+    let rt = Runtime::threaded(2);
+    rt.set_fault_plan(Some(FaultPlan::new(7).panic_kind("flaky", 1)));
+    let x = rt.put(2.0f64);
+    let h = rt
+        .task("flaky")
+        .retry(taskrt::RetryPolicy::new(3).backoff(1e-6, 2.0))
+        .run1(x, |v| v * 3.0);
+    let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.wait(h)));
+    rt.barrier();
+    assert_eq!(got.ok().map(|v| *v), Some(6.0));
+    let retries = rt
+        .journal_events()
+        .iter()
+        .filter(|e| e.kind == EventKind::Retry)
+        .count() as u64;
+    assert_eq!(retries, rt.stats().retries);
+    assert!(retries >= 1, "the injected first-attempt fault must retry");
+}
+
+#[test]
+fn histogram_counts_match_task_counts() {
+    let (rt, tasks) = small_run();
+    let (queue_wait, run_time, attempt) = rt.latency_histograms().expect("telemetry on");
+    assert_eq!(run_time.count(), tasks, "one run_time sample per task");
+    assert_eq!(attempt.count(), tasks, "no retries: one attempt per task");
+    // Queue wait is only measurable for tasks that went through a
+    // ready queue (not driver-inlined ones), so it is bounded, not
+    // exact.
+    assert!(queue_wait.count() > 0 && queue_wait.count() <= tasks);
+    assert!(run_time.sum > 0, "task bodies take nonzero time");
+    assert!(run_time.mean() > 0.0);
+}
+
+#[test]
+fn event_json_roundtrip_preserves_every_field() {
+    let (rt, _) = small_run();
+    let events = rt.journal_events();
+    assert!(!events.is_empty());
+    for e in &events {
+        let back = Event::from_value(&e.to_value()).expect("decode");
+        assert_eq!(&back, e, "JSON round-trip must be lossless");
+    }
+}
+
+/// The DES must speak the journal's exact schema — same JSON keys, same
+/// kind vocabulary — so divergence analysis can diff the two streams
+/// without translation (the role shared Paraver semantics play for
+/// Extrae traces).
+#[test]
+fn threaded_and_des_event_streams_are_schema_identical() {
+    let (x, _) = tiny_dataset();
+    let rt = Runtime::threaded(3);
+    let ds = DsArray::from_matrix(&rt, x, 16, 120);
+    let pca = Pca::fit(&rt, &ds, Components::Count(8));
+    let _ = pca.transform(&rt, &ds).collect(&rt);
+    let live: Vec<Event> = rt.journal_events();
+    let trace: Trace = rt.finish();
+
+    let replayed = trace.events();
+    let report = simulate(
+        &trace,
+        &ClusterSpec::marenostrum4(3),
+        &SimOptions::default(),
+    );
+    let simulated = report.events();
+    assert!(!live.is_empty() && !replayed.is_empty() && !simulated.is_empty());
+
+    let keys = |e: &Event| -> Vec<String> {
+        match e.to_value() {
+            taskrt::json::Value::Object(fields) => fields.into_iter().map(|(k, _)| k).collect(),
+            _ => panic!("events encode as objects"),
+        }
+    };
+    let schema = keys(&live[0]);
+    for e in replayed.iter().chain(simulated.iter()).chain(live.iter()) {
+        assert_eq!(keys(e), schema, "one schema across all three streams");
+        let back = Event::from_value(&e.to_value()).expect("decode");
+        assert_eq!(&back, e);
+    }
+    // Both derived streams carry one start+end pair per real task.
+    let pairs = |evs: &[Event]| {
+        evs.iter().filter(|e| e.kind == EventKind::TaskEnd).count()
+            == evs
+                .iter()
+                .filter(|e| e.kind == EventKind::TaskStart)
+                .count()
+    };
+    assert!(pairs(&replayed) && pairs(&simulated));
+}
+
+#[test]
+fn registry_exports_validate() {
+    let (rt, tasks) = small_run();
+    let reg = rt.registry();
+    let prom = reg.to_prometheus();
+    let samples = validate_prometheus(&prom).expect("well-formed Prometheus exposition");
+    assert!(samples > 0);
+    assert!(prom.contains("taskrt_tasks_total"));
+    assert!(prom.contains("taskrt_run_seconds"));
+    let json = reg.to_value().pretty();
+    let parsed = taskrt::json::Value::parse(&json).expect("registry JSON parses");
+    assert_eq!(
+        parsed.get("taskrt_tasks_total").and_then(|v| v.as_u64()),
+        Some(tasks)
+    );
+}
+
+#[test]
+fn divergence_report_compares_real_and_simulated_runs() {
+    let (x, _) = tiny_dataset();
+    let rt = Runtime::threaded(3);
+    let ds = DsArray::from_matrix(&rt, x, 16, 120);
+    let sums = ds.col_sums(&rt);
+    let _ = rt.wait(sums);
+    let trace = rt.finish();
+
+    let report = simulate(
+        &trace,
+        &ClusterSpec::marenostrum4(2),
+        &SimOptions::default(),
+    );
+    let div = divergence(&trace, &report);
+    assert!(div.real_makespan_s > 0.0);
+    assert!(div.sim_makespan_s > 0.0);
+    assert!(div.makespan_ratio.is_finite() && div.makespan_ratio > 0.0);
+    assert!(!div.kinds.is_empty(), "per-kind breakdown present");
+    for k in &div.kinds {
+        assert!(k.real_s >= 0.0 && k.sim_s >= 0.0, "kind {}", k.name);
+    }
+}
