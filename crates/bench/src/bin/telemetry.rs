@@ -187,9 +187,15 @@ fn main() {
     println!();
     print!("{}", stats.render_table());
     println!();
+    let journal_drop_rate = if journal_emitted + journal_dropped == 0 {
+        0.0
+    } else {
+        journal_dropped as f64 / (journal_emitted + journal_dropped) as f64
+    };
     println!(
-        "journal: {journal_emitted} events emitted, {} retained, {journal_dropped} dropped",
-        journal_events.len()
+        "journal: {journal_emitted} events emitted, {} retained, {journal_dropped} dropped ({:.1}% drop rate, ring capacity auto-scaled to worker count)",
+        journal_events.len(),
+        journal_drop_rate * 100.0
     );
     println!(
         "latency: queue p50 {:.3}ms p95 {:.3}ms | run p50 {:.3}ms p95 {:.3}ms | attempts {}",
@@ -245,6 +251,7 @@ fn main() {
             Value::Object(vec![
                 ("emitted".into(), Value::from(journal_emitted)),
                 ("dropped".into(), Value::from(journal_dropped)),
+                ("drop_rate".into(), Value::Number(journal_drop_rate)),
                 (
                     "events".into(),
                     Value::Array(journal_events.iter().map(|e| e.to_value()).collect()),
@@ -332,6 +339,18 @@ fn self_check() {
     );
     let events = v["journal"]["events"].as_array().expect("journal.events");
     assert!(!events.is_empty(), "journal captured no events");
+    // The ring capacity scales with the worker count (see
+    // `RuntimeConfig::journal_cap`); a high drop rate means the sizing
+    // regressed back to losing most of the run's events.
+    let drop_rate = v["journal"]["drop_rate"]
+        .as_f64()
+        .expect("journal.drop_rate");
+    println!("journal drop rate: {:.1}%", drop_rate * 100.0);
+    assert!(
+        drop_rate < 0.25,
+        "journal dropped {:.1}% of events — ring under-sized for this worker count",
+        drop_rate * 100.0
+    );
     for need in ["task_start", "task_end", "queue_flush"] {
         assert!(
             events

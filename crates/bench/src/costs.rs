@@ -201,6 +201,7 @@ mod tests {
             worker: -1,
             child: None,
             attempts: vec![],
+            tenant: 0,
         }
     }
 

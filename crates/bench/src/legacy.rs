@@ -187,6 +187,7 @@ impl LegacyRuntime {
                 worker: -1,
                 child: None,
                 attempts: vec![],
+                tenant: 0,
             });
 
             let unfinished = deps.iter().filter(|d| !st.done.contains(d)).count();

@@ -1,0 +1,430 @@
+//! Paged generational stores backing the runtime's task/data tables.
+//!
+//! The scheduler's tables are dense: ids are handed out sequentially
+//! and every lookup is an index, never a hash (see [`crate::runtime`]).
+//! That layout is what makes 10k-task DAGs cheap — and exactly what
+//! makes 1M-task DAGs expensive: a plain `Vec` keeps every completed
+//! task's entry, record, and datum resident until the runtime drops.
+//! *Runtime vs Scheduler: Analyzing Dask's Overheads* (arXiv
+//! 2010.11105) identifies this unbounded bookkeeping as the way
+//! centralized runtimes die long before the hardware does.
+//!
+//! [`Store`] keeps the dense-id contract while letting the streaming
+//! runtime ([`crate::RuntimeConfig::stream`]) reclaim entries:
+//!
+//! * Ids stay **monotonic and are never reused** — an id *is* its
+//!   generation. A slot, once retired, can only ever be observed as
+//!   retired, so a stale handle read is a loud, named error
+//!   (`"stale handle: …"`), never a silent wrong read. This is the
+//!   generational-arena guarantee without packing generation bits into
+//!   the id (which would break the fusion window's contiguous output
+//!   ranges and every trace/sim consumer of raw ids).
+//! * Entries live in fixed-size **pages** (`Box`ed, [`PAGE`] slots).
+//!   Retiring an entry drops its payload immediately; when every slot
+//!   of a page is retired the page frame itself is released to a small
+//!   pool (bumping its generation) or freed — so the table backbone,
+//!   not just the payloads, stays bounded on long streams.
+//! * The non-streaming runtime uses the [`Store::Flat`] variant: a
+//!   plain `Vec` with zero per-access overhead beyond one predictable
+//!   branch, so existing workloads pay nothing for the feature.
+//!
+//! Peak-liveness accounting (`live` / `peak_live` / `retired`) is what
+//! the `scale` bench gates on: a bounded resident set under a 1M-task
+//! stream shows up here as `peak_live ≪ len`.
+
+/// Slots per page (power of two; index math is shift + mask).
+pub const PAGE: usize = 1 << PAGE_SHIFT;
+const PAGE_SHIFT: usize = 10;
+
+/// Retired page frames kept for reuse instead of returning to the
+/// allocator; steady-state streams recycle pages at the rate they fill
+/// them, so a small pool absorbs the churn.
+const PAGE_POOL: usize = 4;
+
+struct Page<T> {
+    slots: Vec<Option<T>>,
+    /// Live (present) entries in this page.
+    live: u32,
+    /// Reuse count of this page frame — reported in stale-handle
+    /// panics so "the slot was reclaimed" is auditable.
+    generation: u64,
+}
+
+/// A paged table: pages are dropped (or pooled) once fully retired.
+pub struct Paged<T> {
+    pages: Vec<Option<Box<Page<T>>>>,
+    /// Total slots ever allocated (monotone; the next id).
+    len: usize,
+    live: usize,
+    peak_live: usize,
+    retired: u64,
+    // Boxed so frames move between `pages` and the pool as a pointer
+    // swap instead of copying a PAGE-slot array.
+    #[allow(clippy::vec_box)]
+    pool: Vec<Box<Page<T>>>,
+    /// Generation to stamp on the next (re)used page frame.
+    next_gen: u64,
+    /// Entity name for panic messages ("task" / "data" / "record").
+    label: &'static str,
+}
+
+/// Liveness snapshot of one store (see [`Store::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total entries ever allocated.
+    pub allocated: u64,
+    /// Entries currently resident.
+    pub live: u64,
+    /// High-water mark of `live`.
+    pub peak_live: u64,
+    /// Entries reclaimed so far.
+    pub retired: u64,
+}
+
+/// A dense id-indexed table in one of two layouts: `Flat` (plain `Vec`,
+/// the non-streaming default — no reclamation, no per-access overhead)
+/// or `Paged` (streaming mode — entries retire individually, pages
+/// retire wholesale). Indexing a retired or never-allocated slot
+/// panics with a named `"stale handle"` error.
+pub enum Store<T> {
+    Flat(Vec<T>),
+    Paged(Paged<T>),
+}
+
+impl<T> Store<T> {
+    pub fn flat() -> Self {
+        Store::Flat(Vec::new())
+    }
+
+    pub fn paged(label: &'static str) -> Self {
+        Store::Paged(Paged {
+            pages: Vec::new(),
+            len: 0,
+            live: 0,
+            peak_live: 0,
+            retired: 0,
+            pool: Vec::new(),
+            next_gen: 1,
+            label,
+        })
+    }
+
+    /// Total entries ever allocated (the next sequential id). Retiring
+    /// never shrinks this — ids are monotone.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Store::Flat(v) => v.len(),
+            Store::Paged(p) => p.len,
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an entry at the next sequential id.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        match self {
+            Store::Flat(v) => v.push(value),
+            Store::Paged(p) => p.push(value),
+        }
+    }
+
+    /// Extends with default entries up to (excluding) index `upto`.
+    pub fn ensure_with(&mut self, upto: usize, mut default: impl FnMut() -> T) {
+        while self.len() < upto {
+            self.push(default());
+        }
+    }
+
+    /// Shared access; panics with the named stale-handle error when the
+    /// slot was retired (or never allocated in paged mode).
+    #[inline]
+    pub fn get(&self, i: usize) -> &T {
+        match self {
+            Store::Flat(v) => &v[i],
+            Store::Paged(p) => p.get(i).unwrap_or_else(|| p.stale(i)),
+        }
+    }
+
+    /// Mutable access; same panic contract as [`Store::get`].
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        match self {
+            Store::Flat(v) => &mut v[i],
+            Store::Paged(p) => {
+                if p.get(i).is_none() {
+                    p.stale(i)
+                }
+                p.get_mut(i).expect("checked live above")
+            }
+        }
+    }
+
+    /// Non-panicking shared access: `None` for retired slots. The
+    /// runtime's internal sweeps use this where a concurrently retired
+    /// entry is expected, not an error.
+    #[inline]
+    pub fn get_opt(&self, i: usize) -> Option<&T> {
+        match self {
+            Store::Flat(v) => v.get(i),
+            Store::Paged(p) => p.get(i),
+        }
+    }
+
+    /// Non-panicking mutable access: `None` for retired slots.
+    #[inline]
+    pub fn get_opt_mut(&mut self, i: usize) -> Option<&mut T> {
+        match self {
+            Store::Flat(v) => v.get_mut(i),
+            Store::Paged(p) => p.get_mut(i),
+        }
+    }
+
+    /// Reclaims entry `i`, returning its value. `None` when already
+    /// retired (idempotent) or when the store is flat (flat tables
+    /// never reclaim — streaming is where memory must stay bounded).
+    pub fn retire(&mut self, i: usize) -> Option<T> {
+        match self {
+            Store::Flat(_) => None,
+            Store::Paged(p) => p.retire(i),
+        }
+    }
+
+    /// Whether entry `i` is currently resident.
+    #[inline]
+    pub fn is_live(&self, i: usize) -> bool {
+        self.get_opt(i).is_some()
+    }
+
+    /// Liveness snapshot. Flat stores report everything live.
+    pub fn stats(&self) -> StoreStats {
+        match self {
+            Store::Flat(v) => StoreStats {
+                allocated: v.len() as u64,
+                live: v.len() as u64,
+                peak_live: v.len() as u64,
+                retired: 0,
+            },
+            Store::Paged(p) => StoreStats {
+                allocated: p.len as u64,
+                live: p.live as u64,
+                peak_live: p.peak_live as u64,
+                retired: p.retired,
+            },
+        }
+    }
+
+    /// Iterates live entries in id order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (usize, &T)> {
+        let flat = match self {
+            Store::Flat(v) => Some(v),
+            Store::Paged(_) => None,
+        };
+        let paged = match self {
+            Store::Flat(_) => None,
+            Store::Paged(p) => Some(p),
+        };
+        flat.into_iter()
+            .flat_map(|v| v.iter().enumerate())
+            .chain(paged.into_iter().flat_map(|p| {
+                p.pages.iter().enumerate().flat_map(|(pi, page)| {
+                    page.iter().flat_map(move |pg| {
+                        pg.slots
+                            .iter()
+                            .enumerate()
+                            .filter_map(move |(si, s)| s.as_ref().map(|t| (pi * PAGE + si, t)))
+                    })
+                })
+            }))
+    }
+}
+
+impl<T> std::ops::Index<usize> for Store<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        self.get(i)
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for Store<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        self.get_mut(i)
+    }
+}
+
+impl<T> Paged<T> {
+    #[inline]
+    fn page_of(&self, i: usize) -> Option<&Page<T>> {
+        self.pages.get(i >> PAGE_SHIFT).and_then(Option::as_deref)
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Option<&T> {
+        self.page_of(i)
+            .and_then(|p| p.slots.get(i & (PAGE - 1)))
+            .and_then(Option::as_ref)
+    }
+
+    #[inline]
+    fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        self.pages
+            .get_mut(i >> PAGE_SHIFT)
+            .and_then(Option::as_deref_mut)
+            .and_then(|p| p.slots.get_mut(i & (PAGE - 1)))
+            .and_then(Option::as_mut)
+    }
+
+    fn push(&mut self, value: T) {
+        let pi = self.len >> PAGE_SHIFT;
+        if pi == self.pages.len() {
+            let mut page = self.pool.pop().unwrap_or_else(|| {
+                Box::new(Page {
+                    slots: Vec::with_capacity(PAGE),
+                    live: 0,
+                    generation: 0,
+                })
+            });
+            page.slots.clear();
+            page.generation = self.next_gen;
+            self.next_gen += 1;
+            self.pages.push(Some(page));
+        }
+        let page = self.pages[pi].as_deref_mut().expect("tail page present");
+        page.slots.push(Some(value));
+        page.live += 1;
+        self.len += 1;
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+    }
+
+    fn retire(&mut self, i: usize) -> Option<T> {
+        let pi = i >> PAGE_SHIFT;
+        let page = self.pages.get_mut(pi).and_then(Option::as_deref_mut)?;
+        let v = page.slots.get_mut(i & (PAGE - 1)).and_then(Option::take)?;
+        page.live -= 1;
+        self.live -= 1;
+        self.retired += 1;
+        // Release the frame once every slot is retired — but never the
+        // tail page, which is still receiving pushes.
+        if page.live == 0 && page.slots.len() == PAGE {
+            let frame = self.pages[pi].take().expect("page present above");
+            if self.pool.len() < PAGE_POOL {
+                self.pool.push(frame);
+            }
+        }
+        Some(v)
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn stale(&self, i: usize) -> ! {
+        let gen = self
+            .page_of(i)
+            .map(|p| p.generation.to_string())
+            .unwrap_or_else(|| "page reclaimed".into());
+        if i >= self.len {
+            panic!("unknown {} id {} (never allocated)", self.label, i);
+        }
+        panic!(
+            "stale handle: {} {} was retired by the streaming runtime \
+             (slot generation: {}); its entry was reclaimed after its last \
+             consumer — read results via wait/peek before release, or keep \
+             the handle live by not consuming/releasing it",
+            self.label, i, gen
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_store_behaves_like_vec() {
+        let mut s: Store<u64> = Store::flat();
+        for i in 0..100u64 {
+            s.push(i * 2);
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[41], 82);
+        s[41] = 7;
+        assert_eq!(s[41], 7);
+        assert_eq!(s.retire(41), None); // flat never reclaims
+        assert_eq!(s[41], 7);
+        let st = s.stats();
+        assert_eq!((st.allocated, st.live, st.retired), (100, 100, 0));
+    }
+
+    #[test]
+    fn paged_store_retires_and_reports_liveness() {
+        let mut s: Store<String> = Store::paged("task");
+        let n = PAGE * 3 + 17;
+        for i in 0..n {
+            s.push(format!("t{i}"));
+        }
+        assert_eq!(s.len(), n);
+        assert_eq!(s[PAGE + 3], format!("t{}", PAGE + 3));
+        assert_eq!(
+            s.retire(PAGE + 3).as_deref(),
+            Some(format!("t{}", PAGE + 3)).as_deref()
+        );
+        assert_eq!(s.retire(PAGE + 3), None); // idempotent
+        let st = s.stats();
+        assert_eq!(st.allocated, n as u64);
+        assert_eq!(st.live, n as u64 - 1);
+        assert_eq!(st.retired, 1);
+        assert_eq!(st.peak_live, n as u64);
+    }
+
+    #[test]
+    fn fully_retired_pages_are_dropped_and_ids_stay_monotone() {
+        let mut s: Store<Vec<u8>> = Store::paged("data");
+        for _ in 0..PAGE * 2 {
+            s.push(vec![0u8; 64]);
+        }
+        for i in 0..PAGE {
+            assert!(s.retire(i).is_some());
+        }
+        // Page 0 is gone; its ids read as stale, later ids still live.
+        assert!(s.get_opt(0).is_none());
+        assert!(s.get_opt(PAGE).is_some());
+        // New pushes continue the id sequence — no reuse of 0..PAGE.
+        s.push(vec![1]);
+        assert_eq!(s.len(), PAGE * 2 + 1);
+        assert_eq!(s.stats().live, PAGE as u64 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale handle")]
+    fn stale_read_panics_with_named_error() {
+        let mut s: Store<u32> = Store::paged("data");
+        s.push(5);
+        s.retire(0);
+        let _ = s[0];
+    }
+
+    #[test]
+    #[should_panic(expected = "never allocated")]
+    fn out_of_range_read_names_the_id() {
+        let s: Store<u32> = Store::paged("data");
+        let _ = s[3];
+    }
+
+    #[test]
+    fn iter_live_skips_retired() {
+        let mut s: Store<usize> = Store::paged("record");
+        for i in 0..10 {
+            s.push(i);
+        }
+        s.retire(2);
+        s.retire(7);
+        let ids: Vec<usize> = s.iter_live().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 3, 4, 5, 6, 8, 9]);
+    }
+}

@@ -332,6 +332,7 @@ pub fn fuse_trace(trace: &Trace) -> Trace {
             worker: rep.worker,
             child: None,
             attempts: vec![],
+            tenant: rep.tenant,
         });
     }
     Trace { records }

@@ -29,6 +29,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`runtime`] | [`Runtime`], [`TaskBuilder`], execution modes, nesting |
+//! | [`arena`] | generational slot stores backing streaming submission |
 //! | [`fault`] | [`OnFailure`] / [`RetryPolicy`] policies, [`FaultPlan`] injection |
 //! | [`fuse`] | graph-rewrite planner for task fusion, [`fuse_trace`] |
 //! | [`handle`] | [`Handle`], [`DataId`], [`TaskId`] |
@@ -48,6 +49,7 @@
 //! deques, batched ready release, targeted wakeups) and
 //! `cargo run -p bench --bin perf` for the measured throughput.
 
+pub mod arena;
 pub mod dot;
 pub mod fault;
 pub mod fuse;
@@ -61,12 +63,16 @@ pub mod sim;
 pub mod telemetry;
 pub mod trace;
 
+pub use arena::StoreStats;
 pub use fault::{FaultMode, FaultPlan, OnFailure, RetryPolicy, TaskFault};
 pub use fuse::fuse_trace;
 pub use handle::{DataId, Handle, TaskId};
 pub use obs::{Profile, RuntimeStats, SimProfile};
 pub use payload::Payload;
-pub use runtime::{live_worker_threads, ExecMode, Runtime, RuntimeConfig, TaskBuilder, TaskCtx};
+pub use runtime::{
+    live_worker_threads, ExecMode, Runtime, RuntimeConfig, StreamConfig, TableStats, TaskBuilder,
+    TaskCtx, Tenant, TenantStats,
+};
 pub use telemetry::{
     Divergence, Event, EventKind, HistogramSnapshot, Journal, LogHistogram, Registry,
     StragglerAnalyzer, StragglerReport, Telemetry,

@@ -988,6 +988,7 @@ mod tests {
             worker: -1,
             child: None,
             attempts: vec![],
+            tenant: 0,
         }
     }
 
@@ -1129,6 +1130,7 @@ mod tests {
             metrics: false,
             telemetry: false,
             fuse: false,
+            ..crate::RuntimeConfig::default()
         });
         let a = rt.put(0u64);
         for _ in 0..50 {

@@ -60,6 +60,7 @@
 //!   shutdown and joins every worker; no threads outlive the runtime
 //!   (observable via [`live_worker_threads`]).
 
+use crate::arena::{Store, StoreStats};
 use crate::fault::{FaultMode, FaultPlan, OnFailure, RetryPolicy, TaskFault, INJECTED_PANIC};
 use crate::fuse::{fused_label, plan_groups_csr};
 use crate::handle::{DataId, Handle, TaskId};
@@ -156,6 +157,45 @@ pub struct RuntimeConfig {
     /// fills) for lower scheduling cost, which pays off on fine-grained
     /// block pipelines.
     pub fuse: bool,
+    /// Streaming submission mode for DAGs too large to materialize
+    /// (1M+ tasks): task/data/record table slots are **recycled** once
+    /// a task is done and its outputs consumed (INOUT steal) or
+    /// explicitly [`Runtime::release`]d, keeping the resident set
+    /// bounded; the watermarks add driver **backpressure** — a
+    /// `submit` that would push in-flight tasks past `high` parks the
+    /// submitting thread (helping drain the queues first) until the
+    /// scheduler drains to `low`. Reads of recycled handles fail with
+    /// a named `"stale handle"` error, never a silent wrong read.
+    /// Mutually exclusive with `fuse` (the fusion window's contiguous
+    /// pre-allocated output ranges assume a non-recycling table).
+    /// `None` (the default) keeps the dense flat tables: zero overhead
+    /// and full trace retention.
+    pub stream: Option<StreamConfig>,
+    /// Telemetry journal capacity per executor shard (events). `0`
+    /// (the default) auto-scales to the worker count so a 10k-task
+    /// run no longer overflows the ring (the former fixed 512-slot
+    /// default dropped ~75% of events at that scale).
+    pub journal_cap: usize,
+}
+
+/// Backpressure watermarks for streaming submission
+/// (see [`RuntimeConfig::stream`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Park the submitting thread when in-flight (submitted, not yet
+    /// terminal) tasks reach this count.
+    pub high: usize,
+    /// Resume submission once in-flight tasks drain to this count.
+    pub low: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            high: 8192,
+            low: 4096,
+        }
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -166,6 +206,8 @@ impl Default for RuntimeConfig {
             metrics: true,
             telemetry: true,
             fuse: false,
+            stream: None,
+            journal_cap: 0,
         }
     }
 }
@@ -202,6 +244,10 @@ impl TaskCtx {
             metrics: self.metrics,
             telemetry: self.telemetry,
             fuse: self.fuse,
+            // Child graphs are small (bounded by the parent task's
+            // scope): no streaming reclamation, default journal.
+            stream: None,
+            journal_cap: 0,
         });
         *lock(&self.child) = Some(rt.clone());
         rt
@@ -255,6 +301,10 @@ struct DataEntry {
     /// leak increments (their `make_run` never runs), which only makes
     /// later consumers fall back to the copy path — conservative.
     pending_reads: usize,
+    /// The driver declared it is done with this datum
+    /// ([`Runtime::release`]): in streaming mode the entry is retired
+    /// as soon as it is produced and no submitted reader remains.
+    released: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -286,6 +336,10 @@ struct PendingJob {
     consume_mask: u64,
     /// Failure policy + retry parameters declared at submission.
     fault: TaskFault,
+    /// Owning tenant, for fair-share dispatch and per-tenant counters;
+    /// `None` for the default tenant (the common single-job path pays
+    /// no `Arc` traffic).
+    tenant: Option<Arc<TenantInfo>>,
 }
 
 /// A task made fully self-contained at *release* time: the body plus
@@ -309,6 +363,9 @@ struct ReadyRun {
     /// is installed (injection decisions match on the kind); `None`
     /// keeps the no-chaos hot path allocation-free.
     name: Option<String>,
+    /// Owning tenant: routes the run through that tenant's injector
+    /// queue (deficit round-robin) and its completion counters.
+    tenant: Option<Arc<TenantInfo>>,
 }
 
 /// Extracts the body of ready task `tid` and resolves its inputs (all
@@ -371,6 +428,16 @@ fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>, inject: bool
             }
         }
     }
+    // Streaming reclamation sweep: a datum this dispatch consumed
+    // (`Slot::Moved`) or that the driver already released is dead once
+    // its pending-reader count hits zero — retire it now, under the
+    // same lock that resolved it.
+    if st.stream {
+        for k in 0..st.records[ti].inputs.len() {
+            let d = st.records[ti].inputs[k].0;
+            retire_data_if_idle(st, d);
+        }
+    }
     ReadyRun {
         id: tid,
         f: job.f,
@@ -378,6 +445,45 @@ fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>, inject: bool
         ready_at,
         fault: job.fault,
         name: inject.then(|| st.records[ti].name.clone()),
+        tenant: job.tenant,
+    }
+}
+
+/// Retires datum `d` when it can never be read again: no pending
+/// (submitted-but-undispatched) reader remains and the slot is either
+/// consumed by an INOUT steal (`Moved`) or explicitly released by the
+/// driver after being produced. Retiring the last live output of a
+/// `Done` task retires the task entry and its record too — the
+/// whole per-task footprint leaves the tables. Streaming mode only
+/// (flat stores ignore `retire`), caller holds the state lock.
+fn retire_data_if_idle(st: &mut State, d: DataId) {
+    let di = d.0 as usize;
+    let Some(e) = st.data.get_opt(di) else { return };
+    if e.pending_reads > 0 {
+        return;
+    }
+    let dead = match &e.slot {
+        Slot::Moved(_) => true,
+        Slot::Ready(..) | Slot::Poisoned(_) => e.released,
+        Slot::Pending => false,
+    };
+    if !dead {
+        return;
+    }
+    let producer = e.producer;
+    st.data.retire(di);
+    if let Some(p) = producer {
+        let pi = p.0 as usize;
+        if let Some(t) = st.tasks.get_opt_mut(pi) {
+            t.live_outputs = t.live_outputs.saturating_sub(1);
+            // Only `Done` tasks retire: failed/cancelled entries keep
+            // their failure message alive for `barrier`/`wait`, and
+            // anything unfinished is still needed by the scheduler.
+            if t.live_outputs == 0 && t.status == Status::Done {
+                st.tasks.retire(pi);
+                st.records.retire(pi);
+            }
+        }
     }
 }
 
@@ -396,12 +502,27 @@ struct TaskEntry {
     /// fatal to `barrier` ([`OnFailure::Fail`]/[`OnFailure::Retry`])
     /// or tolerated ([`OnFailure::CancelSuccessors`]).
     on_failure: OnFailure,
+    /// Outputs still resident in the data table (streaming mode):
+    /// when the last one retires and the task is `Done`, the task
+    /// entry and its record retire with it.
+    live_outputs: u32,
 }
 
 struct State {
-    data: Vec<DataEntry>,
-    tasks: Vec<TaskEntry>,
-    records: Vec<TaskRecord>,
+    data: Store<DataEntry>,
+    tasks: Store<TaskEntry>,
+    records: Store<TaskRecord>,
+    /// Mirror of `RuntimeConfig::stream.is_some()` (the tables above
+    /// are then paged): gates every reclamation sweep with one branch.
+    stream: bool,
+    /// Tasks submitted with a body and not yet terminal — the quantity
+    /// the streaming watermarks throttle on (maintained only when
+    /// `stream` is on).
+    in_flight: u64,
+    peak_in_flight: u64,
+    /// `since_barrier` length that triggers the next streaming prune
+    /// (completed entries are dropped; doubles after each prune).
+    prune_mark: usize,
     sync_marker: Option<TaskId>,
     since_barrier: Vec<TaskId>,
     /// Drivers currently blocked in `wait`/`barrier`; completion skips
@@ -443,6 +564,9 @@ struct BufTask {
     /// the window reads its outputs (opt-in via
     /// [`TaskBuilder::discardable`]).
     discardable: bool,
+    /// Owning tenant (tenant tasks buffer as non-fusible singletons,
+    /// so the tenant never merges into a fused group).
+    tenant: Option<Arc<TenantInfo>>,
     f: TaskFn,
 }
 
@@ -479,6 +603,226 @@ impl WakeState {
     }
 }
 
+/// Identity, weight, and live counters of one tenant (logical job)
+/// multiplexed onto the runtime — see [`Runtime::tenant`].
+struct TenantInfo {
+    /// 1-based tenant index (0 is the default tenant).
+    id: u32,
+    name: String,
+    /// Fair-share weight: tasks dispatched per deficit-round-robin
+    /// visit relative to other tenants.
+    weight: u32,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    /// Ready-to-start latency per task of this tenant — the metric
+    /// fairness shows up in (a starved tenant's queue wait balloons).
+    queue_wait: LogHistogram,
+}
+
+/// Point-in-time per-tenant counters (see [`Runtime::tenant_stats`]).
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    pub name: String,
+    pub weight: u32,
+    /// Tasks submitted through this tenant's handle.
+    pub submitted: u64,
+    /// Tasks of this tenant that completed successfully.
+    pub completed: u64,
+    /// Ready-to-start latency histogram (nanoseconds).
+    pub queue_wait: HistogramSnapshot,
+}
+
+/// A per-tenant submission handle: tasks built through
+/// [`Tenant::task`] are dispatched under this tenant's fair-share
+/// weight and counted on its stats. Cheap to clone; clones share the
+/// underlying runtime.
+#[derive(Clone)]
+pub struct Tenant {
+    rt: Runtime,
+    info: Arc<TenantInfo>,
+}
+
+impl Tenant {
+    /// Starts building a task owned by this tenant (same surface as
+    /// [`Runtime::task`]).
+    pub fn task(&self, name: &str) -> TaskBuilder<'_> {
+        let mut b = self.rt.task(name);
+        b.tenant = Some(self.info.clone());
+        // A fused group merges bodies across submissions; keeping
+        // tenant tasks unfused keeps accounting and fair-share
+        // dispatch per-task exact.
+        b.fusible = false;
+        b
+    }
+
+    /// The runtime this tenant submits into.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// This tenant's live counters.
+    pub fn stats(&self) -> TenantStats {
+        TenantStats {
+            name: self.info.name.clone(),
+            weight: self.info.weight,
+            submitted: self.info.submitted.load(Ordering::Relaxed),
+            completed: self.info.completed.load(Ordering::Relaxed),
+            queue_wait: self.info.queue_wait.snapshot(),
+        }
+    }
+}
+
+/// Per-tenant root-task queue inside the [`Injector`].
+struct TenantQ {
+    q: VecDeque<ReadyRun>,
+    weight: u32,
+    /// Remaining dispatches in the current round-robin visit.
+    deficit: u32,
+}
+
+/// The shared root-task queue. With no tenants registered it is a
+/// plain FIFO (exact legacy behavior, one branch). With tenants, each
+/// tenant gets its own sub-queue and `pop_one` serves them
+/// **deficit-round-robin**: a visit grants a tenant `weight`
+/// dispatches before the cursor moves on, so over any window each
+/// backlogged tenant receives dispatch slots proportional to its
+/// weight — an adversarial tenant flooding 10x the tasks cannot starve
+/// the others. Dependent-task continuations bypass the injector
+/// entirely (worker-local), so fairness governs *root* dispatch.
+struct Injector {
+    /// Default-tenant queue (also the fast path with no tenants).
+    q: VecDeque<ReadyRun>,
+    /// Deficit of the default queue in the round-robin (weight 1).
+    def0: u32,
+    tq: Vec<TenantQ>,
+    /// Round-robin position: 0 is the default queue, `i + 1` is
+    /// `tq[i]`.
+    cursor: usize,
+    total: usize,
+}
+
+impl Injector {
+    fn new() -> Self {
+        Injector {
+            q: VecDeque::new(),
+            def0: 0,
+            tq: Vec::new(),
+            cursor: 0,
+            total: 0,
+        }
+    }
+
+    fn register_tenant(&mut self, weight: u32) {
+        self.tq.push(TenantQ {
+            q: VecDeque::new(),
+            weight: weight.max(1),
+            deficit: 0,
+        });
+    }
+
+    fn len(&self) -> usize {
+        self.total
+    }
+
+    fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    fn push(&mut self, r: ReadyRun) {
+        self.total += 1;
+        let t = r.tenant.as_ref().map_or(0, |t| t.id) as usize;
+        if t == 0 || t > self.tq.len() {
+            self.q.push_back(r);
+        } else {
+            self.tq[t - 1].q.push_back(r);
+        }
+    }
+
+    fn extend(&mut self, it: impl IntoIterator<Item = ReadyRun>) {
+        for r in it {
+            self.push(r);
+        }
+    }
+
+    /// Pops the next run in fair-share order (FIFO when no tenants).
+    fn pop_one(&mut self) -> Option<ReadyRun> {
+        if self.total == 0 {
+            return None;
+        }
+        if self.tq.is_empty() {
+            self.total -= 1;
+            return self.q.pop_front();
+        }
+        let nq = 1 + self.tq.len();
+        loop {
+            let c = self.cursor % nq;
+            let (len, weight) = if c == 0 {
+                (self.q.len(), 1)
+            } else {
+                let t = &self.tq[c - 1];
+                (t.q.len(), t.weight)
+            };
+            if len == 0 {
+                // An idle queue forfeits its remaining deficit: credit
+                // must not accumulate while a tenant has nothing to
+                // run, or a burst later gets more than its share.
+                if c == 0 {
+                    self.def0 = 0;
+                } else {
+                    self.tq[c - 1].deficit = 0;
+                }
+                self.cursor = (c + 1) % nq;
+                continue;
+            }
+            let deficit = if c == 0 {
+                &mut self.def0
+            } else {
+                &mut self.tq[c - 1].deficit
+            };
+            if *deficit == 0 {
+                *deficit = weight;
+            }
+            *deficit -= 1;
+            let exhausted = *deficit == 0;
+            let r = if c == 0 {
+                self.q.pop_front()
+            } else {
+                self.tq[c - 1].q.pop_front()
+            };
+            if exhausted {
+                self.cursor = (c + 1) % nq;
+            }
+            self.total -= 1;
+            return r;
+        }
+    }
+
+    /// Pops up to `n` runs in fair-share order into `out`.
+    fn pop_into(&mut self, n: usize, out: &mut Vec<ReadyRun>) {
+        for _ in 0..n {
+            match self.pop_one() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+    }
+}
+
+/// Liveness snapshot of the runtime's tables
+/// (see [`Runtime::table_stats`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TableStats {
+    pub tasks: StoreStats,
+    pub data: StoreStats,
+    pub records: StoreStats,
+    /// Tasks submitted with a body and not yet terminal (streaming
+    /// mode only; 0 otherwise).
+    pub in_flight: u64,
+    /// High-water mark of `in_flight` — bounded by the stream `high`
+    /// watermark plus scheduler slack.
+    pub peak_in_flight: u64,
+}
+
 /// Everything workers need. Workers hold `Arc<Shared>` only — never
 /// `Arc<Inner>` — so dropping the last `Runtime` clone can join them.
 struct Shared {
@@ -486,8 +830,11 @@ struct Shared {
     state: Mutex<State>,
     /// Signals task completion to blocked drivers.
     cv: Condvar,
-    /// Root-task submissions from the driver.
-    injector: Mutex<VecDeque<ReadyRun>>,
+    /// Root-task submissions from the driver (fair-share across
+    /// tenants — see [`Injector`]).
+    injector: Mutex<Injector>,
+    /// Registered tenants, indexed by `TenantInfo::id - 1`.
+    tenants: Mutex<Vec<Arc<TenantInfo>>>,
     /// One deque per worker.
     queues: Vec<Mutex<VecDeque<ReadyRun>>>,
     wake: Mutex<WakeState>,
@@ -579,7 +926,29 @@ impl Runtime {
     }
 
     /// Builds a runtime from an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics when `stream` and `fuse` are both set (the fusion
+    /// window's contiguous pre-allocated output ranges are incompatible
+    /// with slot recycling), or when the stream watermarks are invalid
+    /// (`low > high` or `high == 0`).
     pub fn with_config(config: RuntimeConfig) -> Self {
+        let streaming = config.stream.is_some();
+        if let Some(sc) = config.stream {
+            assert!(
+                !config.fuse,
+                "RuntimeConfig::stream and RuntimeConfig::fuse are mutually \
+                 exclusive: the fusion window pre-allocates contiguous output \
+                 id ranges that slot recycling would invalidate"
+            );
+            assert!(
+                sc.high > 0 && sc.low <= sc.high,
+                "invalid stream watermarks: need 0 < low <= high, \
+                 got low={} high={}",
+                sc.low,
+                sc.high
+            );
+        }
         let n_workers = match config.mode {
             ExecMode::Inline => 0,
             ExecMode::Threads(n) => n.max(1),
@@ -588,16 +957,33 @@ impl Runtime {
         let shared = Arc::new(Shared {
             config,
             state: Mutex::new(State {
-                data: Vec::new(),
-                tasks: Vec::new(),
-                records: Vec::new(),
+                data: if streaming {
+                    Store::paged("data")
+                } else {
+                    Store::flat()
+                },
+                tasks: if streaming {
+                    Store::paged("task")
+                } else {
+                    Store::flat()
+                },
+                records: if streaming {
+                    Store::paged("record")
+                } else {
+                    Store::flat()
+                },
+                stream: streaming,
+                in_flight: 0,
+                peak_in_flight: 0,
+                prune_mark: 1024,
                 sync_marker: None,
                 since_barrier: Vec::new(),
                 waiters: 0,
                 staged: Vec::new(),
             }),
             cv: Condvar::new(),
-            injector: Mutex::new(VecDeque::new()),
+            injector: Mutex::new(Injector::new()),
+            tenants: Mutex::new(Vec::new()),
             queues: (0..n_workers)
                 .map(|_| Mutex::new(VecDeque::new()))
                 .collect(),
@@ -614,8 +1000,13 @@ impl Runtime {
             fault_active: AtomicBool::new(false),
             epoch,
             counters: Arc::new(Counters::new(n_workers)),
-            telemetry: (config.metrics && config.telemetry)
-                .then(|| Arc::new(Telemetry::new(n_workers, epoch))),
+            telemetry: (config.metrics && config.telemetry).then(|| {
+                Arc::new(Telemetry::new_with_cap(
+                    n_workers,
+                    config.journal_cap,
+                    epoch,
+                ))
+            }),
         });
         let workers = (0..n_workers)
             .map(|i| {
@@ -644,8 +1035,94 @@ impl Runtime {
             slot: Slot::Ready(Arc::new(value), bytes),
             producer: None,
             pending_reads: 0,
+            released: false,
         };
         Handle::new(id)
+    }
+
+    /// Registers a tenant: a logical job whose tasks (submitted via
+    /// [`Tenant::task`]) are dispatched under a fair-share
+    /// deficit-round-robin with the given `weight` (dispatch slots per
+    /// round-robin visit, relative to other tenants; the default
+    /// tenant — plain [`Runtime::task`] submissions — has weight 1)
+    /// and counted on per-tenant stats ([`Tenant::stats`],
+    /// [`Runtime::tenant_stats`]). The "shared ML cluster" scenario:
+    /// N workflows multiplexed over one worker pool, none able to
+    /// starve the others.
+    pub fn tenant(&self, name: &str, weight: u32) -> Tenant {
+        let shared = &self.inner.shared;
+        let mut tenants = lock(&shared.tenants);
+        let info = Arc::new(TenantInfo {
+            id: tenants.len() as u32 + 1,
+            name: name.to_string(),
+            weight: weight.max(1),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            queue_wait: LogHistogram::new(),
+        });
+        tenants.push(info.clone());
+        // Keep the injector's queue vector in lockstep with the
+        // registry (ids index both).
+        lock(&shared.injector).register_tenant(weight);
+        Tenant {
+            rt: self.clone(),
+            info,
+        }
+    }
+
+    /// Per-tenant counters for every registered tenant, in
+    /// registration order.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        lock(&self.inner.shared.tenants)
+            .iter()
+            .map(|t| TenantStats {
+                name: t.name.clone(),
+                weight: t.weight,
+                submitted: t.submitted.load(Ordering::Relaxed),
+                completed: t.completed.load(Ordering::Relaxed),
+                queue_wait: t.queue_wait.snapshot(),
+            })
+            .collect()
+    }
+
+    /// Declares the driver done with `h`. On a streaming runtime
+    /// ([`RuntimeConfig::stream`]) the datum's table slot is reclaimed
+    /// as soon as it is produced and every already-submitted reader
+    /// has consumed it; reading the handle afterwards fails with a
+    /// named `"stale handle"` error. Tasks submitted *before* the
+    /// release still read the value normally. No-op on non-streaming
+    /// runtimes.
+    pub fn release<T: Payload>(&self, h: Handle<T>) {
+        self.release_id(h.id);
+    }
+
+    /// Untyped [`Runtime::release`] (dsarray block streams use this).
+    pub fn release_id(&self, id: DataId) {
+        let shared = &self.inner.shared;
+        if shared.config.stream.is_none() {
+            return;
+        }
+        let mut st = lock(&shared.state);
+        if let Some(e) = st.data.get_opt_mut(id.0 as usize) {
+            e.released = true;
+        }
+        retire_data_if_idle(&mut st, id);
+    }
+
+    /// Liveness snapshot of the task/data/record tables plus the
+    /// in-flight gauge — how the streaming runtime's bounded resident
+    /// set is observed (and gated, by `bench --bin scale`). On a
+    /// non-streaming runtime everything reads as live.
+    pub fn table_stats(&self) -> TableStats {
+        self.flush_fuse(FlushKind::Drain);
+        let st = lock(&self.inner.shared.state);
+        TableStats {
+            tasks: st.tasks.stats(),
+            data: st.data.stats(),
+            records: st.records.stats(),
+            in_flight: st.in_flight,
+            peak_in_flight: st.peak_in_flight,
+        }
     }
 
     /// Starts building a task of the given kind name.
@@ -662,6 +1139,7 @@ impl Runtime {
             fault: TaskFault::default(),
             fusible: true,
             discardable: false,
+            tenant: None,
         }
     }
 
@@ -798,7 +1276,11 @@ impl Runtime {
             {
                 let mut st = lock(&shared.state);
                 for &t in &pending {
-                    let e = &st.tasks[t.0 as usize];
+                    // A retired entry (streaming slot recycling) was
+                    // necessarily `Done` with no failure — skip it.
+                    let Some(e) = st.tasks.get_opt(t.0 as usize) else {
+                        continue;
+                    };
                     // Non-fatal policies (CancelSuccessors) record a
                     // failure but let the barrier pass; only Fail/Retry
                     // failures abort the workflow here.
@@ -818,10 +1300,9 @@ impl Runtime {
                     }
                 }
                 if pending.iter().all(|&t| {
-                    matches!(
-                        st.tasks[t.0 as usize].status,
-                        Status::Done | Status::Failed | Status::Cancelled
-                    )
+                    st.tasks.get_opt(t.0 as usize).is_none_or(|e| {
+                        matches!(e.status, Status::Done | Status::Failed | Status::Cancelled)
+                    })
                 }) {
                     return;
                 }
@@ -884,7 +1365,10 @@ impl Runtime {
         self.flush_fuse(FlushKind::Drain);
         let st = lock(&self.inner.shared.state);
         Trace {
-            records: st.records.clone(),
+            // Streaming mode retires records with their tasks, so the
+            // trace covers only still-resident tasks there; flat mode
+            // (the default) keeps everything.
+            records: st.records.iter_live().map(|(_, r)| r.clone()).collect(),
         }
     }
 
@@ -1077,6 +1561,7 @@ impl Runtime {
             worker: -1,
             child: None,
             attempts: vec![],
+            tenant: 0,
         });
         st.tasks.push(TaskEntry {
             status: Status::Done,
@@ -1085,6 +1570,10 @@ impl Runtime {
             job: None,
             failure: None,
             on_failure: OnFailure::Fail,
+            // Markers have no outputs, so no retirement path ever
+            // triggers on them — they stay resident (cheap: one per
+            // sync point) and `sync_marker` deps stay valid.
+            live_outputs: 0,
         });
         id
     }
@@ -1159,6 +1648,7 @@ impl Runtime {
             fault,
             true,
             false,
+            None,
             f,
         )
     }
@@ -1179,6 +1669,7 @@ impl Runtime {
         fault: TaskFault,
         fusible: bool,
         discardable: bool,
+        tenant: Option<Arc<TenantInfo>>,
         f: TaskFn,
     ) -> Vec<DataId> {
         // A datum passed twice to the same task must never be consumed:
@@ -1223,6 +1714,7 @@ impl Runtime {
                     fault,
                     fusible,
                     discardable,
+                    tenant,
                     f,
                 }));
                 (first_out, window.len() >= FUSE_WINDOW)
@@ -1234,7 +1726,7 @@ impl Runtime {
                 .map(|k| DataId(first_out.0 + k))
                 .collect();
         }
-        let mut inline_runs = Vec::new();
+        let mut inline_runs = INLINE_WORKLIST.with(std::cell::Cell::take);
         let mut wake_n = 0;
         let outputs = {
             let mut st = lock(&shared.state);
@@ -1248,14 +1740,23 @@ impl Runtime {
                 consume_mask,
                 SubmitOutputs::Alloc(n_outputs),
                 fault,
+                tenant,
                 f,
                 &mut inline_runs,
                 &mut wake_n,
             )
         };
-        run_worklist(shared, inline_runs);
+        run_worklist_reuse(shared, inline_runs);
         if wake_n > 0 {
             wake(shared, wake_n);
+        }
+        // Streaming backpressure: park (after helping drain) when the
+        // in-flight count crossed the high watermark. Inline mode
+        // already drained everything in `run_worklist` above.
+        if let Some(sc) = shared.config.stream {
+            if !shared.queues.is_empty() {
+                throttle(shared, sc);
+            }
         }
         outputs
     }
@@ -1292,6 +1793,7 @@ fn submit_locked(
     consume_mask: u64,
     out_mode: SubmitOutputs,
     fault: TaskFault,
+    tenant: Option<Arc<TenantInfo>>,
     f: TaskFn,
     inline_runs: &mut Vec<ReadyRun>,
     wake_n: &mut usize,
@@ -1363,6 +1865,7 @@ fn submit_locked(
         .filter(|&&d| st.tasks[d.0 as usize].status != Status::Done)
         .count();
 
+    let tenant_id = tenant.as_ref().map_or(0, |t| t.id);
     st.records.push(TaskRecord {
         id: tid,
         name,
@@ -1377,8 +1880,31 @@ fn submit_locked(
         worker: -1,
         child: None,
         attempts: vec![],
+        tenant: tenant_id,
     });
+    if let Some(t) = &tenant {
+        t.submitted.fetch_add(1, Ordering::Relaxed);
+    }
     st.since_barrier.push(tid);
+    // Streaming: `since_barrier` would otherwise grow one id per task
+    // for the life of the run. Completed (or recycled) entries can
+    // never fail a future barrier — prune them whenever the list
+    // doubles past the last mark, keeping it proportional to live
+    // tasks. Non-streaming runs keep the full list (the barrier
+    // marker's dep list documents the complete DAG there).
+    if st.stream && st.since_barrier.len() >= st.prune_mark {
+        let State {
+            since_barrier,
+            tasks,
+            ..
+        } = st;
+        since_barrier.retain(|t| {
+            tasks
+                .get_opt(t.0 as usize)
+                .is_some_and(|e| e.status != Status::Done)
+        });
+        st.prune_mark = (st.since_barrier.len() * 2).max(1024);
+    }
 
     let ready_now = if let Some(d) = consumed_input {
         // Reading a datum an INOUT task already consumed is a
@@ -1397,6 +1923,7 @@ fn submit_locked(
                 .into(),
             ),
             on_failure: fault.on_failure,
+            live_outputs: outputs.len() as u32,
         });
         false
     } else if let Some(msg) = poisoned_input {
@@ -1410,6 +1937,7 @@ fn submit_locked(
             job: None,
             failure: None,
             on_failure: fault.on_failure,
+            live_outputs: outputs.len() as u32,
         });
         for &d in &outputs {
             st.data[d.0 as usize].slot = Slot::Poisoned(msg.clone());
@@ -1428,6 +1956,7 @@ fn submit_locked(
             job: None,
             failure: Some(msg),
             on_failure: fault.on_failure,
+            live_outputs: outputs.len() as u32,
         });
         false
     } else if remaining == 0 {
@@ -1439,9 +1968,11 @@ fn submit_locked(
                 f,
                 consume_mask,
                 fault,
+                tenant,
             }),
             failure: None,
             on_failure: fault.on_failure,
+            live_outputs: outputs.len() as u32,
         });
         true
     } else {
@@ -1453,9 +1984,11 @@ fn submit_locked(
                 f,
                 consume_mask,
                 fault,
+                tenant,
             }),
             failure: None,
             on_failure: fault.on_failure,
+            live_outputs: outputs.len() as u32,
         });
         let deps = &st.records[tid.0 as usize].deps;
         let tasks = &mut st.tasks;
@@ -1474,6 +2007,15 @@ fn submit_locked(
         let data = &mut st.data;
         for (d, _) in ins {
             data[d.0 as usize].pending_reads += 1;
+        }
+        // Backpressure gauge: one increment per task that will
+        // actually execute (markers and failed/cancelled-in-place
+        // tasks never enter the scheduler).
+        if st.stream {
+            st.in_flight += 1;
+            if st.in_flight > st.peak_in_flight {
+                st.peak_in_flight = st.in_flight;
+            }
         }
     }
 
@@ -1496,6 +2038,12 @@ fn submit_locked(
                 // stamps the whole batch (one clock read per
                 // batch, not per submission).
                 let run = make_run(st, tid, None, inject);
+                // Tenant-owned tasks are published immediately: the
+                // deficit-round-robin can only be fair over runs the
+                // injector can see, and a staged tail is invisible to
+                // workers until one runs completely dry — which, under
+                // a flood from another tenant, is after the flood.
+                let eager = run.tenant.is_some();
                 st.staged.push(run);
                 // "Idle" means a sleeper with no wakeup already
                 // in flight — a notified-but-not-yet-scheduled
@@ -1504,7 +2052,7 @@ fn submit_locked(
                 // worker publishes the hint before its final
                 // staged-drain, and we stage before reading.)
                 let idle = shared.idle_hint.load(Ordering::Relaxed);
-                if idle || st.staged.len() >= STAGE_BATCH {
+                if idle || eager || st.staged.len() >= STAGE_BATCH {
                     let n = st.staged.len();
                     *wake_n += n;
                     let stamp = metrics.then(Instant::now);
@@ -1535,13 +2083,12 @@ fn submit_locked(
 /// The placeholder (pending, no producer) is exactly the state a
 /// buffered output is in until its task materializes.
 fn ensure_data(st: &mut State, upto: u64) {
-    if st.data.len() < upto as usize {
-        st.data.resize_with(upto as usize, || DataEntry {
-            slot: Slot::Pending,
-            producer: None,
-            pending_reads: 0,
-        });
-    }
+    st.data.ensure_with(upto as usize, || DataEntry {
+        slot: Slot::Pending,
+        producer: None,
+        pending_reads: 0,
+        released: false,
+    });
 }
 
 /// Max submissions buffered in the fusion window before a forced
@@ -1761,6 +2308,7 @@ fn flush_fuse(shared: &Shared, kind: FlushKind) {
                                 t.consume_mask,
                                 SubmitOutputs::Prealloc(outputs),
                                 t.fault,
+                                t.tenant,
                                 t.f,
                                 &mut inline_runs,
                                 &mut wake_n,
@@ -1785,6 +2333,10 @@ fn flush_fuse(shared: &Shared, kind: FlushKind) {
                                 fused.consume_mask,
                                 SubmitOutputs::Prealloc(fused.outputs),
                                 fused.fault,
+                                // Tenant tasks buffer as non-fusible
+                                // singletons; fused groups are always
+                                // default-tenant.
+                                None,
                                 fused.f,
                                 &mut inline_runs,
                                 &mut wake_n,
@@ -2068,6 +2620,12 @@ fn build_fused(taken: &mut [Option<BufTask>], g: &[usize]) -> FusedSpec {
 /// irrelevant, batching the lock + wakeup traffic is everything).
 const STAGE_BATCH: usize = 32;
 
+/// Cap on one injector adoption when tenants are registered (see
+/// [`adopt_batch`]): small enough that a late-arriving tenant waits at
+/// most `workers * FAIR_ADOPT_BATCH` already-committed tasks, large
+/// enough to amortize the injector lock.
+const FAIR_ADOPT_BATCH: usize = 32;
+
 /// Executor id recorded on [`TaskRecord::worker`] for tasks run on the
 /// driver thread (inline mode, `run_worklist`, or cooperative
 /// `help_drain`); pool workers use their index `0..n_workers`.
@@ -2107,6 +2665,27 @@ fn run_worklist(shared: &Shared, mut work: Vec<ReadyRun>) {
     while let Some(r) = work.pop() {
         execute_one(shared, r, &mut work, DRIVER);
     }
+}
+
+thread_local! {
+    /// Scratch worklist for inline submissions, reused across calls so
+    /// the per-submission fast path allocates no `Vec` (see
+    /// [`Runtime::submit_inner`]). Task bodies may themselves submit
+    /// tasks: the nested call `take`s an empty default and the
+    /// outermost call wins the put-back, so reentrancy costs at most
+    /// one allocation instead of corrupting the buffer.
+    static INLINE_WORKLIST: std::cell::Cell<Vec<ReadyRun>> =
+        const { std::cell::Cell::new(Vec::new()) };
+}
+
+/// [`run_worklist`] over the thread-local scratch buffer: drains
+/// `work` (which the caller obtained from [`INLINE_WORKLIST`]) and
+/// returns the emptied buffer to the slot, keeping its capacity.
+fn run_worklist_reuse(shared: &Shared, mut work: Vec<ReadyRun>) {
+    while let Some(r) = work.pop() {
+        execute_one(shared, r, &mut work, DRIVER);
+    }
+    INLINE_WORKLIST.with(|c| c.set(work));
 }
 
 /// Pokes up to `n` sleeping workers. Notifies only workers that are
@@ -2150,7 +2729,7 @@ fn help_drain(shared: &Shared, newly: &mut Vec<ReadyRun>) -> bool {
     let mut helped = false;
     loop {
         let next = lock(&shared.injector)
-            .pop_front()
+            .pop_one()
             .or_else(|| shared.queues.iter().find_map(|q| lock(q).pop_back()));
         let Some(first) = next else {
             if flush_staged(shared) > 0 {
@@ -2173,6 +2752,49 @@ fn help_drain(shared: &Shared, newly: &mut Vec<ReadyRun>) -> bool {
     }
 }
 
+/// Streaming backpressure: blocks the submitting thread until in-flight
+/// tasks drain to the low watermark. Mirrors the cooperative-wait shape
+/// of `block_on`: help execute queued tasks first, park on the condvar
+/// only after a dry pass (every completion already notifies when a
+/// waiter is registered). The high→low hysteresis means a parked driver
+/// wakes into a burst of submission headroom instead of bouncing off
+/// the high mark once per task.
+fn throttle(shared: &Shared, sc: StreamConfig) {
+    {
+        let st = lock(&shared.state);
+        if (st.in_flight as usize) < sc.high {
+            return;
+        }
+    }
+    let mut newly: Vec<ReadyRun> = Vec::new();
+    let mut idle = false;
+    loop {
+        {
+            let mut st = lock(&shared.state);
+            if (st.in_flight as usize) <= sc.low {
+                return;
+            }
+            if idle {
+                st.waiters += 1;
+                let park_t0 = shared.config.metrics.then(Instant::now);
+                let mut st = shared
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st.waiters -= 1;
+                if let Some(t0) = park_t0 {
+                    let shard = shared.counters.shard(DRIVER);
+                    Counters::add(&shard.parks, 1);
+                    Counters::add(&shard.idle_ns, t0.elapsed().as_nanos() as u64);
+                }
+                idle = false;
+                continue;
+            }
+        }
+        idle = !help_drain(shared, &mut newly);
+    }
+}
+
 /// Moves the front (oldest) half of the injector into `me`'s deque and
 /// returns one task to run now. Batch acquisition amortizes the lock
 /// traffic: one visit feeds a worker for many tasks instead of one.
@@ -2182,8 +2804,21 @@ fn adopt_batch(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Optio
     scratch.clear();
     {
         let mut inj = lock(&shared.injector);
-        let take = inj.len().div_ceil(2);
-        scratch.extend(inj.drain(..take));
+        // Fair-share order: the batch is taken by repeated DRR pops,
+        // so one worker adopting half the injector still acquires a
+        // weight-proportional tenant mix, not one tenant's burst.
+        // With tenants registered, the batch is additionally capped:
+        // adopted runs are committed to one worker's deque where the
+        // round-robin can no longer reach them, so a huge adoption
+        // would let a pre-queued flood shut out a tenant that submits
+        // a moment later. The cap bounds that fairness latency to
+        // `workers * FAIR_ADOPT_BATCH` tasks while still amortizing
+        // the injector lock.
+        let mut take = inj.len().div_ceil(2);
+        if !inj.tq.is_empty() {
+            take = take.min(FAIR_ADOPT_BATCH);
+        }
+        inj.pop_into(take, scratch);
     }
     if scratch.len() > 1 {
         // Keep the oldest for ourselves, queue the rest.
@@ -2363,6 +2998,7 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
         ready_at,
         fault,
         name,
+        tenant,
     } = run;
     let ti = task.0 as usize;
     let metrics = shared.config.metrics;
@@ -2432,6 +3068,10 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                 count(&shard.queue_wait_ns, wait);
                 if let Some(t) = tel {
                     record(&t.queue_wait, wait);
+                }
+                if let Some(tn) = &tenant {
+                    // Shared across workers — takes the RMW path.
+                    tn.queue_wait.record(wait);
                 }
             }
             // No TaskStart emit here: the journal synthesizes start
@@ -2548,6 +3188,12 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
             .emit_at(who, end, EventKind::TaskEnd, Some(task.0), dur_ns, failed);
     }
 
+    if outcome.is_ok() {
+        if let Some(tn) = &tenant {
+            tn.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     let notify_driver;
     {
         let mut st = lock(&shared.state);
@@ -2580,13 +3226,22 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                     data[d.0 as usize].slot = Slot::Ready(v, b);
                 }
                 for (d, bytes) in rec.inputs.iter_mut() {
-                    match &data[d.0 as usize].slot {
+                    // Streaming may already have reclaimed an input slot
+                    // (its size was captured at dispatch time) — skip
+                    // rather than trip the stale-handle panic.
+                    match data.get_opt(d.0 as usize).map(|e| &e.slot) {
                         // `Moved`: this task's own INOUT steal retired
                         // the slot; the size survives in the tombstone.
-                        Slot::Ready(_, b) | Slot::Moved(b) => *bytes = *b,
-                        Slot::Pending | Slot::Poisoned(_) => {}
+                        Some(Slot::Ready(_, b)) | Some(Slot::Moved(b)) => *bytes = *b,
+                        Some(Slot::Pending) | Some(Slot::Poisoned(_)) | None => {}
                     }
                 }
+                // Snapshot output ids before releasing dependents: a
+                // dependent's dispatch may steal the last output and
+                // retire this task's record out from under us.
+                let out_ids: Option<Vec<DataId>> = st
+                    .stream
+                    .then(|| rec.outputs.iter().map(|(d, _)| *d).collect());
                 st.tasks[ti].status = Status::Done;
 
                 // Batched release: one pass over the dependents. The
@@ -2606,7 +3261,20 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                         newly_ready.push(make_run(st, dep, released_at, inject));
                     }
                 }
-                st.tasks[ti].dependents = deps;
+                // The entry may have been retired mid-loop (a dependent
+                // stole this task's last output); hand the dependents
+                // allocation back only if the slot is still live.
+                if let Some(e) = st.tasks.get_opt_mut(ti) {
+                    e.dependents = deps;
+                }
+                if let Some(out_ids) = out_ids {
+                    // Outputs the driver already `release`d can be
+                    // reclaimed now that they are produced + committed.
+                    for d in out_ids {
+                        retire_data_if_idle(st, d);
+                    }
+                    st.in_flight -= 1;
+                }
             }
             Err((start, _end, duration)) => {
                 let n = attempts.len();
@@ -2625,6 +3293,12 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                 rec.start_s = start.saturating_duration_since(shared.epoch).as_secs_f64();
                 rec.worker = who;
                 rec.attempts = attempts;
+                if st.stream {
+                    // The failing task leaves the in-flight window here;
+                    // its dependents leave as the cones below cancel or
+                    // fail them (each still holds its undispatched job).
+                    st.in_flight -= 1;
+                }
                 match fault.on_failure {
                     OnFailure::Fail | OnFailure::Retry => {
                         if metrics && fault.on_failure == OnFailure::Retry {
@@ -2636,6 +3310,9 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                         let mut frontier = vec![task];
                         while let Some(t) = frontier.pop() {
                             let e = &mut st.tasks[t.0 as usize];
+                            if st.stream && e.job.is_some() {
+                                st.in_flight -= 1;
+                            }
                             e.status = Status::Failed;
                             e.failure = Some(full.clone());
                             e.job = None;
@@ -2701,6 +3378,12 @@ fn cancel_dependents(st: &mut State, origin: usize, reason: &Arc<str>) -> u64 {
             if !matches!(e.status, Status::Waiting | Status::Ready) {
                 continue; // finished, failed, or already cancelled
             }
+            if st.stream && e.job.is_some() {
+                // Never dispatched — leaves the in-flight window here.
+                // (A `Ready` task already handed its job to a queued
+                // run; that run's completion does the decrement.)
+                st.in_flight -= 1;
+            }
             e.status = Status::Cancelled;
             e.job = None;
             frontier.append(&mut e.dependents);
@@ -2726,6 +3409,9 @@ pub struct TaskBuilder<'rt> {
     /// Whether the dead-task pass may elide this task (see
     /// [`TaskBuilder::discardable`]).
     discardable: bool,
+    /// Owning tenant for fair-share dispatch; `None` routes through the
+    /// default (legacy FIFO) queue. Set by [`Tenant::task`].
+    tenant: Option<Arc<TenantInfo>>,
 }
 
 fn arg<T: Payload>(ins: &[AnyArc], i: usize) -> &T {
@@ -2838,6 +3524,7 @@ impl<'rt> TaskBuilder<'rt> {
             self.fault,
             self.fusible,
             self.discardable,
+            self.tenant,
             f,
         )
     }

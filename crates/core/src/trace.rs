@@ -105,6 +105,9 @@ pub struct TaskRecord {
     /// clean attempt; populated (every attempt, including the final
     /// one) when any attempt failed — the fault-tolerance audit trail.
     pub attempts: Vec<AttemptRecord>,
+    /// Owning tenant id (`0` = the runtime's default tenant; `>= 1` are
+    /// handles from [`crate::Runtime::tenant`], in registration order).
+    pub tenant: u32,
 }
 
 impl TaskRecord {
@@ -150,6 +153,7 @@ impl TaskRecord {
                 "attempts".into(),
                 Value::Array(self.attempts.iter().map(AttemptRecord::to_value).collect()),
             ),
+            ("tenant".into(), Value::from(self.tenant)),
         ])
     }
 
@@ -218,6 +222,9 @@ impl TaskRecord {
                     .collect::<Result<Vec<_>, _>>()?,
                 None => Vec::new(),
             },
+            // Optional for compatibility with traces archived before
+            // multi-tenancy existed.
+            tenant: v.get("tenant").and_then(Value::as_u64).unwrap_or(0) as u32,
         })
     }
 }
@@ -411,6 +418,7 @@ mod tests {
             worker: -1,
             child: None,
             attempts: vec![],
+            tenant: 0,
         }
     }
 

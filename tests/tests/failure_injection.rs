@@ -71,6 +71,7 @@ fn nested_child_panic_reaches_parent_waiter() {
         metrics: true,
         telemetry: true,
         fuse: false,
+        ..RuntimeConfig::default()
     });
     let a = rt.put(1u64);
     let out = rt.task("fold").run_nested1(a, |child, v| {

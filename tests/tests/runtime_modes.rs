@@ -69,6 +69,7 @@ fn threaded_nested_tasks() {
         metrics: true,
         telemetry: true,
         fuse: false,
+        ..RuntimeConfig::default()
     });
     let data: Vec<_> = (0..6).map(|i| rt.put(i as f64)).collect();
     let outs: Vec<_> = data
