@@ -108,6 +108,70 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sgemm_packed(c: &mut Criterion) {
+    // The f32 kernel floor: the packed, runtime-FMA-dispatched entry
+    // point against the scalar oracle, at a size inside one KC=256
+    // depth panel and one spanning several.
+    let mut group = c.benchmark_group("sgemm_packed");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        let a: Vec<f32> = (0..n * n).map(|i| ((i as f32) * 1e-3).sin()).collect();
+        let b_: Vec<f32> = (0..n * n).map(|i| ((i as f32) * 2e-3).cos()).collect();
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |b, _| {
+            b.iter(|| {
+                out.fill(0.0);
+                linalg::sgemm_nn(n, n, n, &a, &b_, &mut out);
+                black_box(out[0])
+            })
+        });
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| {
+                out.fill(0.0);
+                linalg::sgemm_nn_scalar(n, n, n, &a, &b_, &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_locality_chain(c: &mut Criterion) {
+    // Affinity-steered stealing A/B: the blocked elementwise chain on a
+    // threaded pool with the locality heuristic on vs off. The values
+    // are bit-identical either way (asserted by `perf --check` and the
+    // scheduler stress suite); only the schedule shifts.
+    use dsarray::DsArray;
+    use taskrt::{ExecMode, RuntimeConfig};
+    let x = Matrix::from_fn(256, 192, |r, col| ((r * 192 + col) as f64 * 1e-4).sin());
+    let v: Vec<f64> = (0..192).map(|c| 1.0 + (c % 7) as f64 * 0.25).collect();
+    let mut group = c.benchmark_group("locality_chain");
+    group.sample_size(10);
+    for &locality in &[true, false] {
+        let name = if locality { "on" } else { "off" };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &locality, |b, &loc| {
+            b.iter(|| {
+                let rt = Runtime::with_config(RuntimeConfig {
+                    mode: ExecMode::Threads(4),
+                    locality: loc,
+                    ..RuntimeConfig::default()
+                });
+                let vv = rt.put(v.clone());
+                let mut a = DsArray::from_matrix_owned(&rt, x.clone(), 32, 32);
+                for _ in 0..3 {
+                    a = a
+                        .map_blocks_inplace(&rt, "scale", |blk| blk.scale(1.0009))
+                        .sub_row_vector_inplace(&rt, vv)
+                        .div_row_vector_inplace(&rt, vv);
+                }
+                black_box(a.collect(&rt).get(0, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_scheduler_throughput(c: &mut Criterion) {
     // Pure scheduler overhead: a 2000-node no-op DAG with random
     // dependencies (the shape of the `perf` binary's acceptance
@@ -356,6 +420,8 @@ criterion_group!(
     bench_conv,
     bench_eigh,
     bench_gemm,
+    bench_sgemm_packed,
+    bench_locality_chain,
     bench_scheduler_throughput,
     bench_smo,
     bench_runtime_submission,

@@ -35,11 +35,12 @@ use crate::trace::{Trace, BARRIER_TASK, SYNC_TASK};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Per-executor counter shard. One cache line each (`align(64)`, eight
-/// `u64` fields) so the per-task hot-path updates from different
-/// executors never contend on a shared line — with naively shared
-/// counters the instrumentation cost measured ~45% on the no-op DAG
-/// benchmark; sharded it sits within the 10% acceptance bound.
+/// Per-executor counter shard, `align(64)` so the per-task hot-path
+/// updates from different executors never contend on a shared cache
+/// line — with naively shared counters the instrumentation cost
+/// measured ~45% on the no-op DAG benchmark; sharded it sits within
+/// the 10% acceptance bound. (Ten `u64` fields now span two lines;
+/// the alignment still keeps shards from straddling each other.)
 #[repr(align(64))]
 #[derive(Debug, Default)]
 pub(crate) struct ExecShard {
@@ -61,6 +62,12 @@ pub(crate) struct ExecShard {
     pub(crate) parks: AtomicU64,
     /// Nanoseconds spent parked.
     pub(crate) idle_ns: AtomicU64,
+    /// Tasks this worker ran whose affinity hint named it — the
+    /// (byte-)largest input was produced here, so the execution was
+    /// plausibly cache-warm. See `RuntimeConfig::locality`.
+    pub(crate) locality_hits: AtomicU64,
+    /// Tasks with a worker affinity hint that ran somewhere else.
+    pub(crate) locality_misses: AtomicU64,
 }
 
 /// Scheduler-internal atomic counters, one instance per runtime.
@@ -158,6 +165,8 @@ impl Counters {
             steal_attempts: sum(|s| &s.steal_attempts),
             steal_successes: sum(|s| &s.steal_successes),
             stolen_tasks: sum(|s| &s.stolen_tasks),
+            locality_hits: sum(|s| &s.locality_hits),
+            locality_misses: sum(|s| &s.locality_misses),
             injector_flushes: ld(&self.injector_flushes),
             injector_flushed_tasks: ld(&self.injector_flushed_tasks),
             wakeups: ld(&self.wakeups),
@@ -197,6 +206,13 @@ pub struct RuntimeStats {
     pub steal_successes: u64,
     /// Tasks acquired via stealing.
     pub stolen_tasks: u64,
+    /// Tasks executed on the worker their affinity hint named (the
+    /// producer of their largest input). Zero when
+    /// [`crate::RuntimeConfig::locality`] is off or no worker-produced
+    /// input existed.
+    pub locality_hits: u64,
+    /// Tasks with a worker affinity hint that executed elsewhere.
+    pub locality_misses: u64,
     /// Staged-submission batches flushed to the injector.
     pub injector_flushes: u64,
     /// Total tasks that passed through the injector.
@@ -267,6 +283,17 @@ impl RuntimeStats {
         }
     }
 
+    /// Fraction of affinity-hinted tasks that ran on the worker whose
+    /// cache held their largest input (0.0 when nothing was hinted).
+    pub fn locality_hit_rate(&self) -> f64 {
+        let total = self.locality_hits + self.locality_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.locality_hits as f64 / total as f64
+        }
+    }
+
     /// Fraction of INOUT parameters handed over by move rather than
     /// clone (0.0 when no INOUT task ran).
     pub fn inout_steal_rate(&self) -> f64 {
@@ -291,6 +318,12 @@ impl RuntimeStats {
             ("steal_successes".into(), Value::from(self.steal_successes)),
             ("stolen_tasks".into(), Value::from(self.stolen_tasks)),
             ("steal_hit_rate".into(), Value::from(self.steal_hit_rate())),
+            ("locality_hits".into(), Value::from(self.locality_hits)),
+            ("locality_misses".into(), Value::from(self.locality_misses)),
+            (
+                "locality_hit_rate".into(),
+                Value::from(self.locality_hit_rate()),
+            ),
             (
                 "injector_flushes".into(),
                 Value::from(self.injector_flushes),
@@ -344,6 +377,16 @@ impl RuntimeStats {
             self.stolen_tasks
         )
         .unwrap();
+        if self.locality_hits + self.locality_misses > 0 {
+            writeln!(
+                out,
+                "  locality           {:>12} hits / {} misses ({:.1}% hit rate)",
+                self.locality_hits,
+                self.locality_misses,
+                self.locality_hit_rate() * 100.0
+            )
+            .unwrap();
+        }
         writeln!(
             out,
             "  injector flushes   {:>12} ({} tasks)",

@@ -176,6 +176,18 @@ pub struct RuntimeConfig {
     /// run no longer overflows the ring (the former fixed 512-slot
     /// default dropped ~75% of events at that scale).
     pub journal_cap: usize,
+    /// Locality-aware scheduling (threaded mode): every committed
+    /// datum is stamped with the worker that produced it, each ready
+    /// task carries an affinity hint (the last-touch worker of its
+    /// largest input), workers prefer own-affinity tasks when popping
+    /// their deque, and stealing takes a victim's *cold* tasks
+    /// (affinity elsewhere) before its hot ones. Pure scheduling
+    /// heuristic — results are bit-identical with it on or off
+    /// (asserted in tests); what changes is which core's cache a
+    /// block-sized input is still warm in. `locality_hits`/`misses`
+    /// counters in [`Runtime::stats`] measure how often execution
+    /// landed on the hinted worker. On by default.
+    pub locality: bool,
 }
 
 /// Backpressure watermarks for streaming submission
@@ -208,6 +220,7 @@ impl Default for RuntimeConfig {
             fuse: false,
             stream: None,
             journal_cap: 0,
+            locality: true,
         }
     }
 }
@@ -245,9 +258,11 @@ impl TaskCtx {
             telemetry: self.telemetry,
             fuse: self.fuse,
             // Child graphs are small (bounded by the parent task's
-            // scope): no streaming reclamation, default journal.
+            // scope): no streaming reclamation, default journal,
+            // default locality.
             stream: None,
             journal_cap: 0,
+            locality: true,
         });
         *lock(&self.child) = Some(rt.clone());
         rt
@@ -305,6 +320,12 @@ struct DataEntry {
     /// ([`Runtime::release`]): in streaming mode the entry is retired
     /// as soon as it is produced and no submitted reader remains.
     released: bool,
+    /// Worker whose cache most recently held this value: the producer
+    /// that committed it (stamped in `execute_one`), or [`DRIVER`]
+    /// (-1) for `put` data and inline/driver executions. Feeds the
+    /// affinity hint on dependent tasks (see
+    /// [`RuntimeConfig::locality`]); never read for correctness.
+    last_touch: i64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -366,6 +387,14 @@ struct ReadyRun {
     /// Owning tenant: routes the run through that tenant's injector
     /// queue (deficit round-robin) and its completion counters.
     tenant: Option<Arc<TenantInfo>>,
+    /// Locality hint: the worker whose cache most recently held this
+    /// task's largest input ([`DRIVER`] when locality is off, the task
+    /// has no inputs, or everything was driver-produced). Workers
+    /// prefer own-affinity tasks when popping and leave a victim's
+    /// own-affinity tasks behind when stealing; execution on the
+    /// hinted worker counts as a `locality_hit`. Advisory only — any
+    /// worker may run any task.
+    affinity: i64,
 }
 
 /// Extracts the body of ready task `tid` and resolves its inputs (all
@@ -394,8 +423,24 @@ fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>, inject: bool
         st.data[d.0 as usize].pending_reads -= 1;
     }
     let mut inputs = Vec::with_capacity(rec.inputs.len());
+    // Affinity hint: the last-touch worker of the largest input — the
+    // byte-weighted guess at which core's cache still holds this
+    // task's working set. Computed inline with input resolution (no
+    // extra pass) and only when locality scheduling is on.
+    let mut affinity = DRIVER;
+    let mut aff_bytes = 0usize;
     for (i, (d, _)) in rec.inputs.iter().enumerate() {
         let entry = &mut st.data[d.0 as usize];
+        if st.locality && entry.last_touch >= 0 {
+            let b = match &entry.slot {
+                Slot::Ready(_, b) => *b,
+                _ => 0,
+            };
+            if b > aff_bytes || affinity == DRIVER {
+                aff_bytes = b;
+                affinity = entry.last_touch;
+            }
+        }
         let consume = i < 64 && consume_mask >> i & 1 == 1;
         // INOUT dispatch: hand the store's own reference to the task
         // when no other live consumer exists. `pending_reads` covers
@@ -446,6 +491,7 @@ fn make_run(st: &mut State, tid: TaskId, ready_at: Option<Instant>, inject: bool
         fault: job.fault,
         name: inject.then(|| st.records[ti].name.clone()),
         tenant: job.tenant,
+        affinity,
     }
 }
 
@@ -515,6 +561,10 @@ struct State {
     /// Mirror of `RuntimeConfig::stream.is_some()` (the tables above
     /// are then paged): gates every reclamation sweep with one branch.
     stream: bool,
+    /// Mirror of `RuntimeConfig::locality` (false in inline mode,
+    /// where every execution is the driver): gates the affinity-hint
+    /// computation in [`make_run`] with one branch.
+    locality: bool,
     /// Tasks submitted with a body and not yet terminal — the quantity
     /// the streaming watermarks throttle on (maintained only when
     /// `stream` is on).
@@ -973,6 +1023,7 @@ impl Runtime {
                     Store::flat()
                 },
                 stream: streaming,
+                locality: config.locality && n_workers > 0,
                 in_flight: 0,
                 peak_in_flight: 0,
                 prune_mark: 1024,
@@ -1036,6 +1087,7 @@ impl Runtime {
             producer: None,
             pending_reads: 0,
             released: false,
+            last_touch: DRIVER,
         };
         Handle::new(id)
     }
@@ -1450,6 +1502,16 @@ impl Runtime {
             "taskrt_stolen_tasks_total",
             "tasks acquired via stealing",
             s.stolen_tasks,
+        );
+        reg.counter(
+            "taskrt_locality_hits_total",
+            "tasks run on the worker that produced their largest input",
+            s.locality_hits,
+        );
+        reg.counter(
+            "taskrt_locality_misses_total",
+            "affinity-hinted tasks run on a different worker",
+            s.locality_misses,
         );
         reg.counter(
             "taskrt_injector_flushes_total",
@@ -2088,6 +2150,7 @@ fn ensure_data(st: &mut State, upto: u64) {
         producer: None,
         pending_reads: 0,
         released: false,
+        last_touch: DRIVER,
     });
 }
 
@@ -2829,14 +2892,35 @@ fn adopt_batch(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Optio
 
 /// Finds the next task for worker `me`: own deque, then a batch from
 /// the injector, then a batch stolen from a sibling's deque.
+/// Entries scanned from the front of a worker's own deque for an
+/// affinity match before falling back to plain FIFO order. Bounded so
+/// a worker whose deque fills with foreign-affinity work degrades to
+/// an O(1) pop instead of an O(len) scan per task.
+const AFFINITY_SCAN: usize = 8;
+
+/// Pops from `me`'s own deque, preferring (within the first
+/// [`AFFINITY_SCAN`] entries) a task whose affinity hint names `me` —
+/// its largest input was produced here and is plausibly cache-warm.
+fn pop_own(shared: &Shared, me: usize) -> Option<ReadyRun> {
+    let mut q = lock(&shared.queues[me]);
+    if shared.config.locality {
+        let limit = q.len().min(AFFINITY_SCAN);
+        if let Some(idx) = (0..limit).find(|&i| q[i].affinity == me as i64) {
+            return q.remove(idx);
+        }
+    }
+    q.pop_front()
+}
+
 fn pop_work(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Option<ReadyRun> {
-    if let Some(t) = lock(&shared.queues[me]).pop_front() {
+    if let Some(t) = pop_own(shared, me) {
         return Some(t);
     }
     if let Some(t) = adopt_batch(shared, me, scratch) {
         return Some(t);
     }
     let metrics = shared.config.metrics;
+    let locality = shared.config.locality;
     let n = shared.queues.len();
     for k in 1..n {
         let j = (me + k) % n;
@@ -2850,15 +2934,47 @@ fn pop_work(shared: &Shared, me: usize, scratch: &mut Vec<ReadyRun>) -> Option<R
             scratch.clear();
             let start = q.len() - take;
             scratch.extend(q.drain(start..));
+            // Cold-before-hot: hand back any batch member whose
+            // affinity names the victim itself (its inputs are warm in
+            // the victim's cache), provided at least one cold task
+            // remains for us — an all-hot batch is kept whole so a
+            // starved thief still makes progress.
+            let mut hot_returned = 0u64;
+            if locality {
+                let vid = j as i64;
+                if scratch.iter().any(|r| r.affinity != vid) {
+                    let mut i = 0;
+                    while i < scratch.len() {
+                        if scratch[i].affinity == vid {
+                            q.push_back(scratch.remove(i));
+                            hot_returned += 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
             drop(q);
+            let kept = scratch.len();
             if metrics {
                 let shard = shared.counters.shard(me as i64);
                 Counters::bump(&shard.steal_successes, 1);
-                Counters::bump(&shard.stolen_tasks, take as u64);
+                Counters::bump(&shard.stolen_tasks, kept as u64);
             }
             if let Some(t) = &shared.telemetry {
-                t.journal()
-                    .emit(me as i64, EventKind::Steal, None, take as u64, j as u64);
+                let journal = t.journal();
+                journal.emit(me as i64, EventKind::Steal, None, kept as u64, j as u64);
+                if hot_returned > 0 {
+                    // The locality filter actually fired: record how
+                    // many cold tasks were kept vs hot ones returned.
+                    journal.emit(
+                        me as i64,
+                        EventKind::StealCold,
+                        None,
+                        kept as u64,
+                        hot_returned,
+                    );
+                }
             }
             if scratch.len() > 1 {
                 lock(&shared.queues[me]).extend(scratch.drain(1..));
@@ -2999,6 +3115,7 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
         fault,
         name,
         tenant,
+        affinity,
     } = run;
     let ti = task.0 as usize;
     let metrics = shared.config.metrics;
@@ -3063,6 +3180,18 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
         if metrics && attempt_no == 1 {
             let shard = shared.counters.shard(who);
             count(&shard.tasks, 1);
+            // Locality accounting: a hit means the worker executing the
+            // task is the one that produced its (byte-)largest input, so
+            // that input is plausibly still warm in its cache. Driver
+            // executions and tasks with no worker-produced inputs are
+            // excluded rather than counted as misses.
+            if who >= 0 && affinity >= 0 {
+                if who == affinity {
+                    count(&shard.locality_hits, 1);
+                } else {
+                    count(&shard.locality_misses, 1);
+                }
+            }
             if let Some(t0) = ready_at {
                 let wait = start.saturating_duration_since(t0).as_nanos() as u64;
                 count(&shard.queue_wait_ns, wait);
@@ -3223,7 +3352,11 @@ fn execute_one(shared: &Shared, run: ReadyRun, newly_ready: &mut Vec<ReadyRun>, 
                 rec.attempts = attempts;
                 for ((d, bytes), (v, b)) in rec.outputs.iter_mut().zip(outs) {
                     *bytes = b;
-                    data[d.0 as usize].slot = Slot::Ready(v, b);
+                    let entry = &mut data[d.0 as usize];
+                    entry.slot = Slot::Ready(v, b);
+                    // Stamp the producer so consumers of this output can
+                    // be steered back to the worker whose cache holds it.
+                    entry.last_touch = who;
                 }
                 for (d, bytes) in rec.inputs.iter_mut() {
                     // Streaming may already have reclaimed an input slot

@@ -74,10 +74,18 @@ pub enum EventKind {
     /// The block buffer pool fell through to a fresh allocation. `n` =
     /// bytes allocated.
     PoolMiss,
+    /// A steal batch was filtered by the locality heuristic
+    /// ([`crate::RuntimeConfig::locality`]): tasks whose affinity hint
+    /// named the victim were handed back instead of migrated. Emitted
+    /// alongside the [`EventKind::Steal`] event only when the filter
+    /// actually returned something. `n` = cold tasks kept by the
+    /// thief, `aux` = hot tasks returned to the victim.
+    StealCold,
 }
 
 /// Every kind, in encoding order (`u8` tags in the journal slots).
-const EVENT_KINDS: [EventKind; 10] = [
+/// Append-only: existing tags are stable wire format.
+const EVENT_KINDS: [EventKind; 11] = [
     EventKind::TaskStart,
     EventKind::TaskEnd,
     EventKind::QueueFlush,
@@ -88,6 +96,7 @@ const EVENT_KINDS: [EventKind; 10] = [
     EventKind::InoutClone,
     EventKind::PoolHit,
     EventKind::PoolMiss,
+    EventKind::StealCold,
 ];
 
 impl EventKind {
@@ -104,6 +113,7 @@ impl EventKind {
             EventKind::InoutClone => "inout_clone",
             EventKind::PoolHit => "pool_hit",
             EventKind::PoolMiss => "pool_miss",
+            EventKind::StealCold => "steal_cold",
         }
     }
 

@@ -233,21 +233,35 @@ impl FftPlan {
                 buf.swap(i, j);
             }
         }
+        // Butterflies. Each block of `len` is split into its low and
+        // high halves and zipped with the twiddle slice, so the inner
+        // loop carries no bounds checks and no index arithmetic, and
+        // the `inverse` branch is hoisted out of it — the compiler
+        // vectorizes the mul/add/sub lanes. The per-element operation
+        // sequence is unchanged from the indexed form, so transforms
+        // stay bit-exact.
         let mut stage = 0usize; // offset into the twiddle table
         let mut len = 2;
         while len <= n {
             let half = len / 2;
             let tw = &self.twiddles[stage..stage + half];
-            let mut i = 0;
-            while i < n {
-                for (j, &w) in tw.iter().enumerate() {
-                    let w = if inverse { w.conj() } else { w };
-                    let u = buf[i + j];
-                    let v = buf[i + j + half].mul(w);
-                    buf[i + j] = u.add(v);
-                    buf[i + j + half] = u.sub(v);
+            for block in buf.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                if inverse {
+                    for ((l, h), &w) in lo.iter_mut().zip(hi).zip(tw) {
+                        let u = *l;
+                        let v = h.mul(w.conj());
+                        *l = u.add(v);
+                        *h = u.sub(v);
+                    }
+                } else {
+                    for ((l, h), &w) in lo.iter_mut().zip(hi).zip(tw) {
+                        let u = *l;
+                        let v = h.mul(w);
+                        *l = u.add(v);
+                        *h = u.sub(v);
+                    }
                 }
-                i += len;
             }
             stage += half;
             len <<= 1;

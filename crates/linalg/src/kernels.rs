@@ -11,10 +11,33 @@ use crate::matrix::Matrix;
 /// # Panics
 /// Panics on length mismatch (debug builds assert; release relies on the
 /// zip semantics, so callers must pass equal lengths).
+///
+/// Four independent accumulators over `chunks_exact(4)` lanes (the
+/// same shape as [`dot`]) keep the loop free of a serial dependency so
+/// it autovectorizes; the fixed combine order keeps results
+/// deterministic and bitwise symmetric in `a`/`b`.
 #[inline]
 pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    let mut acc = [0.0f64; 4];
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    for (qa, qb) in ca.zip(cb) {
+        let d0 = qa[0] - qb[0];
+        let d1 = qa[1] - qb[1];
+        let d2 = qa[2] - qb[2];
+        let d3 = qa[3] - qb[3];
+        acc[0] += d0 * d0;
+        acc[1] += d1 * d1;
+        acc[2] += d2 * d2;
+        acc[3] += d3 * d3;
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in ra.iter().zip(rb) {
+        s += (x - y) * (x - y);
+    }
+    s
 }
 
 /// SVM kernel functions.

@@ -114,6 +114,20 @@ impl Matrix {
         }
     }
 
+    /// Creates a `rows x cols` matrix from the pool **without** the
+    /// zero-fill of [`Matrix::from_pool`], for constructors that prove
+    /// they assign every element before any read (pure-overwrite
+    /// kernels like [`Matrix::matmul_nt`]). A recycled buffer may
+    /// carry stale values until the caller's writes land; see
+    /// [`crate::pool::acquire_full_overwrite`].
+    fn from_pool_full_overwrite(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: crate::pool::acquire_full_overwrite(rows * cols),
+        }
+    }
+
     /// Consumes the matrix, handing its storage back to the
     /// thread-local [`crate::pool`] for reuse by a later
     /// [`Matrix::from_pool`].
@@ -375,7 +389,9 @@ impl Matrix {
             "matmul_nt dimension mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::from_pool(self.rows, rhs.rows);
+        // Every output element is assigned (`*oj =`, never `+=`), so
+        // the pool's zero-fill would be pure waste.
+        let mut out = Matrix::from_pool_full_overwrite(self.rows, rhs.rows);
         for i in 0..self.rows {
             let a = self.row(i);
             let o = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
@@ -623,6 +639,25 @@ mod tests {
             hits1 > hits0,
             "second matmul should reuse the pooled buffer"
         );
+        assert_eq!(second, reference);
+    }
+
+    #[test]
+    fn matmul_nt_full_overwrite_bitwise_stable_across_dirty_reuse() {
+        // matmul_nt takes its output from the pool *without* zeroing
+        // (pure-assignment kernel). Poison the pool with a larger
+        // dirty buffer first: the recycled-storage product must still
+        // be bitwise identical to the fresh-allocation one.
+        let a = Matrix::from_fn(9, 40, |r, c| ((r * 40 + c) as f64 * 0.003).sin());
+        let b = Matrix::from_fn(17, 40, |r, c| ((r + 5 * c) as f64 * 0.009).cos());
+        let reference = a.matmul_nt(&b);
+        let mut dirty = crate::pool::acquire(9 * 17 + 30);
+        dirty.iter_mut().for_each(|x| *x = f64::NAN);
+        crate::pool::release(dirty);
+        let (hits0, _, _) = crate::pool::stats();
+        let second = a.matmul_nt(&b);
+        let (hits1, _, _) = crate::pool::stats();
+        assert!(hits1 > hits0, "matmul_nt should reuse the dirty buffer");
         assert_eq!(second, reference);
     }
 

@@ -176,6 +176,34 @@ pub fn acquire_capacity(n: usize) -> Vec<f64> {
     }
 }
 
+/// Gets an `n`-element buffer **without** the zero-fill of
+/// [`acquire`], for callers that provably write every element before
+/// reading any (GEMM-style pure-assignment outputs, im2col gathers).
+///
+/// On a pool hit the buffer may carry stale values from its previous
+/// life — that is the point: skipping the memset is the win. Only the
+/// tail past the recycled length is zeroed (a `resize` grow), and a
+/// pool miss falls back to `vec![0.0; n]`, so an *incorrect* caller
+/// (one that reads before writing) observes stale data, not
+/// uninitialized memory — still safe Rust, just wrong values, which
+/// the parity tests would catch.
+pub fn acquire_full_overwrite(n: usize) -> Vec<f64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    match acquire_raw(n) {
+        Some(mut buf) => {
+            if buf.len() >= n {
+                buf.truncate(n);
+            } else {
+                buf.resize(n, 0.0);
+            }
+            buf
+        }
+        None => vec![0.0; n],
+    }
+}
+
 /// Returns a buffer to the pool for reuse. Buffers beyond the per-
 /// bucket or total-retained caps are dropped (freed normally).
 pub fn release(buf: Vec<f64>) {
@@ -285,6 +313,30 @@ mod tests {
         assert!(v.capacity() >= 100);
         let (h, _, _) = stats();
         assert_eq!(h, 1);
+        clear();
+    }
+
+    #[test]
+    fn full_overwrite_skips_zero_fill_but_sizes_exactly() {
+        clear();
+        let mut v = acquire(100);
+        v.iter_mut().for_each(|x| *x = 7.5);
+        release(v);
+        // Hit with a longer recycled buffer: stale prefix survives
+        // (that is the contract — the caller overwrites everything).
+        let v2 = acquire_full_overwrite(60);
+        assert_eq!(v2.len(), 60);
+        assert!(v2.iter().all(|&x| x == 7.5), "stale data should remain");
+        release(v2);
+        // Hit with a shorter recycled buffer: only the tail is zeroed.
+        let v3 = acquire_full_overwrite(100);
+        assert_eq!(v3.len(), 100);
+        assert!(v3[..60].iter().all(|&x| x == 7.5));
+        assert!(v3[60..].iter().all(|&x| x == 0.0));
+        clear();
+        // Miss: indistinguishable from a fresh zeroed alloc.
+        let v4 = acquire_full_overwrite(32);
+        assert_eq!(v4, vec![0.0; 32]);
         clear();
     }
 

@@ -2,29 +2,145 @@
 //!
 //! The neural-network layers keep their activations and weights in flat
 //! `Vec<f32>` buffers, so promoting through [`crate::Matrix`] (f64)
-//! would spend more time converting than multiplying. These kernels are
-//! the f32 twin of [`Matrix::matmul`](crate::Matrix::matmul): blocked
-//! over depth (`KC`) so the streamed right-operand panel stays
-//! cache-resident, register-tiled over [`MR`] output rows, with a
-//! contiguous AXPY inner loop the compiler vectorizes. All three
+//! would spend more time converting than multiplying. All three
 //! variants **accumulate** into `out` (`out += op(a) * op(b)`), which is
 //! what the convolution backward pass needs for its gradient buffers;
 //! pass a zeroed `out` for a plain product.
 //!
-//! Per output element the contributions arrive in ascending-`k` order,
-//! matching the naive loops they replace, so [`sgemm_nn`] is bitwise
-//! identical to a scalar `ikj` triple loop.
+//! Two implementations live side by side:
+//!
+//! * **Scalar oracles** ([`sgemm_nn_scalar`] / [`sgemm_nt_scalar`] /
+//!   [`sgemm_tn_scalar`]): the original blocked register-tiled loops.
+//!   Per output element the contributions arrive in ascending-`k`
+//!   order, so `sgemm_nn_scalar` is bitwise identical to a scalar
+//!   `ikj` triple loop. These stay as the parity reference.
+//! * **Packed SIMD path** ([`sgemm_nn_packed`] etc.): operands are
+//!   repacked into MR×KC / KC×NR panels and multiplied by an explicit
+//!   [`MR`]×[`NR`] register-tiled microkernel — a bounds-check-free
+//!   `chunks_exact` loop the compiler autovectorizes, with a
+//!   runtime-dispatched `std::arch` AVX2+FMA variant on x86-64. The
+//!   microkernel keeps the whole tile in accumulator registers across a
+//!   depth panel and flushes once per panel, so per-element summation
+//!   is reassociated (panel partial sums, FMA contraction): results
+//!   match the scalar oracle to ≤1e-4 relative, not bitwise.
+//!
+//! The public entry points [`sgemm_nn`] / [`sgemm_nt`] / [`sgemm_tn`]
+//! dispatch to the packed path unless `LINALG_FORCE_SCALAR` is set in
+//! the environment (checked once); [`backend`] reports the choice.
+
+use std::sync::OnceLock;
 
 /// Depth blocking factor (f32: 256 elements = 1 KiB per panel row).
 const KC: usize = 256;
-/// Register tile height: output rows updated per pass.
+/// Register tile height: output rows updated per microkernel call.
 const MR: usize = 4;
+/// Register tile width: two 8-lane f32 vectors per accumulator row.
+const NR: usize = 16;
+
+/// True unless `LINALG_FORCE_SCALAR` is set (to anything but `0`).
+fn simd_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var_os("LINALG_FORCE_SCALAR").is_none_or(|v| v == *"0"))
+}
+
+/// True when the CPU supports the AVX2+FMA microkernel (cached).
+fn fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    false
+}
+
+/// Which kernel the public entry points dispatch to on this host:
+/// `"avx2+fma"`, `"packed-generic"` (autovectorized portable
+/// microkernel), or `"scalar-forced"` (`LINALG_FORCE_SCALAR` set).
+pub fn backend() -> &'static str {
+    if !simd_enabled() {
+        "scalar-forced"
+    } else if fma_available() {
+        "avx2+fma"
+    } else {
+        "packed-generic"
+    }
+}
 
 /// `out[m x n] += a[m x k] * b[k x n]` (all row-major).
+///
+/// Dispatches to the packed SIMD path (≤1e-4 relative of the scalar
+/// oracle) unless `LINALG_FORCE_SCALAR` is set.
 ///
 /// # Panics
 /// Panics if any slice is shorter than its `m`/`k`/`n` shape implies.
 pub fn sgemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
+    if simd_enabled() {
+        packed::gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], out)
+    } else {
+        sgemm_nn_scalar(m, k, n, a, b, out)
+    }
+}
+
+/// `out[m x n] += a[m x k] * b[n x k]^T` — both operands row-major.
+///
+/// Dispatches like [`sgemm_nn`].
+///
+/// # Panics
+/// Panics if any slice is shorter than its shape implies.
+pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n);
+    if simd_enabled() {
+        packed::gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[j * k + kk], out)
+    } else {
+        sgemm_nt_scalar(m, k, n, a, b, out)
+    }
+}
+
+/// `out[m x n] += a[k x m]^T * b[k x n]` (all row-major) without
+/// materializing the transpose.
+///
+/// Dispatches like [`sgemm_nn`].
+///
+/// # Panics
+/// Panics if any slice is shorter than its shape implies.
+pub fn sgemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= k * m && b.len() >= k * n && out.len() >= m * n);
+    if simd_enabled() {
+        packed::gemm(m, k, n, |i, kk| a[kk * m + i], |kk, j| b[kk * n + j], out)
+    } else {
+        sgemm_tn_scalar(m, k, n, a, b, out)
+    }
+}
+
+/// Packed-path entry for `out += a * b`, bypassing dispatch (benches
+/// and parity tests).
+pub fn sgemm_nn_packed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
+    packed::gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[kk * n + j], out)
+}
+
+/// Packed-path entry for `out += a * b^T`, bypassing dispatch.
+pub fn sgemm_nt_packed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n);
+    packed::gemm(m, k, n, |i, kk| a[i * k + kk], |kk, j| b[j * k + kk], out)
+}
+
+/// Packed-path entry for `out += a^T * b`, bypassing dispatch.
+pub fn sgemm_tn_packed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= k * m && b.len() >= k * n && out.len() >= m * n);
+    packed::gemm(m, k, n, |i, kk| a[kk * m + i], |kk, j| b[kk * n + j], out)
+}
+
+/// Scalar oracle for `out += a * b`: blocked over depth (`KC`),
+/// register-tiled over [`MR`] output rows, contiguous AXPY inner loop.
+/// Bitwise identical to a scalar `ikj` triple loop (contributions per
+/// output element arrive in ascending-`k` order).
+///
+/// # Panics
+/// Panics if any slice is shorter than its shape implies.
+pub fn sgemm_nn_scalar(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -66,15 +182,13 @@ pub fn sgemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f
     }
 }
 
-/// `out[m x n] += a[m x k] * b[n x k]^T` — both operands row-major, so
-/// every output element is a dot product of two contiguous rows.
-///
-/// Uses four independent partial accumulators per dot product (fixed
-/// order, deterministic across calls).
+/// Scalar oracle for `out += a * b^T`: every output element is a dot
+/// product of two contiguous rows, four independent partial
+/// accumulators per dot product (fixed order, deterministic).
 ///
 /// # Panics
 /// Panics if any slice is shorter than its shape implies.
-pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+pub fn sgemm_nt_scalar(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n);
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
@@ -100,13 +214,12 @@ pub fn sgemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f
     }
 }
 
-/// `out[m x n] += a[k x m]^T * b[k x n]` (all row-major) without
-/// materializing the transpose: each depth step is a rank-1 update
-/// streaming contiguous rows of `a` and `b`.
+/// Scalar oracle for `out += a^T * b`: each depth step is a rank-1
+/// update streaming contiguous rows of `a` and `b`.
 ///
 /// # Panics
 /// Panics if any slice is shorter than its shape implies.
-pub fn sgemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+pub fn sgemm_tn_scalar(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
     assert!(a.len() >= k * m && b.len() >= k * n && out.len() >= m * n);
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -146,6 +259,145 @@ pub fn sgemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f
     }
 }
 
+/// The packed panel driver shared by all three transpose variants.
+///
+/// Layout (BLIS-style): for each depth panel of `KC`, the right operand
+/// is packed into `⌈n/NR⌉` column panels of `kb`×`NR` (k-major,
+/// zero-padded past `n`), each `MR`-row stripe of the left operand into
+/// a `kb`×`MR` tile (k-major, zero-padded past `m`), and an `MR`×`NR`
+/// accumulator tile is produced per (stripe, panel) pair by the
+/// microkernel. Zero padding is sound because padded lanes only feed
+/// accumulator slots the writeback never reads. Accumulate semantics
+/// (`out += acc`) are preserved: `out` is touched once per depth panel.
+mod packed {
+    use super::{fma_available, KC, MR, NR};
+    use std::cell::RefCell;
+
+    std::thread_local! {
+        /// (A tile, packed B panels) reused across calls on a thread.
+        static SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    }
+
+    /// Portable microkernel: `acc[r][j] += Σ_kk ap[kk*MR+r] * bp[kk*NR+j]`.
+    ///
+    /// `chunks_exact` + fixed-size accumulator rows keep the inner loop
+    /// free of bounds checks so it autovectorizes.
+    fn microkernel_generic(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        for (arow, brow) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let ar = arow[r];
+                for (av, &bv) in accr.iter_mut().zip(brow) {
+                    *av += ar * bv;
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod fma {
+        use super::{MR, NR};
+        use std::arch::x86_64::*;
+
+        /// AVX2+FMA microkernel: the 4×16 tile lives in eight `__m256`
+        /// accumulators across the whole depth panel; one broadcast per
+        /// A element, two FMAs per (row, half-tile).
+        ///
+        /// # Safety
+        /// Caller must ensure the CPU supports AVX2 and FMA, and that
+        /// `ap.len() >= kb * MR` and `bp.len() >= kb * NR` for
+        /// `kb = bp.len() / NR`.
+        #[target_feature(enable = "avx2,fma")]
+        pub(super) unsafe fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+            let kb = bp.len() / NR;
+            debug_assert!(ap.len() >= kb * MR);
+            let mut c = [[_mm256_setzero_ps(); 2]; MR];
+            for kk in 0..kb {
+                let b0 = _mm256_loadu_ps(bp.as_ptr().add(kk * NR));
+                let b1 = _mm256_loadu_ps(bp.as_ptr().add(kk * NR + 8));
+                for (r, cr) in c.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.get_unchecked(kk * MR + r));
+                    cr[0] = _mm256_fmadd_ps(av, b0, cr[0]);
+                    cr[1] = _mm256_fmadd_ps(av, b1, cr[1]);
+                }
+            }
+            for (accr, cr) in acc.iter_mut().zip(&c) {
+                _mm256_storeu_ps(accr.as_mut_ptr(), cr[0]);
+                _mm256_storeu_ps(accr.as_mut_ptr().add(8), cr[1]);
+            }
+        }
+    }
+
+    #[inline]
+    fn run_micro(use_fma: bool, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        #[cfg(target_arch = "x86_64")]
+        if use_fma {
+            // SAFETY: `use_fma` is only true when fma_available()
+            // detected AVX2+FMA; ap/bp are full kb*MR / kb*NR panels.
+            unsafe { fma::microkernel(ap, bp, acc) };
+            return;
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = use_fma;
+        microkernel_generic(ap, bp, acc);
+    }
+
+    /// `out[m x n] += A * B` where `at(i, kk)` / `bt(kk, j)` read the
+    /// logical (already transposed) operand elements.
+    pub(super) fn gemm(
+        m: usize,
+        k: usize,
+        n: usize,
+        at: impl Fn(usize, usize) -> f32,
+        bt: impl Fn(usize, usize) -> f32,
+        out: &mut [f32],
+    ) {
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let use_fma = fma_available();
+        let np = n.div_ceil(NR);
+        SCRATCH.with(|s| {
+            let (apack, bpack) = &mut *s.borrow_mut();
+            for k0 in (0..k).step_by(KC) {
+                let kb = (k0 + KC).min(k) - k0;
+                bpack.clear();
+                bpack.resize(np * kb * NR, 0.0);
+                for (jp, panel) in bpack.chunks_exact_mut(kb * NR).enumerate() {
+                    let j0 = jp * NR;
+                    let jw = NR.min(n - j0);
+                    for (kk, prow) in panel.chunks_exact_mut(NR).enumerate() {
+                        for (j, p) in prow[..jw].iter_mut().enumerate() {
+                            *p = bt(k0 + kk, j0 + j);
+                        }
+                    }
+                }
+                for i0 in (0..m).step_by(MR) {
+                    let mr = MR.min(m - i0);
+                    apack.clear();
+                    apack.resize(kb * MR, 0.0);
+                    for (kk, arow) in apack.chunks_exact_mut(MR).enumerate() {
+                        for (r, p) in arow[..mr].iter_mut().enumerate() {
+                            *p = at(i0 + r, k0 + kk);
+                        }
+                    }
+                    for (jp, panel) in bpack.chunks_exact(kb * NR).enumerate() {
+                        let j0 = jp * NR;
+                        let jw = NR.min(n - j0);
+                        let mut acc = [[0.0f32; NR]; MR];
+                        run_micro(use_fma, apack, panel, &mut acc);
+                        for (r, accr) in acc.iter().enumerate().take(mr) {
+                            let o = (i0 + r) * n + j0;
+                            for (ov, &av) in out[o..o + jw].iter_mut().zip(accr) {
+                                *ov += av;
+                            }
+                        }
+                    }
+                }
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,15 +420,45 @@ mod tests {
         (0..len).map(|i| ((i as f32 + seed) * 0.37).sin()).collect()
     }
 
+    /// |g - w| ≤ tol·max(|w|, 1) elementwise.
+    fn assert_close(got: &[f32], want: &[f32], tol: f32) {
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() <= tol * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
     #[test]
-    fn nn_bitwise_matches_naive_across_block_edges() {
+    fn scalar_nn_bitwise_matches_naive_across_block_edges() {
         // m=6 = one full MR=4 tile + 2 remainder rows, k=300 > KC=256.
         let (m, k, n) = (6, 300, 37);
         let a = fill(m * k, 1.0);
         let b = fill(k * n, 2.0);
         let mut got = vec![0.0f32; m * n];
-        sgemm_nn(m, k, n, &a, &b, &mut got);
+        sgemm_nn_scalar(m, k, n, &a, &b, &mut got);
         assert_eq!(got, naive_nn(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn dispatched_nn_matches_naive_across_block_edges() {
+        let (m, k, n) = (6, 300, 37);
+        let a = fill(m * k, 1.0);
+        let b = fill(k * n, 2.0);
+        let mut got = vec![0.0f32; m * n];
+        sgemm_nn(m, k, n, &a, &b, &mut got);
+        assert_close(&got, &naive_nn(m, k, n, &a, &b), 1e-4);
+    }
+
+    #[test]
+    fn packed_nn_matches_scalar_oracle() {
+        // n=37 = two full NR=16 panels + 5 remainder cols; k crosses KC.
+        let (m, k, n) = (7, 300, 37);
+        let a = fill(m * k, 1.0);
+        let b = fill(k * n, 2.0);
+        let mut got = vec![0.0f32; m * n];
+        let mut want = vec![0.0f32; m * n];
+        sgemm_nn_packed(m, k, n, &a, &b, &mut got);
+        sgemm_nn_scalar(m, k, n, &a, &b, &mut want);
+        assert_close(&got, &want, 1e-4);
     }
 
     #[test]
@@ -190,12 +472,13 @@ mod tests {
                 b[kk * n + j] = bt[j * k + kk];
             }
         }
+        let want = naive_nn(m, k, n, &a, &b);
         let mut got = vec![0.0f32; m * n];
         sgemm_nt(m, k, n, &a, &bt, &mut got);
-        let want = naive_nn(m, k, n, &a, &b);
-        for (g, w) in got.iter().zip(&want) {
-            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
-        }
+        assert_close(&got, &want, 1e-4);
+        let mut got = vec![0.0f32; m * n];
+        sgemm_nt_packed(m, k, n, &a, &bt, &mut got);
+        assert_close(&got, &want, 1e-4);
     }
 
     #[test]
@@ -209,12 +492,13 @@ mod tests {
             }
         }
         let b = fill(k * n, 6.0);
+        let want = naive_nn(m, k, n, &a, &b);
         let mut got = vec![0.0f32; m * n];
         sgemm_tn(m, k, n, &at, &b, &mut got);
-        let want = naive_nn(m, k, n, &a, &b);
-        for (g, w) in got.iter().zip(&want) {
-            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
-        }
+        assert_close(&got, &want, 1e-3);
+        let mut got = vec![0.0f32; m * n];
+        sgemm_tn_packed(m, k, n, &at, &b, &mut got);
+        assert_close(&got, &want, 1e-3);
     }
 
     #[test]
@@ -224,6 +508,9 @@ mod tests {
         let mut out = vec![10.0f32];
         sgemm_nn(1, 2, 1, &a, &b, &mut out);
         assert_eq!(out, vec![10.0 + 11.0]);
+        let mut out = vec![10.0f32];
+        sgemm_nn_packed(1, 2, 1, &a, &b, &mut out);
+        assert_eq!(out, vec![10.0 + 11.0]);
     }
 
     #[test]
@@ -232,6 +519,14 @@ mod tests {
         sgemm_nn(0, 3, 0, &[], &[], &mut out);
         sgemm_tn(0, 0, 0, &[], &[], &mut out);
         sgemm_nt(0, 0, 0, &[], &[], &mut out);
+        sgemm_nn_packed(0, 3, 0, &[], &[], &mut out);
+        sgemm_tn_packed(0, 0, 0, &[], &[], &mut out);
+        sgemm_nt_packed(0, 0, 0, &[], &[], &mut out);
+    }
+
+    #[test]
+    fn backend_is_reported() {
+        assert!(["avx2+fma", "packed-generic", "scalar-forced"].contains(&backend()));
     }
 
     proptest! {
@@ -249,6 +544,45 @@ mod tests {
             let want = naive_nn(m, k, n, &a, &b);
             for (g, w) in got.iter().zip(&want) {
                 prop_assert!((g - w).abs() < 1e-4);
+            }
+        }
+
+        /// Packed vs scalar parity across the remainder edges: m spans
+        /// partial MR=4 tiles, n spans partial NR=16 panels, k crosses
+        /// the KC=256 depth boundary.
+        #[test]
+        fn prop_packed_matches_scalar_at_remainder_edges(
+            m in 1usize..10, dn in 0usize..19, dk in 0usize..9,
+            seed in 0.0f32..10.0,
+            which in 0usize..3,
+        ) {
+            let n = 1 + dn; // 1..=19 straddles the NR=16 panel edge
+            let k = KC - 4 + dk; // 252..=260 straddles the KC edge
+            let (al, bl) = match which {
+                0 => (m * k, k * n), // nn
+                1 => (m * k, n * k), // nt
+                _ => (k * m, k * n), // tn
+            };
+            let a = fill(al, seed);
+            let b = fill(bl, seed + 0.5);
+            let mut got = vec![0.0f32; m * n];
+            let mut want = vec![0.0f32; m * n];
+            match which {
+                0 => {
+                    sgemm_nn_packed(m, k, n, &a, &b, &mut got);
+                    sgemm_nn_scalar(m, k, n, &a, &b, &mut want);
+                }
+                1 => {
+                    sgemm_nt_packed(m, k, n, &a, &b, &mut got);
+                    sgemm_nt_scalar(m, k, n, &a, &b, &mut want);
+                }
+                _ => {
+                    sgemm_tn_packed(m, k, n, &a, &b, &mut got);
+                    sgemm_tn_scalar(m, k, n, &a, &b, &mut want);
+                }
+            }
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() <= 1e-4 * w.abs().max(1.0), "{g} vs {w}");
             }
         }
     }

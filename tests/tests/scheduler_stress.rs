@@ -202,3 +202,37 @@ fn stress_no_worker_threads_outlive_dropped_runtimes() {
         "worker threads leaked after dropping 20 runtimes"
     );
 }
+
+#[test]
+fn stress_locality_steering_counts_hits_and_is_bit_identical() {
+    // The affinity hint steers a task toward the worker that produced
+    // its largest input. It must (a) actually fire on a chain-heavy
+    // DAG — the continuation-keeping worker is the producer, so hits
+    // dominate — and (b) be purely advisory: bit-identical checksums
+    // with the heuristic on, off, and inline.
+    use taskrt::{ExecMode, RuntimeConfig};
+    let run = |locality: bool| {
+        let rt = Runtime::with_config(RuntimeConfig {
+            mode: ExecMode::Threads(4),
+            locality,
+            ..RuntimeConfig::default()
+        });
+        let checksum = random_dag_checksum(&rt, 13);
+        (checksum, rt.stats())
+    };
+    let (on, stats_on) = run(true);
+    let (off, stats_off) = run(false);
+    assert_eq!(on, off, "locality steering changed computed values");
+    assert_eq!(
+        on,
+        random_dag_checksum(&Runtime::new(), 13),
+        "threaded run diverged from inline"
+    );
+    assert!(
+        stats_on.locality_hits > 0,
+        "chain-heavy DAG produced no locality hits: {stats_on:?}"
+    );
+    // With the heuristic off no affinity hint is ever computed, so
+    // neither side of the ratio can move.
+    assert_eq!(stats_off.locality_hits + stats_off.locality_misses, 0);
+}
