@@ -2,7 +2,8 @@
 //! application kernels (conv, STFT, RF split finding).
 //!
 //! Measures the paths the performance overhauls target and writes the
-//! numbers to `BENCH_perf.json` in the current directory:
+//! numbers to `out/perf.json` (one artifact per binary under `out/`,
+//! so parallel CI jobs never clobber each other):
 //!
 //! * **scheduler** — a DAG of no-op tasks with random dependencies
 //!   driven through the new runtime (threaded and inline) and through
@@ -1077,7 +1078,7 @@ fn main() {
             ]),
         ),
     ]);
-    write_artifact("BENCH_perf.json", &doc.pretty()).expect("write BENCH_perf.json");
+    write_artifact("out/perf.json", &doc.pretty()).expect("write out/perf.json");
 
     // -- gate (--check) -----------------------------------------------
     if args.has("check") {

@@ -25,7 +25,7 @@
 //!   share of completions — within 15% — rather than letting the
 //!   flood starve the small tenant (or vice versa).
 //!
-//! Results are merged into `BENCH_perf.json` as the `"scale"` section
+//! Results are merged into `out/perf.json` as the `"scale"` section
 //! (run after `perf`, which rewrites the file whole). Usage:
 //! `cargo run --release -p bench --bin scale -- [--scale small|full]
 //! [--workers N] [--check]`; `--check` exits non-zero if the large-DAG
@@ -228,7 +228,7 @@ fn main() {
         ts[1].queue_wait.quantile(0.95) as f64 * 1e-6,
     );
 
-    // -- artifact: merge the "scale" section into BENCH_perf.json -----
+    // -- artifact: merge the "scale" section into out/perf.json -------
     let section = Value::Object(vec![
         ("setting".into(), Value::String(scale)),
         ("workers".into(), Value::from(workers)),
@@ -254,7 +254,7 @@ fn main() {
         ("fair_a_tasks_per_s".into(), Value::Number(a_tps)),
         ("fair_b_tasks_per_s".into(), Value::Number(b_tps)),
     ]);
-    let merged = match std::fs::read_to_string("BENCH_perf.json")
+    let merged = match std::fs::read_to_string("out/perf.json")
         .ok()
         .and_then(|s| Value::parse(&s).ok())
     {
@@ -267,7 +267,7 @@ fn main() {
         }
         _ => Value::Object(vec![("scale".into(), section)]),
     };
-    write_artifact("BENCH_perf.json", &merged.pretty()).expect("write BENCH_perf.json");
+    write_artifact("out/perf.json", &merged.pretty()).expect("write out/perf.json");
 
     // -- gate (--check) -----------------------------------------------
     if args.has("check") {

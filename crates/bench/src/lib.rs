@@ -10,7 +10,8 @@
 //! | `graphs` | Figs. 4, 6, 8, 9, 10: execution graphs as Graphviz DOT |
 //! | `pca_cost` | §IV-B: constant PCA cost across algorithms |
 //! | `ablate` | ablations: block size, scheduler policy, `distr_depth`, nesting, augmentation |
-//! | `perf` | hot-path throughput: scheduler (new vs [`legacy`]), DES replay, blocked GEMM — writes `BENCH_perf.json` |
+//! | `perf` | hot-path throughput: scheduler (new vs [`legacy`]), DES replay, blocked GEMM — writes `out/perf.json` |
+//! | `dist` | multi-process PCA over `taskrt::dist`: bit-identity vs the inline oracle, DES divergence gate, chaos SIGKILL arm — writes `out/dist.json` |
 //!
 //! Library modules: [`pipeline`] (the end-to-end AF workflow at `small`
 //! scale), [`costs`] (the analytic duration scaling that lifts measured

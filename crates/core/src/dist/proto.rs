@@ -1,0 +1,392 @@
+//! Driver ⇄ worker message protocol.
+//!
+//! Every message travels as one length-prefixed frame
+//! ([`crate::dist::wire`]); the first body byte is the message tag.
+//! Three connection roles share the format:
+//!
+//! * **Control** — a worker connects to the driver's listener and opens
+//!   with [`Msg::Hello`]; the stream then carries driver→worker
+//!   [`Msg::Run`]/[`Msg::Shutdown`] and worker→driver
+//!   [`Msg::Heartbeat`]/[`Msg::Done`]/[`Msg::Failed`].
+//! * **Driver relay** — a one-shot connection to the driver's listener
+//!   opening with [`Msg::Need`]; the driver answers [`Msg::Data`] or
+//!   [`Msg::NotFound`] and the connection closes.
+//! * **Peer pull** — a one-shot connection to a *worker's* listener
+//!   opening with [`Msg::Pull`]; same reply shapes. Consumers fetch
+//!   inputs from the owning worker directly instead of round-tripping
+//!   payloads through the driver.
+
+use super::wire::{WireError, WireValue};
+
+/// Where a consumer can find an input: the data id plus the peer
+/// socket paths of workers currently holding a replica (driver-held
+/// seeds ship an empty owner list — the consumer falls back to the
+/// driver relay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSpec {
+    pub data: u64,
+    /// `(worker id, peer socket path)` for each replica holder.
+    pub owners: Vec<(u32, String)>,
+}
+
+/// One protocol message. See the module docs for which role sends what.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Control-stream opener: `worker` identifies the connecting process.
+    Hello { worker: u32 },
+    /// Periodic liveness beacon (`seq` increments per beat).
+    Heartbeat { seq: u64 },
+    /// Task finished. `start_rel_s` is seconds since the worker's own
+    /// connection epoch; `pulled` lists input data ids the worker
+    /// fetched (and now holds as replicas).
+    Done {
+        task: u64,
+        out: u64,
+        bytes: u64,
+        start_rel_s: f64,
+        duration_s: f64,
+        pulled: Vec<u64>,
+    },
+    /// Task body returned an error or panicked.
+    Failed { task: u64, error: String },
+    /// The worker could not *fetch* input `data` (every named owner and
+    /// the driver relay failed) — not a body failure: the driver
+    /// requeues the task and lets replica/lineage recovery resupply the
+    /// input instead of burning a retry attempt.
+    FetchFailed { task: u64, data: u64 },
+    /// Driver → worker: execute `kind` over `inputs`, store the result
+    /// as `out`. `attempt` is 1-based and reported back in errors.
+    Run {
+        task: u64,
+        attempt: u32,
+        kind: String,
+        out: u64,
+        inputs: Vec<InputSpec>,
+    },
+    /// Driver → worker: drain and exit cleanly.
+    Shutdown,
+    /// One-shot relay request to the driver (`worker` asks for `data`).
+    Need { worker: u32, data: u64 },
+    /// One-shot pull request to a peer worker.
+    Pull { data: u64 },
+    /// Reply carrying a payload.
+    Data { data: u64, value: WireValue },
+    /// Reply: the responder no longer holds that datum.
+    NotFound { data: u64 },
+}
+
+mod tag {
+    pub const HELLO: u8 = 0;
+    pub const HEARTBEAT: u8 = 1;
+    pub const DONE: u8 = 2;
+    pub const FAILED: u8 = 3;
+    pub const RUN: u8 = 4;
+    pub const SHUTDOWN: u8 = 5;
+    pub const NEED: u8 = 6;
+    pub const PULL: u8 = 7;
+    pub const DATA: u8 = 8;
+    pub const NOT_FOUND: u8 = 9;
+    pub const FETCH_FAILED: u8 = 10;
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_le_bytes(head.try_into().unwrap()))
+}
+
+fn take_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
+    Ok(f64::from_bits(take_u64(buf)?))
+}
+
+fn take_str(buf: &mut &[u8]) -> Result<String, WireError> {
+    let n = take_u64(buf)? as usize;
+    if buf.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    String::from_utf8(head.to_vec()).map_err(|_| WireError::Truncated)
+}
+
+impl Msg {
+    /// Encodes the message as a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Msg::Hello { worker } => {
+                out.push(tag::HELLO);
+                put_u64(&mut out, u64::from(*worker));
+            }
+            Msg::Heartbeat { seq } => {
+                out.push(tag::HEARTBEAT);
+                put_u64(&mut out, *seq);
+            }
+            Msg::Done {
+                task,
+                out: o,
+                bytes,
+                start_rel_s,
+                duration_s,
+                pulled,
+            } => {
+                out.push(tag::DONE);
+                put_u64(&mut out, *task);
+                put_u64(&mut out, *o);
+                put_u64(&mut out, *bytes);
+                put_f64(&mut out, *start_rel_s);
+                put_f64(&mut out, *duration_s);
+                put_u64(&mut out, pulled.len() as u64);
+                for d in pulled {
+                    put_u64(&mut out, *d);
+                }
+            }
+            Msg::Failed { task, error } => {
+                out.push(tag::FAILED);
+                put_u64(&mut out, *task);
+                put_str(&mut out, error);
+            }
+            Msg::Run {
+                task,
+                attempt,
+                kind,
+                out: o,
+                inputs,
+            } => {
+                out.push(tag::RUN);
+                put_u64(&mut out, *task);
+                put_u64(&mut out, u64::from(*attempt));
+                put_str(&mut out, kind);
+                put_u64(&mut out, *o);
+                put_u64(&mut out, inputs.len() as u64);
+                for i in inputs {
+                    put_u64(&mut out, i.data);
+                    put_u64(&mut out, i.owners.len() as u64);
+                    for (w, path) in &i.owners {
+                        put_u64(&mut out, u64::from(*w));
+                        put_str(&mut out, path);
+                    }
+                }
+            }
+            Msg::Shutdown => out.push(tag::SHUTDOWN),
+            Msg::Need { worker, data } => {
+                out.push(tag::NEED);
+                put_u64(&mut out, u64::from(*worker));
+                put_u64(&mut out, *data);
+            }
+            Msg::Pull { data } => {
+                out.push(tag::PULL);
+                put_u64(&mut out, *data);
+            }
+            Msg::Data { data, value } => {
+                out.push(tag::DATA);
+                put_u64(&mut out, *data);
+                value.encode_into(&mut out);
+            }
+            Msg::NotFound { data } => {
+                out.push(tag::NOT_FOUND);
+                put_u64(&mut out, *data);
+            }
+            Msg::FetchFailed { task, data } => {
+                out.push(tag::FETCH_FAILED);
+                put_u64(&mut out, *task);
+                put_u64(&mut out, *data);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame body. The whole body must be consumed.
+    pub fn decode(body: &[u8]) -> Result<Msg, WireError> {
+        let mut buf = body;
+        let t = {
+            let (&b, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+            buf = rest;
+            b
+        };
+        let msg = match t {
+            tag::HELLO => Msg::Hello {
+                worker: take_u64(&mut buf)? as u32,
+            },
+            tag::HEARTBEAT => Msg::Heartbeat {
+                seq: take_u64(&mut buf)?,
+            },
+            tag::DONE => {
+                let task = take_u64(&mut buf)?;
+                let out = take_u64(&mut buf)?;
+                let bytes = take_u64(&mut buf)?;
+                let start_rel_s = take_f64(&mut buf)?;
+                let duration_s = take_f64(&mut buf)?;
+                let n = take_u64(&mut buf)? as usize;
+                if n > body.len() {
+                    return Err(WireError::Truncated);
+                }
+                let mut pulled = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pulled.push(take_u64(&mut buf)?);
+                }
+                Msg::Done {
+                    task,
+                    out,
+                    bytes,
+                    start_rel_s,
+                    duration_s,
+                    pulled,
+                }
+            }
+            tag::FAILED => Msg::Failed {
+                task: take_u64(&mut buf)?,
+                error: take_str(&mut buf)?,
+            },
+            tag::RUN => {
+                let task = take_u64(&mut buf)?;
+                let attempt = take_u64(&mut buf)? as u32;
+                let kind = take_str(&mut buf)?;
+                let out = take_u64(&mut buf)?;
+                let n = take_u64(&mut buf)? as usize;
+                if n > body.len() {
+                    return Err(WireError::Truncated);
+                }
+                let mut inputs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let data = take_u64(&mut buf)?;
+                    let n_owners = take_u64(&mut buf)? as usize;
+                    if n_owners > body.len() {
+                        return Err(WireError::Truncated);
+                    }
+                    let mut owners = Vec::with_capacity(n_owners);
+                    for _ in 0..n_owners {
+                        let w = take_u64(&mut buf)? as u32;
+                        owners.push((w, take_str(&mut buf)?));
+                    }
+                    inputs.push(InputSpec { data, owners });
+                }
+                Msg::Run {
+                    task,
+                    attempt,
+                    kind,
+                    out,
+                    inputs,
+                }
+            }
+            tag::SHUTDOWN => Msg::Shutdown,
+            tag::NEED => Msg::Need {
+                worker: take_u64(&mut buf)? as u32,
+                data: take_u64(&mut buf)?,
+            },
+            tag::PULL => Msg::Pull {
+                data: take_u64(&mut buf)?,
+            },
+            tag::DATA => {
+                let data = take_u64(&mut buf)?;
+                let value = WireValue::decode_from(&mut buf)?;
+                Msg::Data { data, value }
+            }
+            tag::NOT_FOUND => Msg::NotFound {
+                data: take_u64(&mut buf)?,
+            },
+            tag::FETCH_FAILED => Msg::FetchFailed {
+                task: take_u64(&mut buf)?,
+                data: take_u64(&mut buf)?,
+            },
+            other => return Err(WireError::BadTag(other)),
+        };
+        if !buf.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        Ok(msg)
+    }
+}
+
+/// Sends one message as a frame.
+pub fn send(w: &mut impl std::io::Write, msg: &Msg) -> Result<(), WireError> {
+    super::wire::write_frame(w, &msg.encode())
+}
+
+/// Receives one message frame.
+pub fn recv(r: &mut impl std::io::Read) -> Result<Msg, WireError> {
+    Msg::decode(&super::wire::read_frame(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+
+    #[test]
+    fn every_message_roundtrips() {
+        let msgs = vec![
+            Msg::Hello { worker: 3 },
+            Msg::Heartbeat { seq: 17 },
+            Msg::Done {
+                task: 5,
+                out: 9,
+                bytes: 128,
+                start_rel_s: 0.25,
+                duration_s: 0.0625,
+                pulled: vec![1, 2],
+            },
+            Msg::Failed {
+                task: 5,
+                error: "kind 'x' panicked".into(),
+            },
+            Msg::Run {
+                task: 7,
+                attempt: 2,
+                kind: "dpca_gram".into(),
+                out: 11,
+                inputs: vec![InputSpec {
+                    data: 4,
+                    owners: vec![(0, "/tmp/w0.sock".into()), (2, "/tmp/w2.sock".into())],
+                }],
+            },
+            Msg::Shutdown,
+            Msg::Need { worker: 1, data: 4 },
+            Msg::Pull { data: 4 },
+            Msg::Data {
+                data: 4,
+                value: WireValue::Matrix(Matrix::from_fn(2, 2, |r, c| (r + c) as f64)),
+            },
+            Msg::NotFound { data: 4 },
+            Msg::FetchFailed { task: 5, data: 4 },
+        ];
+        for m in msgs {
+            let body = m.encode();
+            assert_eq!(Msg::decode(&body).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn truncated_message_bodies_error() {
+        let body = Msg::Run {
+            task: 7,
+            attempt: 1,
+            kind: "k".into(),
+            out: 1,
+            inputs: vec![InputSpec {
+                data: 0,
+                owners: vec![(0, "p".into())],
+            }],
+        }
+        .encode();
+        for cut in 0..body.len() {
+            assert!(Msg::decode(&body[..cut]).is_err(), "prefix {cut} decoded");
+        }
+    }
+}

@@ -29,6 +29,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`runtime`] | [`Runtime`], [`TaskBuilder`], execution modes, nesting |
+//! | [`dist`] | multi-process driver/worker executor over Unix sockets |
 //! | [`arena`] | generational slot stores backing streaming submission |
 //! | [`fault`] | [`OnFailure`] / [`RetryPolicy`] policies, [`FaultPlan`] injection |
 //! | [`fuse`] | graph-rewrite planner for task fusion, [`fuse_trace`] |
@@ -50,6 +51,7 @@
 //! `cargo run -p bench --bin perf` for the measured throughput.
 
 pub mod arena;
+pub mod dist;
 pub mod dot;
 pub mod fault;
 pub mod fuse;
@@ -64,6 +66,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use arena::StoreStats;
+pub use dist::{DistConfig, DistReport, DistRuntime, KindRegistry, Plan, WireValue};
 pub use fault::{FaultMode, FaultPlan, OnFailure, RetryPolicy, TaskFault};
 pub use fuse::fuse_trace;
 pub use handle::{DataId, Handle, TaskId};

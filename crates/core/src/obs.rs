@@ -11,7 +11,7 @@
 //!   run time). Collected with relaxed atomics off the lock path and
 //!   gated by [`crate::RuntimeConfig::metrics`], so the hot path stays
 //!   within noise of the un-instrumented scheduler (measured by
-//!   `bench --bin perf`, recorded in `BENCH_perf.json`).
+//!   `bench --bin perf`, recorded in `out/perf.json`).
 //! * **[`chrome_trace`] / [`chrome_trace_schedule`]** — Chrome-trace
 //!   format (`chrome://tracing` / [Perfetto](https://ui.perfetto.dev))
 //!   JSON timelines: one track per executor (driver + workers) for a

@@ -18,12 +18,15 @@
 //!
 //! Support modules: [`svm`] (the in-task SMO solver), [`metrics`]
 //! (Table I confusion matrices), [`model_selection`] (5-fold CV).
+//! [`pca_dist`] re-expresses the PCA pipeline as a `taskrt::dist` plan
+//! of registered kinds, runnable across worker processes.
 
 pub mod csvm;
 pub mod knn;
 pub mod metrics;
 pub mod model_selection;
 pub mod pca;
+pub mod pca_dist;
 pub mod rf;
 pub mod scaler;
 pub mod svm;
@@ -36,6 +39,7 @@ pub use knn::{KnnClassifier, KnnParams, Weights};
 pub use metrics::{accuracy, roc_auc, roc_curve, threshold_for_recall, ConfusionMatrix, RocPoint};
 pub use model_selection::{cross_validate, grid_search, GridSearchResult, KFold};
 pub use pca::{Components, Pca};
+pub use pca_dist::{pca_plan, register_pca_kinds, PcaPlanOutputs};
 pub use rf::{RandomForest, RfParams, Tree};
 pub use scaler::StandardScaler;
 pub use svm::{fit_svc, SvcModel, SvcParams};

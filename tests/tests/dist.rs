@@ -1,0 +1,325 @@
+//! Integration tests of the multi-process distributed executor
+//! (`taskrt::dist`): wire-format properties, heartbeat-timeout edges,
+//! crash-mid-commit atomicity, and lineage re-execution — all on
+//! thread-mode clusters speaking the real socket protocol.
+
+use linalg::Matrix;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use taskrt::dist::{
+    fingerprint, DistConfig, DistRuntime, KindRegistry, Plan, WireValue, CRASH_DROP, CRASH_TRUNCATE,
+};
+use taskrt::{OnFailure, Payload, RetryPolicy};
+
+/// Deterministic nested `WireValue` generator. The vendored proptest
+/// has no recursive strategies, so nesting is driven by a seed: each
+/// level splits the seed with a 64-bit mix and picks a variant, with
+/// `depth` bounding recursion.
+fn wire_value(seed: u64, depth: u32) -> WireValue {
+    let mix = |s: u64, salt: u64| {
+        s.wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(salt)
+            .wrapping_mul(0xBF58476D1CE4E5B9)
+            .rotate_left(31)
+    };
+    let pick = if depth == 0 { seed % 8 } else { seed % 10 };
+    match pick {
+        0 => WireValue::Unit,
+        1 => WireValue::Bool(seed & 1 == 0),
+        2 => WireValue::U64(mix(seed, 2)),
+        3 => WireValue::I64(mix(seed, 3) as i64),
+        4 => {
+            // Exercise the full bit space, including NaN payloads, -0.0
+            // and subnormals: encode/decode must preserve exact bits.
+            WireValue::F64(f64::from_bits(mix(seed, 4)))
+        }
+        5 => WireValue::Str(format!("s{}-\u{1F980}-{}", seed % 97, mix(seed, 5) % 1000)),
+        6 => WireValue::Bytes((0..(seed % 17)).map(|i| mix(seed, i) as u8).collect()),
+        7 => WireValue::VecF64(
+            (0..(seed % 9))
+                .map(|i| f64::from_bits(mix(seed, 100 + i)))
+                .collect(),
+        ),
+        8 => {
+            let rows = (seed % 4) as usize;
+            let cols = (mix(seed, 8) % 4) as usize;
+            WireValue::Matrix(Matrix::from_fn(rows, cols, |r, c| {
+                f64::from_bits(mix(seed, 200 + (r * 7 + c) as u64))
+            }))
+        }
+        _ => WireValue::List(
+            (0..(seed % 4))
+                .map(|i| wire_value(mix(seed, 300 + i), depth - 1))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Byte-level round-trip over arbitrarily nested containers, with
+    /// the encoded length pinned to `Payload::approx_bytes` — the wire
+    /// format *is* the byte count the DES transfer model sees.
+    #[test]
+    fn prop_wire_value_roundtrips_and_pins_approx_bytes(
+        seed in 0u64..u64::MAX,
+        depth in 0u32..4,
+    ) {
+        let v = wire_value(seed, depth);
+        let bytes = v.encode();
+        prop_assert_eq!(bytes.len(), v.encoded_len());
+        prop_assert_eq!(bytes.len(), v.approx_bytes());
+        let back = WireValue::decode(&bytes).unwrap();
+        // Compare re-encodings, not values: NaN != NaN under PartialEq
+        // but their bit patterns must survive the round trip.
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// No truncated prefix of a valid encoding may decode.
+    #[test]
+    fn prop_truncated_wire_value_never_decodes(
+        seed in 0u64..u64::MAX,
+        depth in 0u32..3,
+    ) {
+        let v = wire_value(seed, depth);
+        let bytes = v.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(WireValue::decode(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+fn count_registry() -> (Arc<KindRegistry>, Arc<AtomicU32>) {
+    let calls = Arc::new(AtomicU32::new(0));
+    let mut reg = KindRegistry::new();
+    let c = Arc::clone(&calls);
+    reg.register("seed_mat", move |_| {
+        c.fetch_add(1, Ordering::SeqCst);
+        Ok(WireValue::Matrix(Matrix::from_fn(8, 8, |r, c| {
+            (r * 8 + c) as f64
+        })))
+    });
+    reg.register("trace_sum", |ins| {
+        let m = ins[0].as_matrix();
+        Ok(WireValue::F64((0..8).map(|i| m.get(i, i)).sum()))
+    });
+    (Arc::new(reg), calls)
+}
+
+/// A worker stalled inside a long task body keeps heartbeating from its
+/// beacon thread: it must NOT be declared dead, even when the body
+/// takes many multiples of the grace period.
+#[test]
+fn stalled_but_alive_worker_survives_grace_period() {
+    let mut reg = KindRegistry::new();
+    reg.register("slow", |_| {
+        // 12 heartbeat periods, 3x the grace period below.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        Ok(WireValue::U64(42))
+    });
+    let reg = Arc::new(reg);
+    let mut plan = Plan::new();
+    let out = plan.task("slow", &[]);
+    plan.mark_output(out);
+    let cfg = DistConfig {
+        workers: 1,
+        heartbeat_ms: 10,
+        grace_beats: 4,
+        ..DistConfig::default()
+    };
+    let mut rt = DistRuntime::launch_threads(cfg, &reg).unwrap();
+    let report = rt.run(&plan, &reg).unwrap();
+    assert_eq!(report.outputs[&out].as_u64(), 42);
+    assert_eq!(
+        report.stats.workers_lost, 0,
+        "a slow-but-heartbeating worker was declared dead"
+    );
+    assert_eq!(report.stats.reexecutions, 0);
+    let shutdown = rt.shutdown();
+    assert_eq!(shutdown.workers_reaped, 1);
+    assert!(shutdown.sock_dir_removed);
+}
+
+/// A worker that dies *mid-commit* (truncated `Done` frame) must never
+/// produce a half-applied result: the driver discards the partial
+/// frame, declares the worker dead, and re-executes elsewhere.
+#[test]
+fn mid_commit_death_never_half_applies() {
+    let crashes = Arc::new(AtomicU32::new(0));
+    let mut reg = KindRegistry::new();
+    let c = Arc::clone(&crashes);
+    reg.register("commit_crash", move |_| {
+        if c.fetch_add(1, Ordering::SeqCst) == 0 {
+            Err(CRASH_TRUNCATE.into())
+        } else {
+            Ok(WireValue::U64(7))
+        }
+    });
+    reg.register("after", |ins| Ok(WireValue::U64(ins[0].as_u64() * 3)));
+    let reg = Arc::new(reg);
+    let mut plan = Plan::new();
+    let a = plan.task("commit_crash", &[]);
+    let b = plan.task("after", &[a]);
+    plan.mark_output(b);
+    let cfg = DistConfig {
+        workers: 2,
+        heartbeat_ms: 10,
+        grace_beats: 5,
+        ..DistConfig::default()
+    };
+    let mut rt = DistRuntime::launch_threads(cfg, &reg).unwrap();
+    let report = rt.run(&plan, &reg).unwrap();
+    // The half-written Done must have been discarded: the dependent
+    // task only ever saw the full, re-executed result.
+    assert_eq!(report.outputs[&b].as_u64(), 21);
+    assert_eq!(report.stats.workers_lost, 1);
+    assert_eq!(crashes.load(Ordering::SeqCst), 2, "task must re-execute");
+    rt.shutdown();
+}
+
+/// Losing the only replica of an intermediate forces the producer to
+/// re-run on a survivor (lineage re-execution, the DES rollback
+/// mirror). Colocation is forced through locality: the crashing task
+/// reads the producer's output, so the driver schedules it on the
+/// worker holding that replica — which then dies.
+#[test]
+fn lost_replica_reexecutes_lineage_on_survivor() {
+    let (reg_inner, calls) = count_registry();
+    let mut reg = (*reg_inner).clone();
+    let crashes = Arc::new(AtomicU32::new(0));
+    let c = Arc::clone(&crashes);
+    reg.register("crash_holder", move |_ins| {
+        if c.fetch_add(1, Ordering::SeqCst) == 0 {
+            Err(CRASH_DROP.into())
+        } else {
+            Ok(WireValue::Unit)
+        }
+    });
+    let reg = Arc::new(reg);
+
+    let mut plan = Plan::new();
+    let m = plan.task("seed_mat", &[]);
+    // Reads m => locality places this on the worker that holds m.
+    let crash = plan.task("crash_holder", &[m]);
+    // Also depends on the crash task, so it cannot race ahead and pull
+    // a second replica of m to the survivor before the crash fires.
+    let s = plan.task("trace_sum", &[m, crash]);
+    plan.mark_output(crash);
+    plan.mark_output(s);
+
+    let cfg = DistConfig {
+        workers: 2,
+        heartbeat_ms: 10,
+        grace_beats: 5,
+        ..DistConfig::default()
+    };
+    let mut rt = DistRuntime::launch_threads(cfg, &reg).unwrap();
+    let report = rt.run(&plan, &reg).unwrap();
+    assert_eq!(
+        report.outputs[&s].as_f64(),
+        (0..8).map(|i| (i * 9) as f64).sum()
+    );
+    assert_eq!(report.stats.workers_lost, 1);
+    assert!(
+        calls.load(Ordering::SeqCst) >= 2,
+        "seed_mat must re-run after its only replica died with the worker"
+    );
+    assert!(
+        report.stats.reexecutions >= 1,
+        "lineage rollback not counted"
+    );
+    rt.shutdown();
+}
+
+/// Body failures burn retry attempts per the kind's policy; fetch
+/// failures and worker deaths do not. A kind that fails more times than
+/// its budget fails the whole run with a useful error.
+#[test]
+fn retry_budget_exhaustion_names_task_and_attempts() {
+    let mut reg = KindRegistry::new();
+    reg.register_with(
+        "always_fails",
+        OnFailure::Retry,
+        RetryPolicy {
+            backoff_base_s: 0.005,
+            ..RetryPolicy::new(2)
+        },
+        |_| Err("deliberate".into()),
+    );
+    let reg = Arc::new(reg);
+    let mut plan = Plan::new();
+    let out = plan.task("always_fails", &[]);
+    plan.mark_output(out);
+    let mut rt = DistRuntime::launch_threads(DistConfig::with_workers(1), &reg).unwrap();
+    let err = rt.run(&plan, &reg).err().expect("run should fail");
+    assert!(
+        err.contains("always_fails") && err.contains("2") && err.contains("deliberate"),
+        "unhelpful error: {err}"
+    );
+    rt.shutdown();
+}
+
+/// The distributed PCA pipeline is bit-identical to the inline oracle
+/// across worker counts — the end-to-end property CI's `dist` job
+/// gates in process mode, checked here in thread mode.
+#[test]
+fn distributed_pca_bit_identical_across_worker_counts() {
+    let x = Matrix::from_fn(96, 12, |r, c| ((r * 31 + c * 17) % 101) as f64 / 7.0 - 5.0);
+    let (plan, outs) = dislib::pca_dist::pca_plan(&x, 24, 3);
+    let mut reg = KindRegistry::new();
+    dislib::pca_dist::register_pca_kinds(&mut reg);
+    let reg = Arc::new(reg);
+    let inline = plan.run_inline(&reg).unwrap();
+    let inline_fp = fingerprint(&inline);
+    for workers in [1, 2, 4] {
+        let mut rt = DistRuntime::launch_threads(DistConfig::with_workers(workers), &reg).unwrap();
+        let report = rt.run(&plan, &reg).unwrap();
+        assert_eq!(
+            fingerprint(&report.outputs),
+            inline_fp,
+            "{workers}-worker run diverged from inline"
+        );
+        assert_eq!(
+            report.outputs[&outs.projection].as_matrix().shape(),
+            (96, 3)
+        );
+        let shutdown = rt.shutdown();
+        assert_eq!(shutdown.workers_reaped, workers);
+        assert!(shutdown.sock_dir_removed, "socket dir leaked");
+    }
+}
+
+/// The measured trace feeds the PR 7 event pipeline: schema-identical
+/// events, every task exactly once, worker ids within the cluster.
+#[test]
+fn measured_trace_events_match_journal_schema() {
+    use taskrt::telemetry::EventKind;
+    let x = Matrix::from_fn(48, 8, |r, c| (r + c) as f64);
+    let (plan, _) = dislib::pca_dist::pca_plan(&x, 16, 2);
+    let mut reg = KindRegistry::new();
+    dislib::pca_dist::register_pca_kinds(&mut reg);
+    let reg = Arc::new(reg);
+    let mut rt = DistRuntime::launch_threads(DistConfig::with_workers(2), &reg).unwrap();
+    let report = rt.run(&plan, &reg).unwrap();
+    assert_eq!(report.trace.records.len(), plan.len());
+    for r in &report.trace.records {
+        assert!(r.worker >= 0 && r.worker < 2, "bad worker {}", r.worker);
+        assert!(r.duration_s >= 0.0 && r.start_s >= 0.0);
+        assert!(!r.outputs.is_empty());
+    }
+    let trace_events = report.trace.events();
+    let starts = trace_events
+        .iter()
+        .filter(|e| e.kind == EventKind::TaskStart)
+        .count();
+    assert_eq!(starts, plan.len());
+    let journal = rt.journal_events();
+    let j_starts = journal
+        .iter()
+        .filter(|e| e.kind == EventKind::TaskStart)
+        .count();
+    assert_eq!(j_starts, plan.len(), "journal missed task starts");
+    rt.shutdown();
+}
